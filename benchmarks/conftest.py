@@ -1,0 +1,41 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints the
+corresponding rows/series.  Two sizes are supported:
+
+* the default (CI-friendly) size runs each experiment at a reduced context
+  scale so the whole suite finishes in a few minutes on a CPU;
+* setting the environment variable ``REPRO_BENCH_FULL=1`` switches the
+  accuracy experiments to the default simulation scale used in
+  EXPERIMENTS.md (about 16x more tokens, correspondingly slower).
+
+The performance-model benchmarks (Fig. 12/13) always run at the paper's true
+scale — they are analytic and fast.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ContextScale
+
+FULL_SIZE = os.environ.get("REPRO_BENCH_FULL", "0") not in ("0", "", "false")
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ContextScale:
+    """Context scale used by the accuracy benchmarks."""
+    return ContextScale(16) if FULL_SIZE else ContextScale(64)
+
+
+@pytest.fixture(scope="session")
+def bench_samples() -> int:
+    """Number of samples per task used by the accuracy benchmarks."""
+    return 4 if FULL_SIZE else 2
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,52 @@
+"""Micro-benchmarks of ClusterKV's algorithmic kernels.
+
+These do not correspond to a specific paper figure; they measure the cost of
+the building blocks the paper optimises with custom CUDA kernels (clustering,
+selection/indexing, cache lookup) so that regressions in the Python
+implementation are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ClusterKVConfig, ClusterMetadata, kmeans_cluster, select_clusters
+from repro.core.clusterkv import ClusterKVLayerState
+
+
+@pytest.fixture(scope="module")
+def keys():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(2048, 64))
+
+
+def test_bench_kmeans_clustering(benchmark, keys):
+    """K-means over 2048 keys into 2048/80 clusters (one head, one layer)."""
+    result = benchmark(kmeans_cluster, keys, 2048 // 80, "cosine", 10, 0)
+    assert result.n_clusters == 2048 // 80
+
+
+def test_bench_cluster_selection(benchmark, keys):
+    """Centroid scoring + prefix-sum indexing for one query."""
+    clustering = kmeans_cluster(keys, 2048 // 80, seed=0)
+    metadata = ClusterMetadata(head_dim=64)
+    metadata.append_clustering(clustering, token_offset=0)
+    query = np.random.default_rng(1).normal(size=64)
+
+    outcome = benchmark(select_clusters, query, metadata, 256)
+    assert outcome.token_indices.shape[0] == 256
+
+
+def test_bench_layer_state_decode_step(benchmark, keys):
+    """A full per-layer ClusterKV decode step: observe + select for 4 kv heads."""
+    config = ClusterKVConfig(tokens_per_cluster=80, decode_window=64, num_sink_tokens=16)
+    state = ClusterKVLayerState(0, 4, 64, config)
+    rng = np.random.default_rng(2)
+    state.observe_prefill(rng.normal(size=(4, 2048, 64)))
+    queries = rng.normal(size=(4, 2, 64))
+
+    def step():
+        state.observe_decode(rng.normal(size=(4, 1, 64)))
+        return state.select(queries, budget=256, step=0)
+
+    selections = benchmark(step)
+    assert len(selections) == 4

@@ -1,0 +1,24 @@
+"""Benchmark regenerating paper Table I (average score across the eight tasks)."""
+
+from conftest import run_once
+
+from repro.experiments import Fig9Config, format_table1, run_table1
+
+
+def test_bench_table1_average(benchmark, bench_scale, bench_samples):
+    """Average score per method and budget, next to the paper's values."""
+    config = Fig9Config(
+        scale=bench_scale,
+        num_samples=bench_samples,
+        tasks=("multifieldqa", "qasper", "hotpotqa", "triviaqa"),
+    )
+    result = run_once(benchmark, run_table1, config)
+    print()
+    print(format_table1(result))
+
+    budgets = sorted(result.averages["clusterkv"])
+    tightest, largest = budgets[0], budgets[-1]
+    # Table I claims: ClusterKV > Quest at every budget and approaches full KV
+    # at the largest budget.
+    assert result.averages["clusterkv"][tightest] >= result.averages["quest"][tightest] - 5.0
+    assert result.averages["clusterkv"][largest] >= result.averages["full"][largest] - 15.0

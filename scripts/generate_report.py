@@ -1,0 +1,109 @@
+"""Regenerate every table and figure and write a plain-text report.
+
+This is the script behind EXPERIMENTS.md: it runs each experiment at the
+given context scale and prints the formatted tables/series, so the measured
+numbers recorded in the documentation can be refreshed with one command.
+
+Usage:
+    python scripts/generate_report.py [--scale 64] [--samples 2] [--out report.txt]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    CacheStudyConfig,
+    ContextScale,
+    Fig3Config,
+    Fig9Config,
+    Fig10Config,
+    Fig11Config,
+    Fig12Config,
+    Fig13Config,
+    format_cache_study,
+    format_fig3,
+    format_fig9,
+    format_fig10,
+    format_fig11,
+    format_fig12,
+    format_fig13,
+    format_table1,
+    run_cache_study,
+    run_fig3,
+    run_fig9,
+    run_fig10,
+    run_fig11_ablation,
+    run_fig11_methods,
+    run_fig12,
+    run_fig13_infinigen,
+    run_fig13_quest,
+    run_table1,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=int, default=64, help="context down-scale factor")
+    parser.add_argument("--samples", type=int, default=2, help="samples per task")
+    parser.add_argument("--out", type=str, default=None, help="write the report to a file")
+    args = parser.parse_args()
+
+    scale = ContextScale(args.scale)
+    sections: list[str] = [
+        f"ClusterKV reproduction report (context scale 1/{args.scale}, "
+        f"{args.samples} samples per task)"
+    ]
+
+    def section(title, body, started):
+        sections.append(f"\n### {title}  [{time.time() - started:.1f}s]\n{body}")
+
+    t = time.time()
+    fig3 = run_fig3(Fig3Config(scale=scale))
+    section("Fig. 3 motivation", format_fig3(fig3), t)
+
+    t = time.time()
+    fig9 = run_fig9(Fig9Config(scale=scale, num_samples=args.samples))
+    section("Fig. 9 LongBench analogues", format_fig9(fig9), t)
+
+    t = time.time()
+    table1 = run_table1(fig9=fig9)
+    section("Table I averages", format_table1(table1), t)
+
+    t = time.time()
+    fig10 = run_fig10(Fig10Config(scale=scale, num_samples=args.samples))
+    section("Fig. 10 perplexity", format_fig10(fig10), t)
+
+    t = time.time()
+    fig11_cfg = Fig11Config(scale=scale, decode_steps=8)
+    fig11a = run_fig11_methods(fig11_cfg)
+    section("Fig. 11a recall by method", format_fig11(fig11a, "[Fig. 11a]"), t)
+
+    t = time.time()
+    fig11b = run_fig11_ablation(fig11_cfg)
+    section("Fig. 11b ClusterKV ablation", format_fig11(fig11b, "[Fig. 11b]"), t)
+
+    t = time.time()
+    fig12 = run_fig12(Fig12Config())
+    section("Fig. 12 latency vs full KV", format_fig12(fig12), t)
+
+    t = time.time()
+    fig13 = format_fig13(run_fig13_infinigen(Fig13Config()), run_fig13_quest(Fig13Config()))
+    section("Fig. 13 vs SoTA methods", fig13, t)
+
+    t = time.time()
+    cache = run_cache_study(CacheStudyConfig(scale=scale))
+    section("Sec. V-C cache study", format_cache_study(cache), t)
+
+    report = "\n".join(sections)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

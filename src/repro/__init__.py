@@ -1,0 +1,56 @@
+"""Reproduction of *ClusterKV: Manipulating LLM KV Cache in Semantic Space
+for Recallable Compression* (DAC 2025).
+
+Top-level convenience re-exports; see the subpackages for the full API:
+
+* :mod:`repro.core` — the ClusterKV method (clustering, selection, caching).
+* :mod:`repro.baselines` — Full KV, Quest, InfiniGen, H2O, StreamingLLM and
+  the exact top-k oracle.
+* :mod:`repro.model` — the NumPy transformer inference substrate.
+* :mod:`repro.memory` — GPU/CPU memory tiers and transfer accounting.
+* :mod:`repro.perfmodel` — the analytical latency/throughput model.
+* :mod:`repro.workloads` — synthetic long-context workloads (LongBench and
+  PG19 analogues).
+* :mod:`repro.metrics` — F1, ROUGE-L, perplexity, recall rate.
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from .baselines import (
+    FullKVSelector,
+    H2OSelector,
+    InfiniGenSelector,
+    OracleTopKSelector,
+    QuestSelector,
+    StreamingLLMSelector,
+)
+from .core import ClusterKVConfig, ClusterKVSelector
+from .model import (
+    GenerationConfig,
+    InferenceEngine,
+    ModelConfig,
+    SyntheticTokenizer,
+    TransformerModel,
+    get_model_config,
+    get_reference_architecture,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    "ClusterKVConfig",
+    "ClusterKVSelector",
+    "FullKVSelector",
+    "QuestSelector",
+    "InfiniGenSelector",
+    "H2OSelector",
+    "StreamingLLMSelector",
+    "OracleTopKSelector",
+    "ModelConfig",
+    "GenerationConfig",
+    "TransformerModel",
+    "InferenceEngine",
+    "SyntheticTokenizer",
+    "get_model_config",
+    "get_reference_architecture",
+]

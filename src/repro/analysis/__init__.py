@@ -1,0 +1,11 @@
+"""Motivation analyses of the paper (Fig. 3a and Fig. 3b)."""
+
+from .importance import ImportanceTrace, track_token_importance
+from .fragmentation import FragmentationStats, analyse_page_fragmentation
+
+__all__ = [
+    "ImportanceTrace",
+    "track_token_importance",
+    "FragmentationStats",
+    "analyse_page_fragmentation",
+]

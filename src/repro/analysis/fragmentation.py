@@ -1,0 +1,110 @@
+"""Internal fragmentation of important tokens within pages (paper Fig. 3b).
+
+Quest recalls KV at the granularity of fixed-size pages of consecutive
+tokens.  The paper shows that important tokens are scattered: a page of 16
+tokens typically contains only one or two of the truly important tokens, so
+page-granularity recall wastes most of the budget.  This module quantifies
+that fragmentation from the exact attention scores recorded by the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.oracle import top_k_indices
+
+__all__ = ["FragmentationStats", "analyse_page_fragmentation"]
+
+
+@dataclass
+class FragmentationStats:
+    """Distribution of important tokens across pages.
+
+    Attributes
+    ----------
+    page_size:
+        Page size used for the analysis.
+    top_k:
+        Number of important tokens considered per step.
+    important_per_occupied_page:
+        Mean number of important tokens in pages that contain at least one.
+    occupied_page_fraction:
+        Fraction of pages containing at least one important token.
+    pages_needed_fraction:
+        Mean fraction of the context that must be loaded (in whole pages) to
+        cover all important tokens — the fragmentation overhead factor.
+    histogram:
+        ``histogram[i]`` is the number of (step, page) pairs in which an
+        occupied page holds exactly ``i + 1`` important tokens.
+    """
+
+    page_size: int
+    top_k: int
+    important_per_occupied_page: float
+    occupied_page_fraction: float
+    pages_needed_fraction: float
+    histogram: np.ndarray
+
+    @property
+    def waste_factor(self) -> float:
+        """Tokens loaded per important token when recalling whole pages."""
+        if self.important_per_occupied_page == 0:
+            return float("inf")
+        return self.page_size / self.important_per_occupied_page
+
+
+def analyse_page_fragmentation(
+    score_vectors: list[np.ndarray],
+    top_k: int,
+    page_size: int = 16,
+) -> FragmentationStats:
+    """Analyse how top-``k`` important tokens spread across pages.
+
+    Parameters
+    ----------
+    score_vectors:
+        One exact attention-score vector per decoding step (over all cached
+        tokens at that step), e.g. from ``StepAttentionRecord.true_scores``.
+    top_k:
+        Number of important tokens per step.
+    page_size:
+        Page size (Quest uses 16).
+    """
+    if not score_vectors:
+        raise ValueError("score_vectors must not be empty")
+    if top_k <= 0 or page_size <= 0:
+        raise ValueError("top_k and page_size must be positive")
+
+    histogram = np.zeros(page_size, dtype=np.int64)
+    occupied_fractions = []
+    pages_needed_fractions = []
+    for scores in score_vectors:
+        scores = np.asarray(scores, dtype=np.float64)
+        k = min(top_k, scores.shape[0])
+        important = top_k_indices(scores, k)
+        pages = important // page_size
+        unique_pages, counts = np.unique(pages, return_counts=True)
+        for count in counts:
+            histogram[min(int(count), page_size) - 1] += 1
+        num_pages = int(np.ceil(scores.shape[0] / page_size))
+        occupied_fractions.append(unique_pages.shape[0] / max(1, num_pages))
+        pages_needed_fractions.append(
+            unique_pages.shape[0] * page_size / max(1, scores.shape[0])
+        )
+
+    total_occupied = int(histogram.sum())
+    mean_per_page = (
+        float(np.sum((np.arange(page_size) + 1) * histogram)) / total_occupied
+        if total_occupied
+        else 0.0
+    )
+    return FragmentationStats(
+        page_size=page_size,
+        top_k=top_k,
+        important_per_occupied_page=mean_per_page,
+        occupied_page_fraction=float(np.mean(occupied_fractions)),
+        pages_needed_fraction=float(np.mean(pages_needed_fractions)),
+        histogram=histogram,
+    )

@@ -1,0 +1,44 @@
+"""KV cache selection baselines the paper compares against.
+
+All baselines implement the :class:`~repro.baselines.base.KVSelectorFactory`
+interface shared with :class:`repro.core.ClusterKVSelector`, so any of them
+can be plugged into the inference engine and the experiment harnesses.
+"""
+
+from .base import (
+    KVSelectorFactory,
+    LayerSelectorState,
+    SelectorStats,
+    clip_budget,
+    merge_group_queries,
+)
+from .full import FullKVLayerState, FullKVSelector
+from .h2o import H2OConfig, H2OLayerState, H2OSelector
+from .infinigen import InfiniGenConfig, InfiniGenLayerState, InfiniGenSelector
+from .oracle import OracleTopKLayerState, OracleTopKSelector, top_k_indices
+from .quest import QuestConfig, QuestLayerState, QuestSelector
+from .streaming_llm import StreamingLLMLayerState, StreamingLLMSelector
+
+__all__ = [
+    "KVSelectorFactory",
+    "LayerSelectorState",
+    "SelectorStats",
+    "clip_budget",
+    "merge_group_queries",
+    "FullKVSelector",
+    "FullKVLayerState",
+    "QuestSelector",
+    "QuestLayerState",
+    "QuestConfig",
+    "InfiniGenSelector",
+    "InfiniGenLayerState",
+    "InfiniGenConfig",
+    "H2OSelector",
+    "H2OLayerState",
+    "H2OConfig",
+    "StreamingLLMSelector",
+    "StreamingLLMLayerState",
+    "OracleTopKSelector",
+    "OracleTopKLayerState",
+    "top_k_indices",
+]

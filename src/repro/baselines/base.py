@@ -1,0 +1,190 @@
+"""Common interface of all KV cache selection methods.
+
+Every compression method (ClusterKV and the baselines it is compared with)
+is expressed as a *selector*: at each decoding step the selector receives the
+query vectors and returns, for every key/value head, the indices of the
+tokens whose KV entries participate in the approximate attention
+``softmax(q K_S^T / sqrt(d)) V_S`` (paper Sec. II-B).
+
+Selectors are stateful per layer: they observe the keys produced during
+prefill and decoding (so that they can build whatever acceleration structure
+they need — semantic clusters, page bounds, partial keys, ...) and maintain
+instrumentation counters that the performance model consumes.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..memory import TierKind
+
+__all__ = [
+    "SelectorStats",
+    "LayerSelectorState",
+    "KVSelectorFactory",
+    "merge_group_queries",
+    "clip_budget",
+]
+
+
+@dataclass
+class SelectorStats:
+    """Instrumentation counters accumulated by a layer selector.
+
+    Attributes
+    ----------
+    score_flops:
+        Floating point operations spent computing selection scores (the
+        "recall overhead" of the paper).
+    build_flops:
+        Floating point operations spent building the selection structure
+        (K-means clustering for ClusterKV, page summaries for Quest, partial
+        key generation for InfiniGen).
+    selected_tokens:
+        Total number of tokens selected, summed over heads and steps.
+    fetched_tokens:
+        Tokens whose KV had to be transferred from the CPU tier (after any
+        GPU-side caching).
+    cache_hit_tokens / cache_miss_tokens:
+        Cluster-cache hits and misses in token units (ClusterKV only; zero
+        for other methods).
+    num_selections:
+        Number of ``select`` calls served.
+    aux_bytes:
+        Size of auxiliary metadata kept on the GPU (centroids, page bounds,
+        partial keys, ...).
+    """
+
+    score_flops: int = 0
+    build_flops: int = 0
+    selected_tokens: int = 0
+    fetched_tokens: int = 0
+    cache_hit_tokens: int = 0
+    cache_miss_tokens: int = 0
+    num_selections: int = 0
+    aux_bytes: int = 0
+
+    def merge(self, other: "SelectorStats") -> "SelectorStats":
+        """Return a new stats object with counters summed element-wise."""
+        return SelectorStats(
+            score_flops=self.score_flops + other.score_flops,
+            build_flops=self.build_flops + other.build_flops,
+            selected_tokens=self.selected_tokens + other.selected_tokens,
+            fetched_tokens=self.fetched_tokens + other.fetched_tokens,
+            cache_hit_tokens=self.cache_hit_tokens + other.cache_hit_tokens,
+            cache_miss_tokens=self.cache_miss_tokens + other.cache_miss_tokens,
+            num_selections=self.num_selections + other.num_selections,
+            aux_bytes=self.aux_bytes + other.aux_bytes,
+        )
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of selected tokens served from the GPU-side cache."""
+        total = self.cache_hit_tokens + self.cache_miss_tokens
+        if total == 0:
+            return 0.0
+        return self.cache_hit_tokens / total
+
+
+class LayerSelectorState(abc.ABC):
+    """Per-layer state of a KV selection method."""
+
+    def __init__(self, layer_idx: int, n_kv_heads: int, head_dim: int) -> None:
+        self.layer_idx = layer_idx
+        self.n_kv_heads = n_kv_heads
+        self.head_dim = head_dim
+        self.stats = SelectorStats()
+
+    @abc.abstractmethod
+    def observe_prefill(self, keys: np.ndarray) -> None:
+        """Ingest prompt keys, shape ``(n_kv_heads, L, head_dim)``."""
+
+    @abc.abstractmethod
+    def observe_decode(self, keys: np.ndarray) -> None:
+        """Ingest keys of newly decoded tokens, shape ``(n_kv_heads, t, head_dim)``."""
+
+    @abc.abstractmethod
+    def select(
+        self, queries: np.ndarray, budget: int, step: int
+    ) -> list[np.ndarray]:
+        """Select token indices for the current decoding step.
+
+        Parameters
+        ----------
+        queries:
+            Query vectors grouped by kv head, shape
+            ``(n_kv_heads, group_size, head_dim)``.
+        budget:
+            KV cache budget ``B`` (tokens per head).
+        step:
+            Zero-based decoding step index.
+
+        Returns
+        -------
+        list of numpy.ndarray
+            One sorted, unique int64 index array per kv head; indices refer
+            to absolute token positions in ``[0, context_length)``.
+        """
+
+    @property
+    def context_length(self) -> int:
+        """Number of tokens observed so far (prefill plus decode)."""
+        raise NotImplementedError
+
+
+class KVSelectorFactory(abc.ABC):
+    """Factory building per-layer selector states for one generation run.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in experiment reports (``"clusterkv"``, ``"quest"``,
+        ``"infinigen"``, ``"full"``, ...).
+    kv_residency:
+        The memory tier holding the bulk KV cache under this method.  Full
+        KV and Quest keep everything on the GPU; ClusterKV and InfiniGen
+        offload to the CPU and fetch selected entries per step.
+    """
+
+    name: str = "abstract"
+    kv_residency: TierKind = TierKind.GPU
+
+    @abc.abstractmethod
+    def create_layer_state(
+        self,
+        layer_idx: int,
+        n_kv_heads: int,
+        head_dim: int,
+        num_sink_tokens: int,
+    ) -> LayerSelectorState:
+        """Create the selector state of one layer."""
+
+    def describe(self) -> dict[str, object]:
+        """Human-readable description of the method configuration."""
+        return {"name": self.name, "kv_residency": self.kv_residency.value}
+
+
+def merge_group_queries(queries: np.ndarray) -> np.ndarray:
+    """Collapse grouped query heads into one scoring query per kv head.
+
+    ``queries`` has shape ``(n_kv_heads, group_size, head_dim)``; the result
+    has shape ``(n_kv_heads, head_dim)``.  Scores computed against the summed
+    query equal the sum of per-query scores, which matches how grouped-query
+    attention shares a kv head across its query group.
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    if queries.ndim == 2:
+        return queries
+    if queries.ndim != 3:
+        raise ValueError(f"expected (n_kv_heads, group, head_dim), got {queries.shape}")
+    return queries.sum(axis=1)
+
+
+def clip_budget(budget: int, context_length: int) -> int:
+    """Clamp a budget to the number of available tokens."""
+    if budget <= 0:
+        raise ValueError(f"budget must be positive, got {budget}")
+    return min(budget, context_length)

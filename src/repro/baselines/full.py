@@ -1,0 +1,50 @@
+"""Full KV cache baseline: no compression, every token is attended."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..memory import TierKind
+from .base import KVSelectorFactory, LayerSelectorState
+
+__all__ = ["FullKVLayerState", "FullKVSelector"]
+
+
+class FullKVLayerState(LayerSelectorState):
+    """Selects every cached token at every step (exact attention)."""
+
+    def __init__(self, layer_idx: int, n_kv_heads: int, head_dim: int) -> None:
+        super().__init__(layer_idx, n_kv_heads, head_dim)
+        self._num_tokens = 0
+
+    def observe_prefill(self, keys: np.ndarray) -> None:
+        self._num_tokens = int(np.asarray(keys).shape[1])
+
+    def observe_decode(self, keys: np.ndarray) -> None:
+        self._num_tokens += int(np.asarray(keys).shape[1])
+
+    def select(self, queries: np.ndarray, budget: int, step: int) -> list[np.ndarray]:
+        indices = np.arange(self._num_tokens, dtype=np.int64)
+        self.stats.selected_tokens += self._num_tokens * self.n_kv_heads
+        self.stats.num_selections += 1
+        return [indices.copy() for _ in range(self.n_kv_heads)]
+
+    @property
+    def context_length(self) -> int:
+        return self._num_tokens
+
+
+class FullKVSelector(KVSelectorFactory):
+    """Factory of the uncompressed baseline (paper's "Full KV")."""
+
+    name = "full"
+    kv_residency = TierKind.GPU
+
+    def create_layer_state(
+        self,
+        layer_idx: int,
+        n_kv_heads: int,
+        head_dim: int,
+        num_sink_tokens: int,
+    ) -> FullKVLayerState:
+        return FullKVLayerState(layer_idx, n_kv_heads, head_dim)

@@ -1,0 +1,94 @@
+"""Exact top-k oracle selector.
+
+Selects the ``B`` tokens with the largest true attention scores ``q·k`` at
+every step.  This is the ideal (but prohibitively expensive, ``O(Ld)``)
+selection the paper formulates in Sec. III-A; it serves as the ground truth
+of the recall-rate experiments (Fig. 11) and as an accuracy upper bound for
+any budget-constrained method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..memory import TierKind
+from .base import (
+    KVSelectorFactory,
+    LayerSelectorState,
+    clip_budget,
+    merge_group_queries,
+)
+
+__all__ = ["OracleTopKLayerState", "OracleTopKSelector", "top_k_indices"]
+
+
+def top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest entries of ``scores``, sorted ascending.
+
+    Ties are broken deterministically in favour of smaller indices.
+    """
+    if k <= 0:
+        return np.zeros(0, dtype=np.int64)
+    scores = np.asarray(scores, dtype=np.float64)
+    k = min(k, scores.shape[0])
+    # argsort on (-score, index) gives deterministic tie-breaking.
+    order = np.lexsort((np.arange(scores.shape[0]), -scores))
+    return np.sort(order[:k].astype(np.int64))
+
+
+class OracleTopKLayerState(LayerSelectorState):
+    """Keeps all keys and selects the exact top-``B`` per kv head."""
+
+    def __init__(self, layer_idx: int, n_kv_heads: int, head_dim: int) -> None:
+        super().__init__(layer_idx, n_kv_heads, head_dim)
+        self._key_blocks: list[np.ndarray] = []
+        self._num_tokens = 0
+
+    def observe_prefill(self, keys: np.ndarray) -> None:
+        keys = np.asarray(keys, dtype=np.float64)
+        self._key_blocks.append(keys)
+        self._num_tokens = keys.shape[1]
+
+    def observe_decode(self, keys: np.ndarray) -> None:
+        keys = np.asarray(keys, dtype=np.float64)
+        self._key_blocks.append(keys)
+        self._num_tokens += keys.shape[1]
+
+    def _all_keys(self) -> np.ndarray:
+        if len(self._key_blocks) > 1:
+            self._key_blocks = [np.concatenate(self._key_blocks, axis=1)]
+        return self._key_blocks[0]
+
+    def select(self, queries: np.ndarray, budget: int, step: int) -> list[np.ndarray]:
+        merged = merge_group_queries(queries)
+        budget = clip_budget(budget, self._num_tokens)
+        keys = self._all_keys()
+        selections = []
+        for head in range(self.n_kv_heads):
+            scores = keys[head] @ merged[head]
+            indices = top_k_indices(scores, budget)
+            selections.append(indices)
+            self.stats.score_flops += int(2 * self._num_tokens * self.head_dim)
+            self.stats.selected_tokens += int(indices.shape[0])
+        self.stats.num_selections += 1
+        return selections
+
+    @property
+    def context_length(self) -> int:
+        return self._num_tokens
+
+
+class OracleTopKSelector(KVSelectorFactory):
+    """Factory of the exact top-k oracle."""
+
+    name = "oracle"
+    kv_residency = TierKind.GPU
+
+    def create_layer_state(
+        self,
+        layer_idx: int,
+        n_kv_heads: int,
+        head_dim: int,
+        num_sink_tokens: int,
+    ) -> OracleTopKLayerState:
+        return OracleTopKLayerState(layer_idx, n_kv_heads, head_dim)

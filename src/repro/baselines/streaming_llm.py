@@ -1,0 +1,72 @@
+"""StreamingLLM baseline: attention sinks plus a sliding window.
+
+StreamingLLM (Xiao et al., ICLR 2024; paper reference [9]) is the simplest
+fixed-pattern compression: it always keeps the first few "attention sink"
+tokens and a sliding window of the most recent tokens, and permanently drops
+everything else.  The paper cites it as the canonical fixed-pattern,
+non-recallable method; it is included here for the motivation experiments
+and as a lower bound for selection quality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..memory import TierKind
+from .base import KVSelectorFactory, LayerSelectorState, clip_budget
+
+__all__ = ["StreamingLLMLayerState", "StreamingLLMSelector"]
+
+
+class StreamingLLMLayerState(LayerSelectorState):
+    """Sink tokens plus the most recent ``budget - sinks`` tokens."""
+
+    def __init__(
+        self,
+        layer_idx: int,
+        n_kv_heads: int,
+        head_dim: int,
+        num_sink_tokens: int,
+    ) -> None:
+        super().__init__(layer_idx, n_kv_heads, head_dim)
+        self.num_sink_tokens = num_sink_tokens
+        self._num_tokens = 0
+
+    def observe_prefill(self, keys: np.ndarray) -> None:
+        self._num_tokens = int(np.asarray(keys).shape[1])
+
+    def observe_decode(self, keys: np.ndarray) -> None:
+        self._num_tokens += int(np.asarray(keys).shape[1])
+
+    def select(self, queries: np.ndarray, budget: int, step: int) -> list[np.ndarray]:
+        budget = clip_budget(budget, self._num_tokens)
+        num_sinks = min(self.num_sink_tokens, self._num_tokens, budget)
+        window = budget - num_sinks
+        sinks = np.arange(num_sinks, dtype=np.int64)
+        recent = np.arange(
+            max(num_sinks, self._num_tokens - window), self._num_tokens, dtype=np.int64
+        )
+        indices = np.unique(np.concatenate([sinks, recent]))
+        self.stats.selected_tokens += int(indices.shape[0]) * self.n_kv_heads
+        self.stats.num_selections += 1
+        return [indices.copy() for _ in range(self.n_kv_heads)]
+
+    @property
+    def context_length(self) -> int:
+        return self._num_tokens
+
+
+class StreamingLLMSelector(KVSelectorFactory):
+    """Factory of the StreamingLLM (sink + sliding window) baseline."""
+
+    name = "streaming_llm"
+    kv_residency = TierKind.GPU
+
+    def create_layer_state(
+        self,
+        layer_idx: int,
+        n_kv_heads: int,
+        head_dim: int,
+        num_sink_tokens: int,
+    ) -> StreamingLLMLayerState:
+        return StreamingLLMLayerState(layer_idx, n_kv_heads, head_dim, num_sink_tokens)

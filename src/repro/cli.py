@@ -1,0 +1,140 @@
+"""Command-line interface for running the reproduction experiments.
+
+Examples
+--------
+List the available experiments::
+
+    python -m repro list
+
+Run the performance-model experiments (fast, paper-scale)::
+
+    python -m repro fig12
+    python -m repro fig13
+    python -m repro cache-study --scale 64
+
+Run an accuracy experiment at a reduced context scale::
+
+    python -m repro fig9 --scale 64 --samples 2
+    python -m repro fig11 --scale 64
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from . import experiments as exp
+
+__all__ = ["main", "build_parser"]
+
+
+def _run_fig3(args: argparse.Namespace) -> str:
+    result = exp.run_fig3(exp.Fig3Config(scale=exp.ContextScale(args.scale)))
+    return exp.format_fig3(result)
+
+
+def _run_fig9(args: argparse.Namespace) -> str:
+    config = exp.Fig9Config(
+        scale=exp.ContextScale(args.scale), num_samples=args.samples
+    )
+    result = exp.run_table1(config)
+    return exp.format_fig9(result.fig9) + "\n\n" + exp.format_table1(result)
+
+
+def _run_fig10(args: argparse.Namespace) -> str:
+    config = exp.Fig10Config(
+        scale=exp.ContextScale(args.scale), num_samples=args.samples
+    )
+    return exp.format_fig10(exp.run_fig10(config))
+
+
+def _run_fig11(args: argparse.Namespace) -> str:
+    config = exp.Fig11Config(scale=exp.ContextScale(args.scale))
+    methods = exp.run_fig11_methods(config)
+    ablation = exp.run_fig11_ablation(config)
+    return (
+        exp.format_fig11(methods, "[Fig. 11a] recall rate by method")
+        + "\n\n"
+        + exp.format_fig11(ablation, "[Fig. 11b] ClusterKV ablation")
+    )
+
+
+def _run_fig12(args: argparse.Namespace) -> str:
+    return exp.format_fig12(exp.run_fig12(exp.Fig12Config()))
+
+
+def _run_fig13(args: argparse.Namespace) -> str:
+    config = exp.Fig13Config()
+    return exp.format_fig13(exp.run_fig13_infinigen(config), exp.run_fig13_quest(config))
+
+
+def _run_cache_study(args: argparse.Namespace) -> str:
+    config = exp.CacheStudyConfig(scale=exp.ContextScale(args.scale))
+    return exp.format_cache_study(exp.run_cache_study(config))
+
+
+def _run_design_ablation(args: argparse.Namespace) -> str:
+    config = exp.DesignAblationConfig(
+        scale=exp.ContextScale(args.scale), num_samples=args.samples
+    )
+    return exp.format_design_ablation(exp.run_design_ablation(config))
+
+
+_EXPERIMENTS = {
+    "fig3": ("Fig. 3 motivation analyses", _run_fig3),
+    "fig9": ("Fig. 9 / Table I LongBench-analogue accuracy", _run_fig9),
+    "fig10": ("Fig. 10 language-modelling perplexity", _run_fig10),
+    "fig11": ("Fig. 11 recall rate and ablations", _run_fig11),
+    "fig12": ("Fig. 12 latency vs. full KV (perf model)", _run_fig12),
+    "fig13": ("Fig. 13 vs. Quest / InfiniGen (perf model)", _run_fig13),
+    "cache-study": ("Sec. V-C cluster-cache effectiveness", _run_cache_study),
+    "design-ablation": ("ClusterKV design-choice ablation", _run_design_ablation),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser of the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ClusterKV reproduction: regenerate the paper's tables and figures.",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+    subparsers.add_parser("list", help="list the available experiments")
+    for name, (description, _) in _EXPERIMENTS.items():
+        sub = subparsers.add_parser(name, help=description)
+        sub.add_argument(
+            "--scale",
+            type=int,
+            default=64,
+            help="context down-scale factor for accuracy experiments (default 64)",
+        )
+        sub.add_argument(
+            "--samples", type=int, default=2, help="samples per task (default 2)"
+        )
+        sub.add_argument("--out", type=str, default=None, help="write output to a file")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    if args.command == "list":
+        for name, (description, _) in _EXPERIMENTS.items():
+            print(f"{name:16s} {description}")
+        return 0
+    _, runner = _EXPERIMENTS[args.command]
+    output = runner(args)
+    if getattr(args, "out", None):
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(output + "\n")
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

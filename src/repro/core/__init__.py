@@ -1,0 +1,31 @@
+"""ClusterKV core: semantic clustering, selection, indexing and caching.
+
+This package implements the paper's primary contribution.  The public entry
+point is :class:`ClusterKVSelector`, a selector factory usable with the
+inference engine in :mod:`repro.model.generation`; the building blocks
+(clustering, metadata, selection, cache) are exported for direct use and for
+the ablation experiments.
+"""
+
+from .cache import ClusterCache, ClusterCacheLookup
+from .clustering import ClusteringResult, cluster_heads, kmeans_cluster, pairwise_scores
+from .config import ClusterKVConfig
+from .clusterkv import ClusterKVLayerState, ClusterKVSelector
+from .metadata import ClusterMetadata
+from .selection import ClusterSelection, score_centroids, select_clusters
+
+__all__ = [
+    "ClusterKVConfig",
+    "ClusterKVSelector",
+    "ClusterKVLayerState",
+    "ClusterCache",
+    "ClusterCacheLookup",
+    "ClusterMetadata",
+    "ClusteringResult",
+    "ClusterSelection",
+    "cluster_heads",
+    "kmeans_cluster",
+    "pairwise_scores",
+    "score_centroids",
+    "select_clusters",
+]

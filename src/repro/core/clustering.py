@@ -1,0 +1,252 @@
+"""Semantic clustering of key vectors (paper Sec. III-B).
+
+Tokens are clustered in the "semantic space" of their key vectors using
+K-means.  The paper motivates cosine similarity as the distance metric
+because key vectors have outlier channels with large magnitudes that distort
+L2 and inner-product distances; both alternatives are implemented as well to
+support the Fig. 11b ablation.
+
+The clustering is performed independently per attention (kv) head — the
+batched helper :func:`cluster_heads` mirrors the batched GPU kernels of the
+paper's implementation (Sec. IV-B) at the functional level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ClusteringResult",
+    "pairwise_scores",
+    "kmeans_cluster",
+    "cluster_heads",
+]
+
+
+@dataclass
+class ClusteringResult:
+    """Outcome of clustering one head's key vectors.
+
+    Attributes
+    ----------
+    labels:
+        Cluster label of every input key, shape ``(L,)``, values in
+        ``[0, n_clusters)``.
+    centroids:
+        Cluster representations, shape ``(n_clusters, d)``.
+    n_iters:
+        Number of K-means iterations performed.
+    converged:
+        Whether the assignment stabilised before the iteration cap.
+    """
+
+    labels: np.ndarray
+    centroids: np.ndarray
+    n_iters: int
+    converged: bool
+
+    @property
+    def n_clusters(self) -> int:
+        return self.centroids.shape[0]
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Number of tokens per cluster, shape ``(n_clusters,)``."""
+        return np.bincount(self.labels, minlength=self.n_clusters)
+
+
+def _normalise(vectors: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(vectors, axis=-1, keepdims=True)
+    safe = np.where(norms == 0.0, 1.0, norms)
+    return vectors / safe
+
+
+def pairwise_scores(
+    keys: np.ndarray, centroids: np.ndarray, metric: str
+) -> np.ndarray:
+    """Similarity of every key to every centroid; larger is closer.
+
+    Parameters
+    ----------
+    keys:
+        ``(L, d)`` key vectors.
+    centroids:
+        ``(C, d)`` centroids.
+    metric:
+        ``"cosine"``, ``"l2"`` or ``"ip"``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(L, C)`` similarity matrix.  For ``"l2"`` the *negative* squared
+        distance is returned so that ``argmax`` picks the nearest centroid
+        under every metric.
+    """
+    keys = np.asarray(keys, dtype=np.float64)
+    centroids = np.asarray(centroids, dtype=np.float64)
+    if metric == "cosine":
+        return _normalise(keys) @ _normalise(centroids).T
+    if metric == "ip":
+        return keys @ centroids.T
+    if metric == "l2":
+        # -(|k|^2 - 2 k·c + |c|^2); constant |k|^2 kept for exactness in tests.
+        sq_keys = np.sum(keys**2, axis=1, keepdims=True)
+        sq_centroids = np.sum(centroids**2, axis=1)[None, :]
+        return -(sq_keys - 2.0 * keys @ centroids.T + sq_centroids)
+    raise ValueError(f"unknown clustering metric {metric!r}")
+
+
+def _init_centroids(
+    keys: np.ndarray, n_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample initial centroids from the keys without replacement."""
+    num_keys = keys.shape[0]
+    chosen = rng.choice(num_keys, size=n_clusters, replace=False)
+    return keys[chosen].copy()
+
+
+def _update_centroids(
+    keys: np.ndarray,
+    labels: np.ndarray,
+    n_clusters: int,
+    previous: np.ndarray,
+) -> np.ndarray:
+    """Mean of the keys assigned to each cluster (paper's update step).
+
+    Empty clusters keep their previous centroid; they are repaired by
+    :func:`_repair_empty_clusters` before the next assignment.
+    """
+    d = keys.shape[1]
+    sums = np.zeros((n_clusters, d))
+    np.add.at(sums, labels, keys)
+    counts = np.bincount(labels, minlength=n_clusters).astype(np.float64)
+    centroids = previous.copy()
+    non_empty = counts > 0
+    centroids[non_empty] = sums[non_empty] / counts[non_empty, None]
+    return centroids
+
+
+def _repair_empty_clusters(
+    keys: np.ndarray,
+    labels: np.ndarray,
+    centroids: np.ndarray,
+    metric: str,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reassign each empty cluster to the key farthest from its centroid.
+
+    A deterministic variant of the standard empty-cluster fix: the key with
+    the lowest similarity to its own centroid is split off to seed the empty
+    cluster.
+    """
+    n_clusters = centroids.shape[0]
+    counts = np.bincount(labels, minlength=n_clusters)
+    empty = np.flatnonzero(counts == 0)
+    if empty.size == 0:
+        return labels, centroids
+    labels = labels.copy()
+    centroids = centroids.copy()
+    scores = pairwise_scores(keys, centroids, metric)
+    own_scores = scores[np.arange(keys.shape[0]), labels]
+    order = np.argsort(own_scores)  # ascending: worst-fitting keys first
+    cursor = 0
+    for cluster in empty:
+        while cursor < order.size:
+            candidate = int(order[cursor])
+            cursor += 1
+            # Do not steal the only member of another cluster.
+            if counts[labels[candidate]] > 1:
+                counts[labels[candidate]] -= 1
+                labels[candidate] = cluster
+                counts[cluster] += 1
+                centroids[cluster] = keys[candidate]
+                break
+        else:
+            break
+    return labels, centroids
+
+
+def kmeans_cluster(
+    keys: np.ndarray,
+    n_clusters: int,
+    metric: str = "cosine",
+    max_iters: int = 20,
+    seed: int = 0,
+) -> ClusteringResult:
+    """Cluster one head's key vectors with K-means (paper Fig. 4).
+
+    The algorithm follows the paper: centroids are initialised by randomly
+    sampling key vectors; the assignment step assigns every key to the most
+    similar centroid under ``metric``; the update step replaces each centroid
+    with the mean of its assigned keys; iteration stops when the assignment
+    no longer changes or ``max_iters`` is reached.
+    """
+    keys = np.asarray(keys, dtype=np.float64)
+    if keys.ndim != 2:
+        raise ValueError(f"expected (L, d) keys, got shape {keys.shape}")
+    num_keys = keys.shape[0]
+    if num_keys == 0:
+        return ClusteringResult(
+            labels=np.zeros(0, dtype=np.int64),
+            centroids=np.zeros((0, keys.shape[1])),
+            n_iters=0,
+            converged=True,
+        )
+    if n_clusters <= 0:
+        raise ValueError(f"n_clusters must be positive, got {n_clusters}")
+    n_clusters = min(n_clusters, num_keys)
+
+    rng = np.random.default_rng(seed)
+    centroids = _init_centroids(keys, n_clusters, rng)
+    labels = np.full(num_keys, -1, dtype=np.int64)
+    converged = False
+    n_iters = 0
+    for n_iters in range(1, max_iters + 1):
+        scores = pairwise_scores(keys, centroids, metric)
+        new_labels = np.argmax(scores, axis=1).astype(np.int64)
+        if np.array_equal(new_labels, labels):
+            converged = True
+            break
+        labels = new_labels
+        centroids = _update_centroids(keys, labels, n_clusters, centroids)
+        labels, centroids = _repair_empty_clusters(keys, labels, centroids, metric)
+    return ClusteringResult(
+        labels=labels, centroids=centroids, n_iters=n_iters, converged=converged
+    )
+
+
+def cluster_heads(
+    keys: np.ndarray,
+    n_clusters: int,
+    metric: str = "cosine",
+    max_iters: int = 20,
+    seed: int = 0,
+) -> list[ClusteringResult]:
+    """Cluster every kv head of a layer independently.
+
+    ``keys`` has shape ``(n_kv_heads, L, d)``.  Heads are processed with
+    distinct seeds derived from ``seed`` so that centroid initialisation does
+    not accidentally correlate across heads.
+    """
+    keys = np.asarray(keys, dtype=np.float64)
+    if keys.ndim != 3:
+        raise ValueError(f"expected (n_kv_heads, L, d) keys, got shape {keys.shape}")
+    results = []
+    for head_idx in range(keys.shape[0]):
+        results.append(
+            kmeans_cluster(
+                keys[head_idx],
+                n_clusters,
+                metric=metric,
+                max_iters=max_iters,
+                seed=seed + head_idx,
+            )
+        )
+    return results
+
+
+def clustering_flops(
+    num_tokens: int, n_clusters: int, head_dim: int, n_iters: int
+) -> int:
+    """FLOPs of the K-means loop: ``O(n_iters * C * L * d)`` (paper Sec. III-D)."""
+    return int(2 * num_tokens * n_clusters * head_dim * max(1, n_iters))

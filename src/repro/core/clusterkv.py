@@ -1,0 +1,269 @@
+"""ClusterKV: recallable KV cache compression at semantic-cluster granularity.
+
+This module ties together the pieces of the paper's contribution:
+
+* clustering of prompt keys after prefill and of decoded keys every
+  ``m`` steps (:mod:`repro.core.clustering`, paper Sec. III-B),
+* per-head cluster metadata for constant-time indexing
+  (:mod:`repro.core.metadata`, paper Sec. IV-C),
+* selection of the closest clusters until the token budget is met
+  (:mod:`repro.core.selection`, paper Sec. III-C), and
+* the cluster-granularity GPU cache that avoids re-fetching recently
+  selected clusters from CPU memory (:mod:`repro.core.cache`,
+  paper Sec. IV-D).
+
+The class implements the generic :class:`repro.baselines.base.LayerSelectorState`
+interface so the inference engine treats ClusterKV exactly like any baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.base import (
+    KVSelectorFactory,
+    LayerSelectorState,
+    clip_budget,
+    merge_group_queries,
+)
+from ..memory import TierKind
+from .cache import ClusterCache
+from .clustering import clustering_flops, kmeans_cluster
+from .config import ClusterKVConfig
+from .metadata import ClusterMetadata
+from .selection import select_clusters
+
+__all__ = ["ClusterKVLayerState", "ClusterKVSelector"]
+
+
+class ClusterKVLayerState(LayerSelectorState):
+    """Per-layer ClusterKV state: clusters, metadata and cache for every kv head."""
+
+    def __init__(
+        self,
+        layer_idx: int,
+        n_kv_heads: int,
+        head_dim: int,
+        config: ClusterKVConfig,
+        num_sink_tokens: int | None = None,
+    ) -> None:
+        super().__init__(layer_idx, n_kv_heads, head_dim)
+        self.config = config
+        self.num_sink_tokens = (
+            config.num_sink_tokens if num_sink_tokens is None else num_sink_tokens
+        )
+        self.metadata = [ClusterMetadata(head_dim) for _ in range(n_kv_heads)]
+        self.caches = [ClusterCache(config.cache_history) for _ in range(n_kv_heads)]
+        # Full per-head key history; needed for decode-window clustering and
+        # the "centroid" trim policy.  Kept as a list of blocks, concatenated
+        # lazily.
+        self._key_blocks: list[np.ndarray] = []
+        self._num_tokens = 0
+        self._num_sinks_held = 0
+        self._pending_start = 0  # absolute index of the first unclustered decode token
+        self._prefilled = False
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+    def observe_prefill(self, keys: np.ndarray) -> None:
+        keys = self._validate_keys(keys)
+        if self._prefilled:
+            raise RuntimeError("observe_prefill called twice")
+        length = keys.shape[1]
+        self._key_blocks.append(keys)
+        self._num_tokens = length
+        self._prefilled = True
+
+        self._num_sinks_held = min(self.num_sink_tokens, length)
+        clusterable = length - self._num_sinks_held
+        n_clusters = self.config.num_prefill_clusters(clusterable)
+        if n_clusters > 0:
+            for head in range(self.n_kv_heads):
+                result = kmeans_cluster(
+                    keys[head, self._num_sinks_held :, :],
+                    n_clusters,
+                    metric=self.config.distance_metric,
+                    max_iters=self.config.max_kmeans_iters,
+                    seed=self.config.kmeans_seed + self.layer_idx * 131 + head,
+                )
+                self.metadata[head].append_clustering(result, self._num_sinks_held)
+                self.stats.build_flops += clustering_flops(
+                    clusterable, n_clusters, self.head_dim, result.n_iters
+                )
+        self._pending_start = length
+        self._refresh_aux_bytes()
+
+    def observe_decode(self, keys: np.ndarray) -> None:
+        keys = self._validate_keys(keys)
+        if not self._prefilled:
+            raise RuntimeError("observe_decode called before observe_prefill")
+        self._key_blocks.append(keys)
+        self._num_tokens += keys.shape[1]
+        if self._num_tokens - self._pending_start >= self.config.decode_window:
+            self._cluster_pending_window()
+
+    def _cluster_pending_window(self) -> None:
+        """Cluster the buffered decode tokens into ``C+`` new clusters."""
+        start = self._pending_start
+        end = self._num_tokens
+        window = end - start
+        if window <= 0:
+            return
+        all_keys = self._all_keys()
+        n_clusters = min(self.config.decode_clusters, window)
+        for head in range(self.n_kv_heads):
+            result = kmeans_cluster(
+                all_keys[head, start:end, :],
+                n_clusters,
+                metric=self.config.distance_metric,
+                max_iters=self.config.max_kmeans_iters,
+                seed=self.config.kmeans_seed + self.layer_idx * 131 + head + 7919 * end,
+            )
+            self.metadata[head].append_clustering(result, start)
+            self.stats.build_flops += clustering_flops(
+                window, n_clusters, self.head_dim, result.n_iters
+            )
+        self._pending_start = end
+        self._refresh_aux_bytes()
+
+    # ------------------------------------------------------------------
+    # selection
+    # ------------------------------------------------------------------
+    def select(
+        self, queries: np.ndarray, budget: int, step: int
+    ) -> list[np.ndarray]:
+        merged = merge_group_queries(queries)
+        if merged.shape != (self.n_kv_heads, self.head_dim):
+            raise ValueError(
+                f"expected merged queries of shape ({self.n_kv_heads}, {self.head_dim}),"
+                f" got {merged.shape}"
+            )
+        budget = clip_budget(budget, self._num_tokens)
+        all_keys = (
+            self._all_keys() if self.config.trim_policy == "centroid" else None
+        )
+
+        # Tokens that are always attended: the attention sinks and the decode
+        # tokens that have not been clustered yet (they still live on the GPU).
+        always = np.concatenate(
+            [
+                np.arange(self._num_sinks_held, dtype=np.int64),
+                np.arange(self._pending_start, self._num_tokens, dtype=np.int64),
+            ]
+        )
+        cluster_budget = max(0, budget - always.shape[0])
+
+        selections: list[np.ndarray] = []
+        for head in range(self.n_kv_heads):
+            outcome = select_clusters(
+                merged[head],
+                self.metadata[head],
+                cluster_budget,
+                score_metric=self.config.score_metric,
+                trim_policy=self.config.trim_policy,
+                keys=all_keys[head] if all_keys is not None else None,
+            )
+            tokens_per_label = self._selected_tokens_per_label(head, outcome)
+            lookup = self.caches[head].lookup(outcome.selected_labels, tokens_per_label)
+            self.caches[head].update(outcome.selected_labels)
+
+            indices = np.unique(np.concatenate([always, outcome.token_indices]))
+            selections.append(indices.astype(np.int64))
+
+            self.stats.score_flops += outcome.score_flops
+            self.stats.selected_tokens += int(indices.shape[0])
+            self.stats.cache_hit_tokens += lookup.hit_tokens
+            self.stats.cache_miss_tokens += lookup.miss_tokens
+            self.stats.fetched_tokens += lookup.miss_tokens
+        self.stats.num_selections += 1
+        return selections
+
+    def _selected_tokens_per_label(self, head: int, outcome) -> dict[int, int]:
+        sizes = self.metadata[head].cluster_sizes
+        tokens_per_label = {
+            int(label): int(sizes[int(label)]) for label in outcome.selected_labels
+        }
+        if outcome.trimmed_label is not None:
+            tokens_per_label[outcome.trimmed_label] = max(
+                0, tokens_per_label[outcome.trimmed_label] - outcome.num_trimmed
+            )
+        return tokens_per_label
+
+    # ------------------------------------------------------------------
+    # helpers and introspection
+    # ------------------------------------------------------------------
+    @property
+    def context_length(self) -> int:
+        return self._num_tokens
+
+    @property
+    def num_pending_decode_tokens(self) -> int:
+        """Decode tokens buffered but not yet clustered."""
+        return self._num_tokens - self._pending_start
+
+    def num_clusters(self, head: int = 0) -> int:
+        """Number of clusters currently tracked for a head."""
+        return self.metadata[head].num_clusters
+
+    def cache_hit_rate(self) -> float:
+        """Token-level cluster-cache hit rate averaged over heads."""
+        rates = [cache.hit_rate for cache in self.caches]
+        return float(np.mean(rates)) if rates else 0.0
+
+    def _validate_keys(self, keys: np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.float64)
+        if keys.ndim != 3 or keys.shape[0] != self.n_kv_heads or keys.shape[2] != self.head_dim:
+            raise ValueError(
+                f"expected keys of shape ({self.n_kv_heads}, t, {self.head_dim}), "
+                f"got {keys.shape}"
+            )
+        return keys
+
+    def _all_keys(self) -> np.ndarray:
+        if len(self._key_blocks) > 1:
+            self._key_blocks = [np.concatenate(self._key_blocks, axis=1)]
+        return self._key_blocks[0]
+
+    def _refresh_aux_bytes(self) -> None:
+        self.stats.aux_bytes = sum(meta.metadata_nbytes() for meta in self.metadata)
+
+
+class ClusterKVSelector(KVSelectorFactory):
+    """Factory creating :class:`ClusterKVLayerState` instances.
+
+    ClusterKV offloads the bulk KV cache to CPU memory and stages only the
+    selected clusters on the GPU, so ``kv_residency`` is the CPU tier.
+    """
+
+    name = "clusterkv"
+    kv_residency = TierKind.CPU
+
+    def __init__(self, config: ClusterKVConfig | None = None) -> None:
+        self.config = config or ClusterKVConfig()
+
+    def create_layer_state(
+        self,
+        layer_idx: int,
+        n_kv_heads: int,
+        head_dim: int,
+        num_sink_tokens: int,
+    ) -> ClusterKVLayerState:
+        return ClusterKVLayerState(
+            layer_idx,
+            n_kv_heads,
+            head_dim,
+            self.config,
+            num_sink_tokens=num_sink_tokens,
+        )
+
+    def describe(self) -> dict[str, object]:
+        description = super().describe()
+        description.update(
+            tokens_per_cluster=self.config.tokens_per_cluster,
+            decode_window=self.config.decode_window,
+            decode_clusters=self.config.decode_clusters,
+            distance_metric=self.config.distance_metric,
+            cache_history=self.config.cache_history,
+        )
+        return description

@@ -1,0 +1,182 @@
+"""Selection at the granularity of semantic clusters (paper Sec. III-C, IV-C).
+
+Given the query vector of the current decoding step and the per-head cluster
+metadata, the selection procedure:
+
+1. scores every cluster centroid against the query (inner product, matching
+   the attention-weight computation),
+2. sorts clusters by score in descending order,
+3. gathers cluster sizes in that order and computes their prefix sum,
+4. selects clusters until the cumulative size reaches the token budget, and
+5. trims the last selected cluster when the cumulative size overshoots.
+
+The output is the set of selected token indices ``I_T`` together with the
+labels of the selected clusters (needed by the cluster-granularity cache) and
+the bookkeeping the performance model uses to charge the selection overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .metadata import ClusterMetadata
+
+__all__ = ["ClusterSelection", "select_clusters", "score_centroids"]
+
+
+@dataclass
+class ClusterSelection:
+    """Result of one per-head cluster selection.
+
+    Attributes
+    ----------
+    token_indices:
+        Sorted absolute indices of the selected tokens.
+    selected_labels:
+        Labels of the selected clusters, in descending score order.
+    trimmed_label:
+        Label of the cluster that was trimmed to fit the budget, or ``None``.
+    num_trimmed:
+        Number of tokens dropped from the trimmed cluster.
+    score_flops:
+        FLOPs spent scoring centroids (``2 * C * d``).
+    """
+
+    token_indices: np.ndarray
+    selected_labels: np.ndarray
+    trimmed_label: int | None
+    num_trimmed: int
+    score_flops: int
+
+
+def score_centroids(
+    query: np.ndarray, centroids: np.ndarray, metric: str = "ip"
+) -> np.ndarray:
+    """Score cluster centroids against the query.
+
+    The paper scores with the inner product ``q·mu`` because it aligns with
+    attention-weight computation (Sec. III-C); cosine scoring is available
+    for ablations.
+    """
+    query = np.asarray(query, dtype=np.float64)
+    centroids = np.asarray(centroids, dtype=np.float64)
+    if centroids.size == 0:
+        return np.zeros(0)
+    if metric == "ip":
+        return centroids @ query
+    if metric == "cosine":
+        q_norm = np.linalg.norm(query)
+        c_norms = np.linalg.norm(centroids, axis=1)
+        safe = np.where(c_norms == 0.0, 1.0, c_norms) * (q_norm if q_norm else 1.0)
+        return (centroids @ query) / safe
+    raise ValueError(f"unknown score metric {metric!r}")
+
+
+def _trim_cluster(
+    tokens: np.ndarray,
+    keep: int,
+    centroid: np.ndarray,
+    keys: np.ndarray | None,
+    policy: str,
+) -> np.ndarray:
+    """Keep ``keep`` tokens of a cluster according to the trim policy."""
+    if keep >= tokens.shape[0]:
+        return tokens
+    if keep <= 0:
+        return tokens[:0]
+    if policy == "centroid" and keys is not None:
+        member_keys = keys[tokens]
+        scores = member_keys @ centroid
+        order = np.argsort(-scores, kind="stable")[:keep]
+        return tokens[np.sort(order)]
+    return tokens[:keep]
+
+
+def select_clusters(
+    query: np.ndarray,
+    metadata: ClusterMetadata,
+    budget: int,
+    score_metric: str = "ip",
+    trim_policy: str = "order",
+    keys: np.ndarray | None = None,
+) -> ClusterSelection:
+    """Select clusters for one head until the token budget is met.
+
+    Parameters
+    ----------
+    query:
+        Query vector of shape ``(d,)`` (grouped query heads are merged by the
+        caller).
+    metadata:
+        Cluster metadata of this head.
+    budget:
+        Maximum number of tokens to select from clustered tokens.
+    score_metric:
+        Metric for scoring centroids (``"ip"`` by default).
+    trim_policy:
+        ``"order"`` or ``"centroid"`` (see :class:`ClusterKVConfig`).
+    keys:
+        Full ``(L, d)`` key array of this head; only required by the
+        ``"centroid"`` trim policy.
+
+    Returns
+    -------
+    ClusterSelection
+    """
+    if budget < 0:
+        raise ValueError(f"budget must be non-negative, got {budget}")
+    num_clusters = metadata.num_clusters
+    if num_clusters == 0 or budget == 0:
+        return ClusterSelection(
+            token_indices=np.zeros(0, dtype=np.int64),
+            selected_labels=np.zeros(0, dtype=np.int64),
+            trimmed_label=None,
+            num_trimmed=0,
+            score_flops=0,
+        )
+
+    scores = score_centroids(query, metadata.centroids, score_metric)
+    score_flops = int(2 * num_clusters * metadata.head_dim)
+
+    # Sort clusters from the closest to the farthest (descending score).
+    order = np.argsort(-scores, kind="stable")
+    ordered_sizes = metadata.cluster_sizes[order]
+    cumulative = np.cumsum(ordered_sizes)
+
+    # Number of clusters needed to reach the budget.
+    cutoff = int(np.searchsorted(cumulative, budget, side="left"))
+    if cutoff >= num_clusters:
+        selected_order = order
+        overshoot = 0
+    else:
+        selected_order = order[: cutoff + 1]
+        overshoot = int(cumulative[cutoff] - budget)
+
+    selected_labels = selected_order.astype(np.int64)
+    pieces: list[np.ndarray] = []
+    trimmed_label: int | None = None
+    num_trimmed = 0
+    for rank, label in enumerate(selected_labels):
+        tokens = metadata.cluster_tokens(int(label))
+        is_last = rank == len(selected_labels) - 1
+        if is_last and overshoot > 0:
+            keep = tokens.shape[0] - overshoot
+            tokens = _trim_cluster(
+                tokens, keep, metadata.centroids[int(label)], keys, trim_policy
+            )
+            trimmed_label = int(label)
+            num_trimmed = overshoot
+        pieces.append(tokens)
+
+    token_indices = (
+        np.sort(np.concatenate(pieces)) if pieces else np.zeros(0, dtype=np.int64)
+    )
+    return ClusterSelection(
+        token_indices=token_indices,
+        selected_labels=selected_labels,
+        trimmed_label=trimmed_label,
+        num_trimmed=num_trimmed,
+        score_flops=score_flops,
+    )

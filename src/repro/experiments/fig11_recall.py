@@ -1,0 +1,181 @@
+"""Fig. 11: recall rate of important tokens.
+
+The paper extracts a 32k-token NarrativeQA sample and measures, for every
+method, the fraction of the truly important tokens (the top-``B`` by exact
+attention score) that the method's selection recalls, averaged over layers,
+heads and decoding steps.  Part (a) compares methods; part (b) ablates
+ClusterKV's clustering distance metric (cosine vs. L2 vs. inner product) and
+the number of prefill clusters ``C0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core import ClusterKVConfig, ClusterKVSelector
+from ..metrics import mean_recall
+from ..workloads import LONGBENCH_TASKS, LongBenchTaskGenerator
+from .methods import build_clusterkv_config, build_selector
+from .reporting import format_series
+from .runner import EvaluationContext, evaluate_sample
+from .scale import ContextScale, DEFAULT_SCALE
+
+__all__ = [
+    "Fig11Config",
+    "Fig11Result",
+    "run_fig11_methods",
+    "run_fig11_ablation",
+    "format_fig11",
+]
+
+# Budgets swept by the paper: 256..2048 in increments of 256.
+PAPER_BUDGETS = tuple(range(256, 2049, 256))
+PAPER_CONTEXT = 32768
+
+
+@dataclass(frozen=True)
+class Fig11Config:
+    """Configuration of the recall-rate experiments."""
+
+    methods: tuple[str, ...] = ("clusterkv", "quest", "infinigen")
+    paper_budgets: tuple[int, ...] = (256, 512, 1024, 1536, 2048)
+    paper_context: int = PAPER_CONTEXT
+    task: str = "narrativeqa"
+    num_samples: int = 1
+    decode_steps: int = 16
+    scale: ContextScale = DEFAULT_SCALE
+    model_name: str = "glm-sim"
+    num_full_layers: int = 2
+    seed: int = 0
+    # Ablation settings (paper Fig. 11b).
+    ablation_metrics: tuple[str, ...] = ("cosine", "l2", "ip")
+    ablation_cluster_counts: tuple[int, ...] = (200, 400, 600, 800)
+
+
+@dataclass
+class Fig11Result:
+    """Recall-rate curves keyed by series name then paper budget."""
+
+    curves: dict[str, dict[int, float]] = field(default_factory=dict)
+    context_length: int = 0
+    config: Fig11Config | None = None
+
+    def record(self, series: str, paper_budget: int, recall: float) -> None:
+        self.curves.setdefault(series, {})[paper_budget] = recall
+
+
+def _samples_for(config: Fig11Config, context: EvaluationContext) -> list:
+    spec = LONGBENCH_TASKS[config.task]
+    generator = LongBenchTaskGenerator(
+        context.tokenizer, spec, topic_model=context.topic_model, seed=config.seed
+    )
+    scaled_context = config.scale.length(config.paper_context)
+    samples = generator.generate_dataset(scaled_context, config.num_samples)
+    # Lengthen the decode so that recall is averaged over enough steps.
+    for sample in samples:
+        sample.answer_length = max(sample.answer_length, config.decode_steps)
+    return samples
+
+
+def _recall_for_selector(
+    config: Fig11Config,
+    context: EvaluationContext,
+    samples: list,
+    selector_builder,
+    paper_budget: int,
+) -> float:
+    scaled_budget = config.scale.length(paper_budget)
+    recalls = []
+    for sample in samples:
+        selector = selector_builder()
+        _, result = evaluate_sample(
+            context,
+            selector,
+            sample,
+            scaled_budget,
+            num_full_layers=config.num_full_layers,
+            record_true_scores=True,
+        )
+        recalls.append(mean_recall(result.recall_records))
+    return float(np.mean(recalls))
+
+
+def run_fig11_methods(config: Fig11Config | None = None) -> Fig11Result:
+    """Fig. 11a: recall rate of each method across budgets."""
+    config = config or Fig11Config()
+    context = EvaluationContext.create(config.model_name, config.scale, config.seed)
+    samples = _samples_for(config, context)
+    result = Fig11Result(
+        context_length=config.scale.length(config.paper_context), config=config
+    )
+    for method in config.methods:
+        for paper_budget in config.paper_budgets:
+            recall = _recall_for_selector(
+                config,
+                context,
+                samples,
+                lambda method=method: build_selector(method, config.scale),
+                paper_budget,
+            )
+            result.record(method, paper_budget, recall)
+    return result
+
+
+def run_fig11_ablation(config: Fig11Config | None = None) -> Fig11Result:
+    """Fig. 11b: ClusterKV ablation over distance metrics and cluster counts.
+
+    The cluster-count ablation is expressed in paper-scale ``C0`` values
+    (200–800 for a 32k context, i.e. 160 to 40 tokens per cluster); the
+    distance-metric ablation keeps the paper's default ``C0 = L / 80``.
+    """
+    config = config or Fig11Config()
+    context = EvaluationContext.create(config.model_name, config.scale, config.seed)
+    samples = _samples_for(config, context)
+    result = Fig11Result(
+        context_length=config.scale.length(config.paper_context), config=config
+    )
+
+    for metric in config.ablation_metrics:
+        for paper_budget in config.paper_budgets:
+            recall = _recall_for_selector(
+                config,
+                context,
+                samples,
+                lambda metric=metric: ClusterKVSelector(
+                    build_clusterkv_config(config.scale, distance_metric=metric)
+                ),
+                paper_budget,
+            )
+            result.record(f"metric={metric}", paper_budget, recall)
+
+    scaled_context = config.scale.length(config.paper_context)
+    for paper_c0 in config.ablation_cluster_counts:
+        # C0 clusters over the paper's context correspond to one cluster per
+        # ``context / C0`` tokens; keep that ratio at simulation scale.
+        tokens_per_cluster = max(2, round(scaled_context / paper_c0))
+        clusterkv_config = ClusterKVConfig(
+            tokens_per_cluster=tokens_per_cluster,
+            decode_window=max(4, config.scale.length(320)),
+            decode_clusters=2,
+            num_sink_tokens=config.scale.sink_tokens(),
+        )
+        for paper_budget in config.paper_budgets:
+            recall = _recall_for_selector(
+                config,
+                context,
+                samples,
+                lambda cfg=clusterkv_config: ClusterKVSelector(cfg),
+                paper_budget,
+            )
+            result.record(f"C0={paper_c0}", paper_budget, recall)
+    return result
+
+
+def format_fig11(result: Fig11Result, title: str = "[Fig. 11] recall rate") -> str:
+    """Format recall curves, one series per line."""
+    lines = [title + f" (context {result.context_length} sim tokens)"]
+    for series, curve in result.curves.items():
+        lines.append(format_series(series, dict(sorted(curve.items()))))
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Construction of the KV selection methods used by the experiments.
+
+All accuracy experiments compare the same set of methods the paper does
+(Full KV, Quest, InfiniGen, ClusterKV); this module centralises how each
+method is instantiated at simulation scale so that every experiment uses
+identical configurations.
+"""
+
+from __future__ import annotations
+
+from ..baselines import (
+    FullKVSelector,
+    H2OSelector,
+    InfiniGenSelector,
+    KVSelectorFactory,
+    OracleTopKSelector,
+    QuestSelector,
+    StreamingLLMSelector,
+)
+from ..baselines.infinigen import InfiniGenConfig
+from ..baselines.quest import QuestConfig
+from ..core import ClusterKVConfig, ClusterKVSelector
+from .scale import ContextScale, DEFAULT_SCALE
+
+__all__ = [
+    "ACCURACY_METHODS",
+    "build_selector",
+    "build_clusterkv_config",
+]
+
+# Methods compared in the paper's accuracy experiments (Fig. 9, 10, 11a).
+ACCURACY_METHODS = ("full", "clusterkv", "quest", "infinigen")
+
+
+def build_clusterkv_config(
+    scale: ContextScale = DEFAULT_SCALE,
+    distance_metric: str = "cosine",
+    tokens_per_cluster: int | None = None,
+    cache_history: int = 1,
+) -> ClusterKVConfig:
+    """ClusterKV configuration at simulation scale.
+
+    The paper's constants are ``tokens_per_cluster = 80``, ``m = 320`` and
+    ``C+ = 4`` at 32k-token scale; lengths scale down with the context
+    scale, while per-cluster token counts keep their ratio to the context.
+    """
+    if tokens_per_cluster is None:
+        tokens_per_cluster = max(4, 80 // max(1, scale.factor // 4))
+    return ClusterKVConfig(
+        tokens_per_cluster=tokens_per_cluster,
+        decode_window=max(4, scale.length(320)),
+        decode_clusters=2 if scale.factor > 4 else 4,
+        num_sink_tokens=scale.sink_tokens(),
+        distance_metric=distance_metric,
+        cache_history=cache_history,
+    )
+
+
+def build_selector(
+    name: str,
+    scale: ContextScale = DEFAULT_SCALE,
+    clusterkv_config: ClusterKVConfig | None = None,
+) -> KVSelectorFactory:
+    """Instantiate a selector factory by method name."""
+    if name == "full":
+        return FullKVSelector()
+    if name == "clusterkv":
+        return ClusterKVSelector(clusterkv_config or build_clusterkv_config(scale))
+    if name == "quest":
+        # Page size 16 is Quest's algorithmic constant and is not scaled.
+        return QuestSelector(QuestConfig(page_size=16))
+    if name == "infinigen":
+        return InfiniGenSelector(InfiniGenConfig())
+    if name == "h2o":
+        return H2OSelector()
+    if name == "streaming_llm":
+        return StreamingLLMSelector()
+    if name == "oracle":
+        return OracleTopKSelector()
+    raise ValueError(f"unknown method {name!r}")

@@ -1,0 +1,50 @@
+"""Plain-text table and series formatting for experiment reports."""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_series", "format_kv"]
+
+
+def format_table(
+    headers: list[str], rows: list[list[object]], title: str | None = None
+) -> str:
+    """Render a list of rows as an aligned plain-text table."""
+    if not headers:
+        raise ValueError("headers must not be empty")
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(header.ljust(widths[idx]) for idx, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(widths[idx]) for idx, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, points: dict[object, float], precision: int = 3) -> str:
+    """Render a named series (x -> y) on one line."""
+    body = ", ".join(f"{x}: {y:.{precision}f}" for x, y in points.items())
+    return f"{name}: {body}"
+
+
+def format_kv(pairs: dict[str, object], title: str | None = None) -> str:
+    """Render key/value pairs, one per line."""
+    lines = [title] if title else []
+    for key, value in pairs.items():
+        lines.append(f"  {key}: {_fmt(value)}")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

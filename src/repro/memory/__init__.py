@@ -1,0 +1,23 @@
+"""Memory-tier substrate: GPU/CPU tiers, offloading and transfer accounting.
+
+The paper's system offloads the full KV cache to CPU memory after prefill and
+loads only the KV of selected tokens back to the GPU at every decoding step
+(paper Fig. 5).  This package models the two memory tiers explicitly and
+keeps a ledger of every transfer so that the performance model
+(:mod:`repro.perfmodel`) can charge PCIe time for exactly the bytes that the
+algorithms actually move.
+"""
+
+from .tiers import MemoryTier, TierKind, MemoryCapacityError
+from .ledger import TransferDirection, TransferEvent, TransferLedger
+from .offload import OffloadManager
+
+__all__ = [
+    "MemoryTier",
+    "TierKind",
+    "MemoryCapacityError",
+    "TransferDirection",
+    "TransferEvent",
+    "TransferLedger",
+    "OffloadManager",
+]

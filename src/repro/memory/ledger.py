@@ -1,0 +1,92 @@
+"""Transfer ledger: records host/device traffic for performance modelling."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class TransferDirection(enum.Enum):
+    """Direction of a host/device transfer."""
+
+    HOST_TO_DEVICE = "h2d"
+    DEVICE_TO_HOST = "d2h"
+
+
+@dataclass(frozen=True)
+class TransferEvent:
+    """A single logical transfer between memory tiers.
+
+    Attributes
+    ----------
+    direction:
+        Transfer direction.
+    nbytes:
+        Number of bytes moved.
+    tag:
+        Free-form label identifying the cause (e.g. ``"kv_fetch"``,
+        ``"kv_offload"``), used by reports and tests.
+    step:
+        Decoding step index at which the transfer occurred (``-1`` for
+        prefill-time transfers).
+    """
+
+    direction: TransferDirection
+    nbytes: int
+    tag: str
+    step: int = -1
+
+
+@dataclass
+class TransferLedger:
+    """Accumulates :class:`TransferEvent` records.
+
+    The ledger is shared by the offload manager, the KV cache store and the
+    selectors so that a single object captures all traffic of one generation
+    run.
+    """
+
+    events: list[TransferEvent] = field(default_factory=list)
+
+    def record(
+        self,
+        direction: TransferDirection,
+        nbytes: int,
+        tag: str,
+        step: int = -1,
+    ) -> None:
+        """Append a transfer event."""
+        if nbytes < 0:
+            raise ValueError(f"transfer size must be non-negative, got {nbytes}")
+        self.events.append(TransferEvent(direction, int(nbytes), tag, step))
+
+    def total_bytes(
+        self,
+        direction: TransferDirection | None = None,
+        tag: str | None = None,
+    ) -> int:
+        """Total bytes moved, optionally filtered by direction and/or tag."""
+        total = 0
+        for event in self.events:
+            if direction is not None and event.direction is not direction:
+                continue
+            if tag is not None and event.tag != tag:
+                continue
+            total += event.nbytes
+        return total
+
+    def bytes_per_step(self, direction: TransferDirection | None = None) -> dict[int, int]:
+        """Bytes moved per decoding step (prefill transfers are step ``-1``)."""
+        per_step: dict[int, int] = {}
+        for event in self.events:
+            if direction is not None and event.direction is not direction:
+                continue
+            per_step[event.step] = per_step.get(event.step, 0) + event.nbytes
+        return per_step
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,107 @@
+"""Offload manager: models moving KV tensors between GPU and CPU tiers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .ledger import TransferDirection, TransferLedger
+from .tiers import MemoryTier, TierKind
+
+# Default tier sizes mirror the paper's testbed: an NVIDIA Ada 6000 with
+# 48 GB of device memory and a host with ample DRAM.
+DEFAULT_GPU_BYTES = 48 * 1024**3
+DEFAULT_CPU_BYTES = 512 * 1024**3
+
+
+@dataclass
+class OffloadManager:
+    """Coordinates residency of named buffers across GPU and CPU tiers.
+
+    The manager tracks which tier each named buffer lives on, enforces tier
+    capacities, and records every movement into a :class:`TransferLedger`.
+    The actual NumPy arrays are stored by callers (e.g. the KV cache store);
+    the manager only does the accounting, which is what the performance
+    model needs.
+    """
+
+    gpu: MemoryTier = field(
+        default_factory=lambda: MemoryTier(TierKind.GPU, DEFAULT_GPU_BYTES)
+    )
+    cpu: MemoryTier = field(
+        default_factory=lambda: MemoryTier(TierKind.CPU, DEFAULT_CPU_BYTES)
+    )
+    ledger: TransferLedger = field(default_factory=TransferLedger)
+    _residency: dict[str, TierKind] = field(default_factory=dict, init=False)
+
+    def register(self, name: str, nbytes: int, tier: TierKind) -> None:
+        """Register a new buffer of ``nbytes`` on the given tier."""
+        target = self._tier(tier)
+        target.allocate(name, nbytes)
+        self._residency[name] = tier
+
+    def resize(self, name: str, nbytes: int) -> None:
+        """Resize a registered buffer in place (no transfer recorded)."""
+        tier = self._require(name)
+        self._tier(tier).resize(name, nbytes)
+
+    def release(self, name: str) -> None:
+        """Release a registered buffer."""
+        tier = self._require(name)
+        self._tier(tier).free(name)
+        del self._residency[name]
+
+    def residency(self, name: str) -> TierKind:
+        """Tier on which the named buffer currently resides."""
+        return self._require(name)
+
+    def offload_to_cpu(self, name: str, step: int = -1, tag: str = "kv_offload") -> int:
+        """Move a buffer from GPU to CPU, recording a D2H transfer.
+
+        Returns the number of bytes moved (0 if already on CPU).
+        """
+        tier = self._require(name)
+        if tier is TierKind.CPU:
+            return 0
+        nbytes = self.gpu.allocation_bytes(name)
+        self.gpu.free(name)
+        self.cpu.allocate(name, nbytes)
+        self._residency[name] = TierKind.CPU
+        self.ledger.record(TransferDirection.DEVICE_TO_HOST, nbytes, tag, step)
+        return nbytes
+
+    def fetch_to_gpu(self, name: str, step: int = -1, tag: str = "kv_fetch") -> int:
+        """Move a buffer from CPU to GPU, recording an H2D transfer."""
+        tier = self._require(name)
+        if tier is TierKind.GPU:
+            return 0
+        nbytes = self.cpu.allocation_bytes(name)
+        self.cpu.free(name)
+        self.gpu.allocate(name, nbytes)
+        self._residency[name] = TierKind.GPU
+        self.ledger.record(TransferDirection.HOST_TO_DEVICE, nbytes, tag, step)
+        return nbytes
+
+    def record_partial_fetch(
+        self, nbytes: int, step: int, tag: str = "kv_fetch"
+    ) -> None:
+        """Record an H2D transfer of a *subset* of a CPU-resident buffer.
+
+        KV selection loads only the keys/values of selected tokens; the
+        buffers themselves stay registered on the CPU tier and a transient
+        copy is charged on the ledger.
+        """
+        self.ledger.record(TransferDirection.HOST_TO_DEVICE, nbytes, tag, step)
+
+    def record_partial_offload(
+        self, nbytes: int, step: int, tag: str = "kv_offload"
+    ) -> None:
+        """Record a D2H transfer of newly produced KV entries."""
+        self.ledger.record(TransferDirection.DEVICE_TO_HOST, nbytes, tag, step)
+
+    def _tier(self, kind: TierKind) -> MemoryTier:
+        return self.gpu if kind is TierKind.GPU else self.cpu
+
+    def _require(self, name: str) -> TierKind:
+        if name not in self._residency:
+            raise KeyError(f"buffer {name!r} is not registered")
+        return self._residency[name]

@@ -1,0 +1,118 @@
+"""Memory tier abstraction (GPU device memory and CPU host memory)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class TierKind(enum.Enum):
+    """Kind of memory tier."""
+
+    GPU = "gpu"
+    CPU = "cpu"
+
+
+class MemoryCapacityError(RuntimeError):
+    """Raised when an allocation would exceed a tier's capacity."""
+
+
+@dataclass
+class MemoryTier:
+    """A byte-accounted memory pool.
+
+    The tier does not own the actual NumPy buffers (those live wherever NumPy
+    puts them); it tracks logical residency and usage so that experiments can
+    report KV cache footprints and detect configurations that would not fit
+    on the paper's 48 GB Ada 6000 GPU.
+
+    Attributes
+    ----------
+    kind:
+        Whether this tier models GPU or CPU memory.
+    capacity_bytes:
+        Total capacity; ``None`` means unbounded (useful for tests).
+    """
+
+    kind: TierKind
+    capacity_bytes: int | None = None
+    _used_bytes: int = field(default=0, init=False)
+    _peak_bytes: int = field(default=0, init=False)
+    _allocations: dict[str, int] = field(default_factory=dict, init=False)
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently allocated on this tier."""
+        return self._used_bytes
+
+    @property
+    def peak_bytes(self) -> int:
+        """High-water mark of allocated bytes."""
+        return self._peak_bytes
+
+    @property
+    def free_bytes(self) -> int | None:
+        """Remaining capacity, or ``None`` for unbounded tiers."""
+        if self.capacity_bytes is None:
+            return None
+        return self.capacity_bytes - self._used_bytes
+
+    def allocate(self, name: str, nbytes: int) -> None:
+        """Allocate ``nbytes`` under identifier ``name``.
+
+        Raises
+        ------
+        MemoryCapacityError
+            If the allocation would exceed the tier capacity.
+        ValueError
+            If ``name`` is already allocated or ``nbytes`` is negative.
+        """
+        if nbytes < 0:
+            raise ValueError(f"allocation size must be non-negative, got {nbytes}")
+        if name in self._allocations:
+            raise ValueError(f"allocation {name!r} already exists on {self.kind.value}")
+        if self.capacity_bytes is not None and self._used_bytes + nbytes > self.capacity_bytes:
+            raise MemoryCapacityError(
+                f"{self.kind.value} tier cannot fit {nbytes} bytes "
+                f"(used {self._used_bytes} of {self.capacity_bytes})"
+            )
+        self._allocations[name] = nbytes
+        self._used_bytes += nbytes
+        self._peak_bytes = max(self._peak_bytes, self._used_bytes)
+
+    def resize(self, name: str, nbytes: int) -> None:
+        """Resize an existing allocation to ``nbytes``."""
+        if name not in self._allocations:
+            raise KeyError(f"no allocation named {name!r} on {self.kind.value}")
+        delta = nbytes - self._allocations[name]
+        if (
+            self.capacity_bytes is not None
+            and delta > 0
+            and self._used_bytes + delta > self.capacity_bytes
+        ):
+            raise MemoryCapacityError(
+                f"{self.kind.value} tier cannot grow {name!r} by {delta} bytes"
+            )
+        self._allocations[name] = nbytes
+        self._used_bytes += delta
+        self._peak_bytes = max(self._peak_bytes, self._used_bytes)
+
+    def free(self, name: str) -> None:
+        """Release the allocation identified by ``name``."""
+        if name not in self._allocations:
+            raise KeyError(f"no allocation named {name!r} on {self.kind.value}")
+        self._used_bytes -= self._allocations.pop(name)
+
+    def allocation_bytes(self, name: str) -> int:
+        """Size of an existing allocation."""
+        return self._allocations[name]
+
+    def has_allocation(self, name: str) -> bool:
+        """Whether an allocation with ``name`` exists."""
+        return name in self._allocations
+
+    def reset(self) -> None:
+        """Drop all allocations and statistics."""
+        self._allocations.clear()
+        self._used_bytes = 0
+        self._peak_bytes = 0

@@ -1,0 +1,18 @@
+"""Evaluation metrics: QA-F1, ROUGE-L, perplexity, recall rate, aggregation."""
+
+from .qa_f1 import normalize_answer, qa_f1_score
+from .rouge import rouge_l_score
+from .perplexity import perplexity_from_logprobs
+from .recall import mean_recall, recall_by_budget
+from .aggregate import ScoreTable, average_scores
+
+__all__ = [
+    "normalize_answer",
+    "qa_f1_score",
+    "rouge_l_score",
+    "perplexity_from_logprobs",
+    "mean_recall",
+    "recall_by_budget",
+    "ScoreTable",
+    "average_scores",
+]

@@ -1,0 +1,78 @@
+"""Score aggregation across tasks and budgets (paper Table I)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ScoreTable", "average_scores"]
+
+
+def average_scores(scores: dict[str, float]) -> float:
+    """Arithmetic mean of per-task scores (the paper's Table I aggregation)."""
+    if not scores:
+        raise ValueError("cannot average an empty score dictionary")
+    return float(np.mean(list(scores.values())))
+
+
+@dataclass
+class ScoreTable:
+    """Method × budget score table with task breakdowns.
+
+    ``scores[method][budget][task]`` is the score of one method at one
+    budget on one task.  Convenience accessors reproduce the aggregations
+    the paper reports: per-task curves (Fig. 9) and per-budget averages
+    (Table I).
+    """
+
+    scores: dict[str, dict[int, dict[str, float]]] = field(default_factory=dict)
+
+    def record(self, method: str, budget: int, task: str, score: float) -> None:
+        """Record one score."""
+        self.scores.setdefault(method, {}).setdefault(budget, {})[task] = float(score)
+
+    def tasks(self) -> list[str]:
+        """All task names present in the table."""
+        names: set[str] = set()
+        for budgets in self.scores.values():
+            for task_scores in budgets.values():
+                names.update(task_scores)
+        return sorted(names)
+
+    def budgets(self) -> list[int]:
+        """All budgets present in the table."""
+        values: set[int] = set()
+        for budgets in self.scores.values():
+            values.update(budgets)
+        return sorted(values)
+
+    def methods(self) -> list[str]:
+        """All methods present in the table."""
+        return sorted(self.scores)
+
+    def task_curve(self, method: str, task: str) -> dict[int, float]:
+        """Score of one method on one task as a function of the budget."""
+        curve = {}
+        for budget, task_scores in self.scores.get(method, {}).items():
+            if task in task_scores:
+                curve[budget] = task_scores[task]
+        return dict(sorted(curve.items()))
+
+    def average_by_budget(self, method: str) -> dict[int, float]:
+        """Average score across tasks per budget (one row of Table I)."""
+        averages = {}
+        for budget, task_scores in self.scores.get(method, {}).items():
+            averages[budget] = average_scores(task_scores)
+        return dict(sorted(averages.items()))
+
+    def to_rows(self) -> list[dict[str, object]]:
+        """Flatten the table into records (method, budget, task, score)."""
+        rows = []
+        for method, budgets in sorted(self.scores.items()):
+            for budget, task_scores in sorted(budgets.items()):
+                for task, score in sorted(task_scores.items()):
+                    rows.append(
+                        {"method": method, "budget": budget, "task": task, "score": score}
+                    )
+        return rows

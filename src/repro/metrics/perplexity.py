@@ -1,0 +1,23 @@
+"""Perplexity computation from per-token log-probabilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["perplexity_from_logprobs"]
+
+
+def perplexity_from_logprobs(logprobs: np.ndarray | list[float]) -> float:
+    """Perplexity ``exp(-mean(logprob))`` of a token sequence.
+
+    Raises
+    ------
+    ValueError
+        If the list is empty or contains non-finite values.
+    """
+    logprobs = np.asarray(logprobs, dtype=np.float64)
+    if logprobs.size == 0:
+        raise ValueError("cannot compute perplexity of an empty sequence")
+    if not np.all(np.isfinite(logprobs)):
+        raise ValueError("log-probabilities must be finite")
+    return float(np.exp(-np.mean(logprobs)))

@@ -1,0 +1,41 @@
+"""Token-level QA F1 score, as used by LongBench for most QA tasks."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+__all__ = ["normalize_answer", "qa_f1_score"]
+
+
+def normalize_answer(text: str) -> list[str]:
+    """Normalise an answer string into a list of comparison tokens.
+
+    Lower-cases, strips punctuation-only tokens and splits on whitespace.
+    The synthetic vocabulary has no articles, so no stop-word removal is
+    needed; the function still removes empty tokens defensively.
+    """
+    tokens = []
+    for raw in text.lower().split():
+        token = "".join(ch for ch in raw if ch.isalnum())
+        if token:
+            tokens.append(token)
+    return tokens
+
+
+def qa_f1_score(prediction: str, reference: str) -> float:
+    """F1 overlap between predicted and reference answer tokens.
+
+    This is the standard SQuAD/LongBench formulation: precision and recall
+    of the multiset intersection of normalised tokens.
+    """
+    pred_tokens = normalize_answer(prediction)
+    ref_tokens = normalize_answer(reference)
+    if not pred_tokens or not ref_tokens:
+        return 1.0 if pred_tokens == ref_tokens else 0.0
+    common = Counter(pred_tokens) & Counter(ref_tokens)
+    num_common = sum(common.values())
+    if num_common == 0:
+        return 0.0
+    precision = num_common / len(pred_tokens)
+    recall = num_common / len(ref_tokens)
+    return 2 * precision * recall / (precision + recall)

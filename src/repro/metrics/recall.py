@@ -1,0 +1,40 @@
+"""Recall rate of important tokens (paper Fig. 11).
+
+The recall rate is defined as ``|I_T ∩ I_T^true| / |I_T^true|`` where
+``I_T`` are the tokens selected by a compression method and ``I_T^true`` are
+the tokens with the top-``B`` exact attention scores.  The inference engine
+records one :class:`~repro.model.generation.RecallRecord` per (step, layer,
+head); the helpers here aggregate them the way the paper reports them —
+averaged across layers, heads and decoding steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..model.generation import RecallRecord
+
+__all__ = ["mean_recall", "recall_by_budget", "recall_by_layer"]
+
+
+def mean_recall(records: list[RecallRecord]) -> float:
+    """Average recall over all records."""
+    if not records:
+        return 0.0
+    return float(np.mean([record.recall for record in records]))
+
+
+def recall_by_budget(records: list[RecallRecord]) -> dict[int, float]:
+    """Average recall grouped by budget."""
+    grouped: dict[int, list[float]] = {}
+    for record in records:
+        grouped.setdefault(record.budget, []).append(record.recall)
+    return {budget: float(np.mean(values)) for budget, values in sorted(grouped.items())}
+
+
+def recall_by_layer(records: list[RecallRecord]) -> dict[int, float]:
+    """Average recall grouped by layer index."""
+    grouped: dict[int, list[float]] = {}
+    for record in records:
+        grouped.setdefault(record.layer, []).append(record.recall)
+    return {layer: float(np.mean(values)) for layer, values in sorted(grouped.items())}

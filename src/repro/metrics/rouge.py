@@ -1,0 +1,48 @@
+"""ROUGE-L score (longest common subsequence F-measure).
+
+Used by LongBench — and therefore by the paper — for the summarisation task
+(GovReport).
+"""
+
+from __future__ import annotations
+
+from .qa_f1 import normalize_answer
+
+__all__ = ["rouge_l_score"]
+
+
+def _lcs_length(a: list[str], b: list[str]) -> int:
+    """Length of the longest common subsequence of two token lists."""
+    if not a or not b:
+        return 0
+    previous = [0] * (len(b) + 1)
+    for token_a in a:
+        current = [0] * (len(b) + 1)
+        for j, token_b in enumerate(b, start=1):
+            if token_a == token_b:
+                current[j] = previous[j - 1] + 1
+            else:
+                current[j] = max(previous[j], current[j - 1])
+        previous = current
+    return previous[-1]
+
+
+def rouge_l_score(prediction: str, reference: str, beta: float = 1.2) -> float:
+    """ROUGE-L F-measure between a prediction and a reference.
+
+    ``beta`` weights recall over precision as in the original ROUGE
+    definition (the common default of 1.2 is used by most implementations).
+    """
+    pred_tokens = normalize_answer(prediction)
+    ref_tokens = normalize_answer(reference)
+    if not pred_tokens or not ref_tokens:
+        return 1.0 if pred_tokens == ref_tokens else 0.0
+    lcs = _lcs_length(pred_tokens, ref_tokens)
+    if lcs == 0:
+        return 0.0
+    precision = lcs / len(pred_tokens)
+    recall = lcs / len(ref_tokens)
+    denominator = recall + (beta**2) * precision
+    if denominator == 0:
+        return 0.0
+    return (1 + beta**2) * precision * recall / denominator

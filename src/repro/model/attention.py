@@ -1,0 +1,144 @@
+"""Attention computation with pluggable token selection.
+
+Two entry points are provided:
+
+* :func:`full_causal_attention` — exact causal attention used during prefill
+  (compression only applies to decoding, matching the paper's system).
+* :func:`selected_attention` — single-query attention restricted to the
+  tokens selected by a KV compression method, i.e. the approximation
+  ``softmax(q K_S^T / sqrt(d)) V_S`` of paper Sec. II-B.
+
+Grouped-query attention is supported: ``n_heads`` query heads share
+``n_kv_heads`` key/value heads in contiguous groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .tensor_ops import causal_mask, masked_fill, softmax
+
+__all__ = ["AttentionOutput", "full_causal_attention", "selected_attention"]
+
+
+@dataclass
+class AttentionOutput:
+    """Result of one attention computation.
+
+    Attributes
+    ----------
+    output:
+        Concatenated per-head outputs; ``(T, n_heads * head_dim)`` for
+        prefill or ``(n_heads * head_dim,)`` for single-token decode.
+    weights:
+        Per-query-head attention weights.  For decode this is a list of
+        ``n_heads`` arrays aligned with the selected indices of the
+        corresponding kv head; for prefill it is ``None`` unless explicitly
+        requested (full weight tensors are large).
+    """
+
+    output: np.ndarray
+    weights: list[np.ndarray] | None = None
+
+
+def _check_group(n_heads: int, n_kv_heads: int) -> int:
+    if n_heads % n_kv_heads != 0:
+        raise ValueError(
+            f"n_heads ({n_heads}) must be divisible by n_kv_heads ({n_kv_heads})"
+        )
+    return n_heads // n_kv_heads
+
+
+def full_causal_attention(
+    queries: np.ndarray,
+    keys: np.ndarray,
+    values: np.ndarray,
+    scale: float,
+    return_weights: bool = False,
+) -> AttentionOutput:
+    """Exact causal attention over the whole sequence.
+
+    Parameters
+    ----------
+    queries:
+        ``(n_heads, T_q, head_dim)``.
+    keys, values:
+        ``(n_kv_heads, T_k, head_dim)``; ``T_q <= T_k`` and the queries are
+        the last ``T_q`` positions.
+    scale:
+        Softmax scale (``1/sqrt(head_dim)``).
+    return_weights:
+        When True, attention weights ``(n_heads, T_q, T_k)`` are also
+        returned (used by the motivation analyses).
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    keys = np.asarray(keys, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    n_heads, t_q, head_dim = queries.shape
+    n_kv_heads, t_k, _ = keys.shape
+    group = _check_group(n_heads, n_kv_heads)
+
+    mask = causal_mask(t_q, t_k)
+    outputs = np.empty((n_heads, t_q, head_dim))
+    all_weights = np.empty((n_heads, t_q, t_k)) if return_weights else None
+    for head in range(n_heads):
+        kv_head = head // group
+        scores = (queries[head] @ keys[kv_head].T) * scale
+        scores = masked_fill(scores, mask)
+        weights = softmax(scores, axis=-1)
+        outputs[head] = weights @ values[kv_head]
+        if all_weights is not None:
+            all_weights[head] = weights
+
+    stacked = np.transpose(outputs, (1, 0, 2)).reshape(t_q, n_heads * head_dim)
+    weights_list = None
+    if all_weights is not None:
+        weights_list = [all_weights[head] for head in range(n_heads)]
+    return AttentionOutput(output=stacked, weights=weights_list)
+
+
+def selected_attention(
+    queries: np.ndarray,
+    keys_per_kv_head: list[np.ndarray],
+    values_per_kv_head: list[np.ndarray],
+    scale: float,
+) -> AttentionOutput:
+    """Single-token attention restricted to selected KV entries.
+
+    Parameters
+    ----------
+    queries:
+        ``(n_heads, head_dim)`` query vectors of the current token.
+    keys_per_kv_head / values_per_kv_head:
+        One ``(S_h, head_dim)`` array per kv head containing the keys and
+        values of the tokens selected for that head (``S_h`` may differ
+        between heads — semantic clusters have variable sizes).
+    scale:
+        Softmax scale.
+
+    Returns
+    -------
+    AttentionOutput
+        Output of shape ``(n_heads * head_dim,)`` and per-query-head
+        attention weights aligned with each kv head's selected tokens.
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    n_heads, head_dim = queries.shape
+    n_kv_heads = len(keys_per_kv_head)
+    group = _check_group(n_heads, n_kv_heads)
+
+    output = np.zeros((n_heads, head_dim))
+    weights_list: list[np.ndarray] = []
+    for head in range(n_heads):
+        kv_head = head // group
+        keys = np.asarray(keys_per_kv_head[kv_head], dtype=np.float64)
+        values = np.asarray(values_per_kv_head[kv_head], dtype=np.float64)
+        if keys.shape[0] == 0:
+            raise ValueError(f"kv head {kv_head} has no selected tokens")
+        scores = (keys @ queries[head]) * scale
+        weights = softmax(scores)
+        output[head] = weights @ values
+        weights_list.append(weights)
+    return AttentionOutput(output=output.reshape(-1), weights=weights_list)

@@ -1,0 +1,467 @@
+"""Inference engine: prefill and decoding with pluggable KV compression.
+
+The engine mirrors the paper's system organisation (paper Fig. 5):
+
+* **Prefill** runs exact causal attention over the prompt, stores the KV
+  cache (offloading it to the CPU tier when the active method requires it)
+  and lets the selector build its acceleration structure — semantic
+  clustering for ClusterKV, page summaries for Quest, partial keys for
+  InfiniGen.
+* **Decoding** appends the new token's KV, asks the selector for the token
+  indices to attend to (respecting the KV cache budget), performs the
+  approximate attention, and tracks every byte that has to be moved between
+  memory tiers.
+
+The engine also supports teacher-forced scoring (for perplexity evaluation)
+and optional recording of exact attention scores so that recall-rate metrics
+and the motivation analyses can be computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines.base import KVSelectorFactory, LayerSelectorState, SelectorStats
+from ..baselines.full import FullKVSelector
+from ..baselines.oracle import top_k_indices
+from ..memory import OffloadManager, TransferLedger
+from .attention import full_causal_attention, selected_attention
+from .config import GenerationConfig, ModelConfig
+from .kv_cache import KVCacheStore
+from .pointer import CopyHead
+from .sampling import greedy_sample, mix_distributions, temperature_sample
+from .tensor_ops import softmax
+from .transformer import TransformerModel
+
+__all__ = [
+    "RecallRecord",
+    "StepAttentionRecord",
+    "GenerationResult",
+    "InferenceEngine",
+]
+
+
+@dataclass(frozen=True)
+class RecallRecord:
+    """Recall of the truly important tokens at one (step, layer, head).
+
+    ``recall`` is ``|I_T ∩ I_T^true| / |I_T^true|`` with ``|I_T^true| = B``
+    (paper Sec. V-B, "Recall Rate of important tokens").
+    """
+
+    step: int
+    layer: int
+    head: int
+    budget: int
+    recall: float
+
+
+@dataclass
+class StepAttentionRecord:
+    """Attention snapshot of the traced layer at one decoding step."""
+
+    step: int
+    layer: int
+    selected_indices: list[np.ndarray]
+    attention_weights: list[np.ndarray]
+    true_scores: list[np.ndarray] | None = None
+
+
+@dataclass
+class GenerationResult:
+    """Everything produced by one generation or scoring run."""
+
+    prompt_length: int
+    output_ids: list[int] = field(default_factory=list)
+    output_logprobs: list[float] = field(default_factory=list)
+    target_logprobs: list[float] = field(default_factory=list)
+    selector_stats: SelectorStats = field(default_factory=SelectorStats)
+    per_layer_stats: dict[int, SelectorStats] = field(default_factory=dict)
+    recall_records: list[RecallRecord] = field(default_factory=list)
+    attention_trace: list[StepAttentionRecord] = field(default_factory=list)
+    ledger: TransferLedger | None = None
+    cache_hit_rate: float = 0.0
+    decode_steps: int = 0
+    kv_cache_bytes: int = 0
+    method: str = "full"
+
+    def mean_recall(self) -> float:
+        """Average recall over all recorded (step, layer, head) triples."""
+        if not self.recall_records:
+            return 0.0
+        return float(np.mean([record.recall for record in self.recall_records]))
+
+    def perplexity(self) -> float:
+        """Perplexity of the teacher-forced targets (scoring runs only)."""
+        if not self.target_logprobs:
+            raise ValueError("no target log-probabilities were recorded")
+        return float(np.exp(-np.mean(self.target_logprobs)))
+
+
+class InferenceEngine:
+    """Runs prefill and decoding for one model / selection method pair."""
+
+    def __init__(
+        self,
+        model: TransformerModel,
+        selector: KVSelectorFactory | None = None,
+        generation_config: GenerationConfig | None = None,
+        offload: OffloadManager | None = None,
+    ) -> None:
+        self.model = model
+        self.selector = selector if selector is not None else FullKVSelector()
+        self.generation_config = generation_config or GenerationConfig()
+        self.offload = offload if offload is not None else OffloadManager()
+        self._rng = np.random.default_rng(self.generation_config.seed)
+
+        config = model.config
+        self.kv_store = KVCacheStore(
+            n_layers=config.n_layers,
+            n_kv_heads=config.n_kv_heads,
+            head_dim=config.head_dim,
+            offload=self.offload,
+            residency=self.selector.kv_residency,
+        )
+        self.layer_states: list[LayerSelectorState | None] = []
+        for layer_idx in range(config.n_layers):
+            if layer_idx < self.generation_config.num_full_layers:
+                self.layer_states.append(None)
+            else:
+                self.layer_states.append(
+                    self.selector.create_layer_state(
+                        layer_idx,
+                        config.n_kv_heads,
+                        config.head_dim,
+                        self.generation_config.num_sink_tokens,
+                    )
+                )
+        self.copy_head = (
+            CopyHead(model.weights) if config.use_copy_head else None
+        )
+        # The pointer (copy) head is an attention head over the context like
+        # any other: its keys go through the same KV selection machinery, so
+        # the accuracy of a compression method directly gates what the model
+        # can retrieve.
+        self.copy_state: LayerSelectorState | None = None
+        if self.copy_head is not None:
+            self.copy_state = self.selector.create_layer_state(
+                config.n_layers,
+                1,
+                config.d_model,
+                self.generation_config.num_sink_tokens,
+            )
+        self._trace_layer = config.n_layers - 1
+        self._prefilled = False
+        self._position = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def generate(self, prompt_ids: np.ndarray | list[int]) -> GenerationResult:
+        """Autoregressively generate ``max_new_tokens`` tokens after the prompt."""
+        prompt_ids = np.asarray(prompt_ids, dtype=np.int64)
+        result = GenerationResult(
+            prompt_length=int(prompt_ids.shape[0]), method=self.selector.name
+        )
+        distribution = self._prefill(prompt_ids, result)
+
+        current_token = self._pick_token(distribution)
+        logprob = float(np.log(max(distribution[current_token], 1e-30)))
+        result.output_ids.append(current_token)
+        result.output_logprobs.append(logprob)
+
+        for step in range(self.generation_config.max_new_tokens - 1):
+            distribution = self._decode_step(current_token, step, result)
+            current_token = self._pick_token(distribution)
+            result.output_ids.append(current_token)
+            result.output_logprobs.append(
+                float(np.log(max(distribution[current_token], 1e-30)))
+            )
+            result.decode_steps += 1
+
+        self._finalise(result)
+        return result
+
+    def score_sequence(
+        self, token_ids: np.ndarray | list[int], prefill_length: int
+    ) -> GenerationResult:
+        """Teacher-forced scoring of ``token_ids`` for perplexity evaluation.
+
+        The first ``prefill_length`` tokens are processed as the prompt; the
+        remaining tokens are fed one at a time through the decoding path (so
+        that KV compression affects the predictions exactly as it would
+        during generation) and the log-probability of each true next token
+        is recorded.
+        """
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if not 0 < prefill_length < token_ids.shape[0]:
+            raise ValueError(
+                "prefill_length must be positive and smaller than the sequence"
+            )
+        result = GenerationResult(prompt_length=prefill_length, method=self.selector.name)
+        distribution = self._prefill(token_ids[:prefill_length], result)
+
+        for offset in range(prefill_length, token_ids.shape[0]):
+            target = int(token_ids[offset])
+            result.target_logprobs.append(
+                float(np.log(max(distribution[target], 1e-30)))
+            )
+            if offset == token_ids.shape[0] - 1:
+                break
+            step = offset - prefill_length
+            distribution = self._decode_step(target, step, result)
+            result.decode_steps += 1
+
+        self._finalise(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # prefill
+    # ------------------------------------------------------------------
+    def _prefill(self, prompt_ids: np.ndarray, result: GenerationResult) -> np.ndarray:
+        if self._prefilled:
+            raise RuntimeError("the engine has already been used; create a new one")
+        self._prefilled = True
+        config = self.model.config
+        length = prompt_ids.shape[0]
+        if length == 0:
+            raise ValueError("the prompt must contain at least one token")
+        positions = np.arange(length)
+        hidden = self.model.embed(prompt_ids, positions)
+
+        for layer_idx in range(config.n_layers):
+            q, k, v = self.model.attention_qkv(layer_idx, hidden, positions)
+            self.kv_store.append(layer_idx, k, v, step=-1)
+            state = self.layer_states[layer_idx]
+            if state is not None:
+                state.observe_prefill(k)
+            attn = full_causal_attention(q, k, v, config.softmax_scale)
+            hidden = self.model.attention_output(layer_idx, hidden, attn.output)
+            hidden = self.model.ffn(layer_idx, hidden)
+
+        if self.copy_head is not None:
+            copy_keys = self.copy_head.ingest(prompt_ids)
+            if self.copy_state is not None:
+                self.copy_state.observe_prefill(copy_keys[None, :, :])
+        self._position = length
+
+        logits = self.model.final_logits(hidden[-1:, :])[0]
+        vocab_probs = softmax(logits)
+        distribution = self._mix_copy(
+            vocab_probs, int(prompt_ids[-1]), allowed_indices=None
+        )
+        return distribution
+
+    # ------------------------------------------------------------------
+    # decoding
+    # ------------------------------------------------------------------
+    def _decode_step(
+        self, token_id: int, step: int, result: GenerationResult
+    ) -> np.ndarray:
+        config = self.model.config
+        gen = self.generation_config
+        position = self._position
+        positions = np.asarray([position])
+        hidden = self.model.embed(np.asarray([token_id]), positions)
+
+        for layer_idx in range(config.n_layers):
+            q, k, v = self.model.attention_qkv(layer_idx, hidden, positions)
+            self.kv_store.append(layer_idx, k, v, step=step)
+            state = self.layer_states[layer_idx]
+            context_length = len(self.kv_store.layers[layer_idx])
+
+            if state is not None:
+                state.observe_decode(k)
+
+            query_vectors = q[:, 0, :]  # (n_heads, head_dim)
+            budget = gen.budget if gen.budget is not None else context_length
+            use_selection = (
+                state is not None and gen.budget is not None and budget < context_length
+            )
+            if use_selection:
+                grouped = query_vectors.reshape(
+                    config.n_kv_heads, config.group_size, config.head_dim
+                )
+                fetched_before = state.stats.fetched_tokens
+                indices_per_head = state.select(grouped, budget, step)
+                fetched_delta = state.stats.fetched_tokens - fetched_before
+                self.kv_store.record_fetch(fetched_delta, step)
+            else:
+                indices_per_head = [
+                    np.arange(context_length, dtype=np.int64)
+                    for _ in range(config.n_kv_heads)
+                ]
+                if state is not None:
+                    state.stats.selected_tokens += context_length * config.n_kv_heads
+                    state.stats.num_selections += 1
+
+            keys_sel = []
+            values_sel = []
+            for kv_head in range(config.n_kv_heads):
+                k_sel, v_sel = self.kv_store.gather(
+                    layer_idx, kv_head, indices_per_head[kv_head]
+                )
+                keys_sel.append(k_sel)
+                values_sel.append(v_sel)
+
+            attn = selected_attention(
+                query_vectors, keys_sel, values_sel, config.softmax_scale
+            )
+
+            if gen.record_true_scores and state is not None and gen.budget is not None:
+                self._record_recall(
+                    result, layer_idx, step, query_vectors, indices_per_head, budget
+                )
+            if gen.record_attention_trace and layer_idx == self._trace_layer:
+                self._record_trace(
+                    result, layer_idx, step, query_vectors, indices_per_head, attn.weights
+                )
+
+            hidden = self.model.attention_output(
+                layer_idx, hidden, attn.output[None, :]
+            )
+            hidden = self.model.ffn(layer_idx, hidden)
+
+        allowed_indices = self._update_copy_head(token_id, step)
+        self._position += 1
+
+        logits = self.model.final_logits(hidden)[0]
+        vocab_probs = softmax(logits)
+        return self._mix_copy(vocab_probs, token_id, allowed_indices)
+
+    def _update_copy_head(self, token_id: int, step: int) -> np.ndarray | None:
+        """Ingest the current token into the pointer head and select its context.
+
+        Returns the indices the pointer head may attend to at this step
+        (``None`` means the full history, i.e. no compression).
+        """
+        if self.copy_head is None:
+            return None
+        gen = self.generation_config
+        copy_keys = self.copy_head.ingest(np.asarray([token_id]))
+        if self.copy_state is None:
+            return None
+        self.copy_state.observe_decode(copy_keys[None, :, :])
+        history = len(self.copy_head)
+        if gen.budget is None or gen.budget >= history:
+            self.copy_state.stats.selected_tokens += history
+            self.copy_state.stats.num_selections += 1
+            return None
+        query = self.copy_head.current_signature()
+        selections = self.copy_state.select(query[None, None, :], gen.budget, step)
+        return selections[0]
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _mix_copy(
+        self,
+        vocab_probs: np.ndarray,
+        current_token_id: int,
+        allowed_indices: np.ndarray | None,
+    ) -> np.ndarray:
+        if self.copy_head is None:
+            return vocab_probs
+        copy_dist = self.copy_head.copy_distribution(
+            current_token_id, allowed_indices=allowed_indices
+        )
+        if copy_dist is None:
+            return vocab_probs
+        return mix_distributions(copy_dist, vocab_probs, self.model.config.copy_gate)
+
+    def _pick_token(self, distribution: np.ndarray) -> int:
+        if self.generation_config.greedy:
+            return greedy_sample(distribution)
+        return temperature_sample(
+            distribution, self._rng, self.generation_config.temperature
+        )
+
+    def _record_recall(
+        self,
+        result: GenerationResult,
+        layer_idx: int,
+        step: int,
+        query_vectors: np.ndarray,
+        indices_per_head: list[np.ndarray],
+        budget: int,
+    ) -> None:
+        config = self.model.config
+        keys = self.kv_store.keys(layer_idx)
+        context_length = keys.shape[1]
+        effective_budget = min(budget, context_length)
+        grouped = query_vectors.reshape(
+            config.n_kv_heads, config.group_size, config.head_dim
+        ).sum(axis=1)
+        for kv_head in range(config.n_kv_heads):
+            true_scores = keys[kv_head] @ grouped[kv_head]
+            true_top = top_k_indices(true_scores, effective_budget)
+            selected = set(indices_per_head[kv_head].tolist())
+            hits = sum(1 for index in true_top.tolist() if index in selected)
+            recall = hits / max(1, true_top.shape[0])
+            result.recall_records.append(
+                RecallRecord(
+                    step=step,
+                    layer=layer_idx,
+                    head=kv_head,
+                    budget=effective_budget,
+                    recall=recall,
+                )
+            )
+
+    def _record_trace(
+        self,
+        result: GenerationResult,
+        layer_idx: int,
+        step: int,
+        query_vectors: np.ndarray,
+        indices_per_head: list[np.ndarray],
+        attention_weights: list[np.ndarray] | None,
+    ) -> None:
+        config = self.model.config
+        keys = self.kv_store.keys(layer_idx)
+        grouped = query_vectors.reshape(
+            config.n_kv_heads, config.group_size, config.head_dim
+        ).sum(axis=1)
+        true_scores = [keys[kv_head] @ grouped[kv_head] for kv_head in range(config.n_kv_heads)]
+        # Average the per-query-head weights inside each kv group so the trace
+        # has one weight vector per kv head, aligned with its selected indices.
+        kv_weights: list[np.ndarray] = []
+        if attention_weights is not None:
+            for kv_head in range(config.n_kv_heads):
+                group_slice = attention_weights[
+                    kv_head * config.group_size : (kv_head + 1) * config.group_size
+                ]
+                kv_weights.append(np.mean(np.stack(group_slice, axis=0), axis=0))
+        result.attention_trace.append(
+            StepAttentionRecord(
+                step=step,
+                layer=layer_idx,
+                selected_indices=[idx.copy() for idx in indices_per_head],
+                attention_weights=kv_weights,
+                true_scores=true_scores,
+            )
+        )
+
+    def _finalise(self, result: GenerationResult) -> None:
+        merged = SelectorStats()
+        states: list[tuple[int, LayerSelectorState]] = [
+            (layer_idx, state)
+            for layer_idx, state in enumerate(self.layer_states)
+            if state is not None
+        ]
+        if self.copy_state is not None:
+            states.append((self.model.config.n_layers, self.copy_state))
+        for layer_idx, state in states:
+            result.per_layer_stats[layer_idx] = state.stats
+            merged = merged.merge(state.stats)
+        result.selector_stats = merged
+        result.ledger = self.offload.ledger
+        result.kv_cache_bytes = self.kv_store.total_nbytes()
+        hit_rates = [
+            state.cache_hit_rate()
+            for _, state in states
+            if hasattr(state, "cache_hit_rate")
+        ]
+        result.cache_hit_rate = float(np.mean(hit_rates)) if hit_rates else 0.0

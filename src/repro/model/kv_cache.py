@@ -1,0 +1,199 @@
+"""Key/value cache storage for autoregressive decoding.
+
+The store keeps per-layer, per-kv-head key and value tensors and grows them
+as decoding appends tokens.  Residency (GPU vs. CPU tier) and the resulting
+transfer traffic are tracked through an optional
+:class:`repro.memory.OffloadManager`, mirroring the paper's system design in
+which the full KV cache lives in CPU memory while only selected entries are
+staged on the GPU (paper Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..memory import OffloadManager, TierKind
+
+__all__ = ["LayerKVCache", "KVCacheStore"]
+
+
+class LayerKVCache:
+    """Growable key/value storage of one transformer layer.
+
+    Arrays are stored as ``(n_kv_heads, capacity, head_dim)`` with doubling
+    growth; the logical length is tracked separately.
+    """
+
+    def __init__(
+        self,
+        layer_idx: int,
+        n_kv_heads: int,
+        head_dim: int,
+        initial_capacity: int = 64,
+    ) -> None:
+        if n_kv_heads <= 0 or head_dim <= 0:
+            raise ValueError("n_kv_heads and head_dim must be positive")
+        self.layer_idx = layer_idx
+        self.n_kv_heads = n_kv_heads
+        self.head_dim = head_dim
+        self._length = 0
+        self._capacity = max(1, initial_capacity)
+        self._keys = np.zeros((n_kv_heads, self._capacity, head_dim))
+        self._values = np.zeros((n_kv_heads, self._capacity, head_dim))
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def keys(self) -> np.ndarray:
+        """View of the stored keys, shape ``(n_kv_heads, length, head_dim)``."""
+        return self._keys[:, : self._length, :]
+
+    @property
+    def values(self) -> np.ndarray:
+        """View of the stored values, shape ``(n_kv_heads, length, head_dim)``."""
+        return self._values[:, : self._length, :]
+
+    def append(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Append ``t`` new tokens; both arrays are ``(n_kv_heads, t, head_dim)``."""
+        keys = np.asarray(keys, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        if keys.shape != values.shape:
+            raise ValueError(
+                f"key shape {keys.shape} does not match value shape {values.shape}"
+            )
+        if keys.ndim != 3 or keys.shape[0] != self.n_kv_heads or keys.shape[2] != self.head_dim:
+            raise ValueError(
+                f"expected shape ({self.n_kv_heads}, t, {self.head_dim}), got {keys.shape}"
+            )
+        t = keys.shape[1]
+        self._ensure_capacity(self._length + t)
+        self._keys[:, self._length : self._length + t, :] = keys
+        self._values[:, self._length : self._length + t, :] = values
+        self._length += t
+
+    def gather(self, head_idx: int, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(keys, values)`` of one kv head at the given token indices."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self._length):
+            raise IndexError(
+                f"indices out of range [0, {self._length}) for layer {self.layer_idx}"
+            )
+        return (
+            self._keys[head_idx, indices, :],
+            self._values[head_idx, indices, :],
+        )
+
+    def _ensure_capacity(self, needed: int) -> None:
+        if needed <= self._capacity:
+            return
+        new_capacity = self._capacity
+        while new_capacity < needed:
+            new_capacity *= 2
+        new_keys = np.zeros((self.n_kv_heads, new_capacity, self.head_dim))
+        new_values = np.zeros((self.n_kv_heads, new_capacity, self.head_dim))
+        new_keys[:, : self._length, :] = self._keys[:, : self._length, :]
+        new_values[:, : self._length, :] = self._values[:, : self._length, :]
+        self._keys = new_keys
+        self._values = new_values
+        self._capacity = new_capacity
+
+
+@dataclass
+class _ResidencyPolicy:
+    """Where the bulk KV of a method resides and whether fetches are charged."""
+
+    tier: TierKind
+
+    @property
+    def charges_fetch(self) -> bool:
+        return self.tier is TierKind.CPU
+
+
+class KVCacheStore:
+    """KV caches for all layers of a model, with residency accounting."""
+
+    def __init__(
+        self,
+        n_layers: int,
+        n_kv_heads: int,
+        head_dim: int,
+        offload: OffloadManager | None = None,
+        residency: TierKind = TierKind.GPU,
+        bytes_per_element: int = 2,
+    ) -> None:
+        self.n_layers = n_layers
+        self.n_kv_heads = n_kv_heads
+        self.head_dim = head_dim
+        self.offload = offload
+        self.bytes_per_element = bytes_per_element
+        self._policy = _ResidencyPolicy(residency)
+        self.layers = [
+            LayerKVCache(layer_idx, n_kv_heads, head_dim) for layer_idx in range(n_layers)
+        ]
+        if self.offload is not None:
+            for layer_idx in range(n_layers):
+                self.offload.register(self._buffer_name(layer_idx), 0, residency)
+
+    @property
+    def residency(self) -> TierKind:
+        """Tier on which the bulk KV cache of this run resides."""
+        return self._policy.tier
+
+    def context_length(self) -> int:
+        """Number of cached tokens (identical across layers by construction)."""
+        return len(self.layers[0]) if self.layers else 0
+
+    def token_nbytes(self) -> int:
+        """Bytes of K plus V for one token of one layer (all kv heads)."""
+        return 2 * self.n_kv_heads * self.head_dim * self.bytes_per_element
+
+    def append(self, layer_idx: int, keys: np.ndarray, values: np.ndarray, step: int = -1) -> None:
+        """Append new tokens to a layer's cache and account for their bytes."""
+        layer = self.layers[layer_idx]
+        layer.append(keys, values)
+        if self.offload is not None:
+            name = self._buffer_name(layer_idx)
+            nbytes = len(layer) * self.token_nbytes()
+            self.offload.resize(name, nbytes)
+            if self._policy.tier is TierKind.CPU:
+                # Newly produced KV is generated on the GPU and written back to
+                # host memory (paper Fig. 5, "Offload K & V").
+                appended = keys.shape[1] * self.token_nbytes()
+                self.offload.record_partial_offload(appended, step)
+
+    def record_fetch(self, num_tokens: int, step: int, tag: str = "kv_fetch") -> int:
+        """Charge an H2D transfer for ``num_tokens`` tokens of one layer.
+
+        Returns the number of bytes charged (0 when the KV already resides on
+        the GPU, as with full-KV or Quest-style methods).
+        """
+        if self.offload is None or not self._policy.charges_fetch:
+            return 0
+        nbytes = num_tokens * self.token_nbytes()
+        if nbytes > 0:
+            self.offload.record_partial_fetch(nbytes, step, tag)
+        return nbytes
+
+    def keys(self, layer_idx: int) -> np.ndarray:
+        """Keys of a layer, shape ``(n_kv_heads, length, head_dim)``."""
+        return self.layers[layer_idx].keys
+
+    def values(self, layer_idx: int) -> np.ndarray:
+        """Values of a layer, shape ``(n_kv_heads, length, head_dim)``."""
+        return self.layers[layer_idx].values
+
+    def gather(
+        self, layer_idx: int, head_idx: int, indices: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Keys and values of selected tokens for one layer and kv head."""
+        return self.layers[layer_idx].gather(head_idx, indices)
+
+    def total_nbytes(self) -> int:
+        """Total bytes of all cached K and V entries."""
+        return sum(len(layer) * self.token_nbytes() for layer in self.layers)
+
+    def _buffer_name(self, layer_idx: int) -> str:
+        return f"kv_layer_{layer_idx}"

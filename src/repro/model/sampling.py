@@ -1,0 +1,51 @@
+"""Token sampling strategies for autoregressive decoding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor_ops import softmax
+
+__all__ = ["greedy_sample", "temperature_sample", "mix_distributions"]
+
+
+def greedy_sample(probabilities: np.ndarray) -> int:
+    """Deterministic argmax sampling with index tie-breaking."""
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    return int(np.argmax(probabilities))
+
+
+def temperature_sample(
+    probabilities: np.ndarray, rng: np.random.Generator, temperature: float = 1.0
+) -> int:
+    """Sample from a (re-tempered) probability distribution."""
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    if temperature != 1.0:
+        logits = np.log(np.clip(probabilities, 1e-30, None)) / temperature
+        probabilities = softmax(logits)
+    probabilities = probabilities / probabilities.sum()
+    return int(rng.choice(probabilities.shape[0], p=probabilities))
+
+
+def mix_distributions(
+    primary: np.ndarray, secondary: np.ndarray | None, gate: float
+) -> np.ndarray:
+    """Mix two probability distributions: ``gate * primary + (1-gate) * secondary``.
+
+    When ``secondary`` is ``None`` the primary distribution is returned
+    unchanged (re-normalised defensively).
+    """
+    primary = np.asarray(primary, dtype=np.float64)
+    if secondary is None:
+        total = primary.sum()
+        return primary / total if total > 0 else primary
+    secondary = np.asarray(secondary, dtype=np.float64)
+    if primary.shape != secondary.shape:
+        raise ValueError("distributions must have the same shape")
+    if not 0.0 <= gate <= 1.0:
+        raise ValueError("gate must lie in [0, 1]")
+    mixed = gate * primary + (1.0 - gate) * secondary
+    total = mixed.sum()
+    return mixed / total if total > 0 else mixed

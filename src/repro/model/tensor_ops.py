@@ -1,0 +1,185 @@
+"""Numerical primitives for the NumPy transformer inference substrate.
+
+All operations are pure functions over ``numpy.ndarray`` and are written to
+mirror the reference Transformer arithmetic used by Llama/GLM/OPT-style
+models: softmax, RMSNorm, LayerNorm, SiLU/GELU activations and rotary
+position embeddings (RoPE).
+
+The functions operate on float64 or float32 arrays; dtype is preserved where
+possible.  Shapes follow the conventions used throughout :mod:`repro.model`:
+
+* sequence tensors are ``(L, d)`` (sequence length by hidden size),
+* per-head tensors are ``(H, L, d_head)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "rms_norm",
+    "layer_norm",
+    "silu",
+    "gelu",
+    "swiglu",
+    "rope_frequencies",
+    "apply_rope",
+    "causal_mask",
+    "masked_fill",
+    "stable_dot",
+]
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``.
+
+    Subtracting the per-slice maximum before exponentiation avoids overflow
+    for large logits, which occur routinely in attention score computation
+    with long contexts.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax along ``axis``."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    log_norm = np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+    return shifted - log_norm
+
+
+def rms_norm(x: np.ndarray, weight: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Root-mean-square layer normalisation (as used by Llama/GLM).
+
+    ``x`` has shape ``(..., d)`` and ``weight`` has shape ``(d,)``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    variance = np.mean(np.square(x), axis=-1, keepdims=True)
+    return x / np.sqrt(variance + eps) * weight
+
+
+def layer_norm(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray,
+    eps: float = 1e-5,
+) -> np.ndarray:
+    """Standard layer normalisation (as used by OPT).
+
+    ``x`` has shape ``(..., d)``; ``weight`` and ``bias`` have shape ``(d,)``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    mean = np.mean(x, axis=-1, keepdims=True)
+    variance = np.var(x, axis=-1, keepdims=True)
+    return (x - mean) / np.sqrt(variance + eps) * weight + bias
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """SiLU (a.k.a. swish) activation: ``x * sigmoid(x)``."""
+    x = np.asarray(x, dtype=np.float64)
+    return x / (1.0 + np.exp(-x))
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """GELU activation using the tanh approximation (OPT/GPT style)."""
+    x = np.asarray(x, dtype=np.float64)
+    inner = np.sqrt(2.0 / np.pi) * (x + 0.044715 * np.power(x, 3))
+    return 0.5 * x * (1.0 + np.tanh(inner))
+
+
+def swiglu(gate: np.ndarray, up: np.ndarray) -> np.ndarray:
+    """SwiGLU gating: ``silu(gate) * up`` (Llama/GLM feed-forward)."""
+    return silu(gate) * np.asarray(up, dtype=np.float64)
+
+
+def rope_frequencies(head_dim: int, base: float = 10000.0) -> np.ndarray:
+    """Inverse frequencies for rotary position embeddings.
+
+    Returns an array of shape ``(head_dim // 2,)``.
+    """
+    if head_dim % 2 != 0:
+        raise ValueError(f"RoPE requires an even head dimension, got {head_dim}")
+    exponents = np.arange(0, head_dim, 2, dtype=np.float64) / head_dim
+    return 1.0 / np.power(base, exponents)
+
+
+def apply_rope(
+    x: np.ndarray,
+    positions: np.ndarray,
+    inv_freq: np.ndarray,
+) -> np.ndarray:
+    """Apply rotary position embeddings to per-head vectors.
+
+    Parameters
+    ----------
+    x:
+        Array of shape ``(..., L, d_head)``.
+    positions:
+        Integer array of shape ``(L,)`` giving the absolute position of each
+        token in the sequence.
+    inv_freq:
+        Inverse frequencies from :func:`rope_frequencies`, shape
+        ``(d_head // 2,)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of the same shape as ``x`` with rotations applied pairwise to
+        the ``(even, odd)`` channel halves, following the Llama convention
+        where the head dimension is split into two contiguous halves.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    positions = np.asarray(positions, dtype=np.float64)
+    if x.shape[-2] != positions.shape[0]:
+        raise ValueError(
+            f"positions length {positions.shape[0]} does not match sequence "
+            f"length {x.shape[-2]}"
+        )
+    half = x.shape[-1] // 2
+    if inv_freq.shape[0] != half:
+        raise ValueError(
+            f"inv_freq length {inv_freq.shape[0]} does not match half head "
+            f"dimension {half}"
+        )
+    # angles: (L, d_head // 2)
+    angles = np.outer(positions, inv_freq)
+    cos = np.cos(angles)
+    sin = np.sin(angles)
+    x1 = x[..., :half]
+    x2 = x[..., half:]
+    rotated_1 = x1 * cos - x2 * sin
+    rotated_2 = x2 * cos + x1 * sin
+    return np.concatenate([rotated_1, rotated_2], axis=-1)
+
+
+def causal_mask(query_len: int, key_len: int) -> np.ndarray:
+    """Boolean causal mask of shape ``(query_len, key_len)``.
+
+    Entry ``[i, j]`` is ``True`` when query ``i`` may attend to key ``j``.
+    The queries are assumed to be the *last* ``query_len`` positions of a
+    ``key_len``-long sequence (standard prefill convention).
+    """
+    if query_len > key_len:
+        raise ValueError(
+            f"query_len {query_len} cannot exceed key_len {key_len}"
+        )
+    offset = key_len - query_len
+    cols = np.arange(key_len)[None, :]
+    rows = np.arange(query_len)[:, None] + offset
+    return cols <= rows
+
+
+def masked_fill(scores: np.ndarray, mask: np.ndarray, value: float = -1e30) -> np.ndarray:
+    """Return ``scores`` with positions where ``mask`` is False set to ``value``."""
+    scores = np.asarray(scores, dtype=np.float64)
+    return np.where(mask, scores, value)
+
+
+def stable_dot(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product computed in float64 regardless of input dtype."""
+    return np.asarray(a, dtype=np.float64) @ np.asarray(b, dtype=np.float64)

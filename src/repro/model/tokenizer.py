@@ -1,0 +1,110 @@
+"""Word-level synthetic tokenizer.
+
+The offline environment has no access to trained tokenizers, so the
+reproduction uses a deterministic word-level tokenizer over a synthetic
+vocabulary.  Workload generators emit text whose words are drawn from this
+vocabulary; question answering metrics (F1, ROUGE-L) operate on the decoded
+word sequences exactly as LongBench does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SyntheticTokenizer"]
+
+# Reserved token ids.
+PAD_ID = 0
+BOS_ID = 1
+EOS_ID = 2
+UNK_ID = 3
+NUM_SPECIAL_TOKENS = 4
+
+_SPECIAL_TOKENS = {
+    PAD_ID: "<pad>",
+    BOS_ID: "<bos>",
+    EOS_ID: "<eos>",
+    UNK_ID: "<unk>",
+}
+
+
+class SyntheticTokenizer:
+    """Deterministic word-level tokenizer over a synthetic vocabulary.
+
+    Vocabulary entry ``i`` (for non-special ids) is the word ``w{i}``; text
+    is tokenized by whitespace splitting.  Unknown words map to ``<unk>``.
+    """
+
+    def __init__(self, vocab_size: int) -> None:
+        if vocab_size <= NUM_SPECIAL_TOKENS:
+            raise ValueError(
+                f"vocab_size must exceed the {NUM_SPECIAL_TOKENS} special tokens"
+            )
+        self.vocab_size = vocab_size
+        self._id_to_word = dict(_SPECIAL_TOKENS)
+        for token_id in range(NUM_SPECIAL_TOKENS, vocab_size):
+            self._id_to_word[token_id] = f"w{token_id}"
+        self._word_to_id = {word: token_id for token_id, word in self._id_to_word.items()}
+
+    @property
+    def pad_id(self) -> int:
+        return PAD_ID
+
+    @property
+    def bos_id(self) -> int:
+        return BOS_ID
+
+    @property
+    def eos_id(self) -> int:
+        return EOS_ID
+
+    @property
+    def unk_id(self) -> int:
+        return UNK_ID
+
+    @property
+    def num_special_tokens(self) -> int:
+        return NUM_SPECIAL_TOKENS
+
+    def word_for_id(self, token_id: int) -> str:
+        """The surface form of a token id."""
+        if token_id < 0 or token_id >= self.vocab_size:
+            raise ValueError(f"token id {token_id} out of range [0, {self.vocab_size})")
+        return self._id_to_word[token_id]
+
+    def id_for_word(self, word: str) -> int:
+        """Token id of a word (``<unk>`` for out-of-vocabulary words)."""
+        return self._word_to_id.get(word, UNK_ID)
+
+    def encode(self, text: str, add_bos: bool = False) -> list[int]:
+        """Tokenize whitespace-separated text into token ids."""
+        ids = [self.id_for_word(word) for word in text.split()]
+        if add_bos:
+            ids = [BOS_ID] + ids
+        return ids
+
+    def decode(self, token_ids: list[int] | np.ndarray, skip_special: bool = True) -> str:
+        """Convert token ids back to whitespace-joined text."""
+        words = []
+        for token_id in np.asarray(token_ids, dtype=np.int64).tolist():
+            if skip_special and token_id < NUM_SPECIAL_TOKENS:
+                continue
+            words.append(self.word_for_id(int(token_id)))
+        return " ".join(words)
+
+    def random_word_ids(
+        self, count: int, rng: np.random.Generator, exclude: set[int] | None = None
+    ) -> np.ndarray:
+        """Sample ``count`` non-special token ids uniformly at random."""
+        exclude = exclude or set()
+        candidates = np.array(
+            [
+                token_id
+                for token_id in range(NUM_SPECIAL_TOKENS, self.vocab_size)
+                if token_id not in exclude
+            ],
+            dtype=np.int64,
+        )
+        if candidates.size == 0:
+            raise ValueError("no candidate token ids available")
+        return rng.choice(candidates, size=count, replace=True)

@@ -1,0 +1,146 @@
+"""Decoder-only transformer built on the NumPy primitives.
+
+:class:`TransformerModel` exposes the per-layer building blocks (embedding,
+QKV projection with RoPE, attention output projection, feed-forward block
+and final logits) as separate methods so that the inference engine in
+:mod:`repro.model.generation` can interleave them with KV cache management
+and token selection — mirroring how the paper's system hooks clustering and
+selection into the decoding loop (paper Fig. 5 and Fig. 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .config import ModelConfig
+from .tensor_ops import (
+    apply_rope,
+    gelu,
+    layer_norm,
+    rms_norm,
+    rope_frequencies,
+    swiglu,
+)
+from .weights import ModelWeights, init_weights
+
+__all__ = ["TransformerModel"]
+
+
+class TransformerModel:
+    """A decoder-only transformer with deterministic synthetic weights."""
+
+    def __init__(self, config: ModelConfig, weights: ModelWeights | None = None) -> None:
+        self.config = config
+        self.weights = weights if weights is not None else init_weights(config)
+        if self.weights.config is not config and self.weights.config != config:
+            raise ValueError("weights were initialised for a different configuration")
+        self._inv_freq = (
+            rope_frequencies(config.head_dim, config.rope_base)
+            if config.use_rope
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # embedding and output
+    # ------------------------------------------------------------------
+    def embed(self, token_ids: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        """Token (plus positional, for OPT-style models) embeddings.
+
+        Returns an array of shape ``(T, d_model)``.
+        """
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        positions = np.asarray(positions, dtype=np.int64)
+        if token_ids.shape != positions.shape:
+            raise ValueError("token_ids and positions must have the same length")
+        if token_ids.size and (token_ids.min() < 0 or token_ids.max() >= self.config.vocab_size):
+            raise ValueError("token id out of vocabulary range")
+        hidden = self.weights.embedding[token_ids]
+        if self.weights.position_embedding is not None:
+            if positions.size and positions.max() >= self.weights.position_embedding.shape[0]:
+                raise ValueError("position exceeds max_position_embeddings")
+            hidden = hidden + self.weights.position_embedding[positions]
+        return hidden
+
+    def final_logits(self, hidden: np.ndarray) -> np.ndarray:
+        """Vocabulary logits of the given hidden states, shape ``(T, vocab)``."""
+        normed = self._norm(
+            hidden, self.weights.final_norm_weight, self.weights.final_norm_bias
+        )
+        return normed @ self.weights.lm_head
+
+    # ------------------------------------------------------------------
+    # per-layer blocks
+    # ------------------------------------------------------------------
+    def attention_qkv(
+        self, layer_idx: int, hidden: np.ndarray, positions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Project hidden states to (rotated) queries, keys and values.
+
+        Returns ``q`` of shape ``(n_heads, T, head_dim)`` and ``k``/``v`` of
+        shape ``(n_kv_heads, T, head_dim)``.
+        """
+        layer = self.weights.layers[layer_idx]
+        positions = np.asarray(positions, dtype=np.int64)
+        normed = self._norm(hidden, layer.attn_norm_weight, layer.attn_norm_bias)
+
+        # (heads, T, head_dim) via einsum over the per-head projections.
+        q = np.einsum("td,hde->hte", normed, layer.wq)
+        k = np.einsum("td,hde->hte", normed, layer.wk)
+        v = np.einsum("td,hde->hte", normed, layer.wv)
+        if self._inv_freq is not None:
+            q = apply_rope(q, positions, self._inv_freq)
+            k = apply_rope(k, positions, self._inv_freq)
+        return q, k, v
+
+    def attention_output(
+        self, layer_idx: int, hidden: np.ndarray, attn_concat: np.ndarray
+    ) -> np.ndarray:
+        """Apply the output projection and the residual connection."""
+        layer = self.weights.layers[layer_idx]
+        return hidden + attn_concat @ layer.wo
+
+    def ffn(self, layer_idx: int, hidden: np.ndarray) -> np.ndarray:
+        """Feed-forward block with residual connection."""
+        layer = self.weights.layers[layer_idx]
+        normed = self._norm(hidden, layer.ffn_norm_weight, layer.ffn_norm_bias)
+        if self.config.activation == "swiglu":
+            inner = swiglu(normed @ layer.w_gate, normed @ layer.w_up)
+        else:
+            inner = gelu(normed @ layer.w_gate)
+        return hidden + inner @ layer.w_down
+
+    # ------------------------------------------------------------------
+    # convenience full forward (used by tests and small-scale checks)
+    # ------------------------------------------------------------------
+    def forward_full(self, token_ids: np.ndarray) -> np.ndarray:
+        """Full forward pass with exact attention; returns ``(T, vocab)`` logits.
+
+        Intended for testing and tiny inputs; generation should go through
+        :class:`repro.model.generation.InferenceEngine`.
+        """
+        from .attention import full_causal_attention  # local import avoids cycle
+
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        positions = np.arange(token_ids.shape[0])
+        hidden = self.embed(token_ids, positions)
+        for layer_idx in range(self.config.n_layers):
+            q, k, v = self.attention_qkv(layer_idx, hidden, positions)
+            attn = full_causal_attention(q, k, v, self.config.softmax_scale)
+            hidden = self.attention_output(layer_idx, hidden, attn.output)
+            hidden = self.ffn(layer_idx, hidden)
+        return self.final_logits(hidden)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _norm(
+        self, hidden: np.ndarray, weight: np.ndarray, bias: np.ndarray
+    ) -> np.ndarray:
+        if self.config.norm_type == "rmsnorm":
+            return rms_norm(hidden, weight)
+        return layer_norm(hidden, weight, bias)
+
+    @property
+    def num_parameters(self) -> int:
+        """Total parameter count of the model."""
+        return self.weights.num_parameters()

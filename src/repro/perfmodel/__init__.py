@@ -1,0 +1,33 @@
+"""Analytical performance model (latency, throughput, memory traffic).
+
+Reproduces the efficiency experiments of the paper at the paper's true
+model/context scale; see :mod:`repro.perfmodel.latency` for the modelling
+assumptions.
+"""
+
+from .costs import (
+    OpCost,
+    attention_decode_cost,
+    attention_prefill_cost,
+    kv_bytes,
+    linear_layers_cost,
+    roofline_time,
+)
+from .hardware import ADA_6000, HardwareConfig, get_hardware, list_hardware
+from .latency import LatencyModel, LatencyReport, MethodLatencyParams
+
+__all__ = [
+    "OpCost",
+    "roofline_time",
+    "linear_layers_cost",
+    "attention_prefill_cost",
+    "attention_decode_cost",
+    "kv_bytes",
+    "HardwareConfig",
+    "ADA_6000",
+    "get_hardware",
+    "list_hardware",
+    "LatencyModel",
+    "LatencyReport",
+    "MethodLatencyParams",
+]

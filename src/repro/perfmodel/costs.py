@@ -1,0 +1,135 @@
+"""Elementary cost functions of the roofline-style performance model.
+
+Every cost is expressed as a :class:`OpCost` carrying FLOPs, bytes read from
+device memory, and bytes moved over PCIe; :func:`roofline_time` converts a
+cost into seconds under a hardware configuration.  Keeping the three
+components separate makes the per-figure breakdowns (prefill vs. decode vs.
+selection vs. transfer) easy to report and test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..model.model_zoo import ReferenceArchitecture
+from .hardware import HardwareConfig
+
+__all__ = [
+    "OpCost",
+    "roofline_time",
+    "linear_layers_cost",
+    "attention_decode_cost",
+    "attention_prefill_cost",
+    "kv_bytes",
+]
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """FLOPs, device-memory bytes and PCIe bytes of one operation."""
+
+    flops: float = 0.0
+    device_bytes: float = 0.0
+    pcie_bytes: float = 0.0
+    fixed_seconds: float = 0.0
+
+    def __add__(self, other: "OpCost") -> "OpCost":
+        return OpCost(
+            flops=self.flops + other.flops,
+            device_bytes=self.device_bytes + other.device_bytes,
+            pcie_bytes=self.pcie_bytes + other.pcie_bytes,
+            fixed_seconds=self.fixed_seconds + other.fixed_seconds,
+        )
+
+    def scaled(self, factor: float) -> "OpCost":
+        """Cost multiplied by ``factor`` (e.g. number of decode steps)."""
+        return OpCost(
+            flops=self.flops * factor,
+            device_bytes=self.device_bytes * factor,
+            pcie_bytes=self.pcie_bytes * factor,
+            fixed_seconds=self.fixed_seconds * factor,
+        )
+
+
+def roofline_time(
+    cost: OpCost,
+    hardware: HardwareConfig,
+    pcie_gbps: float | None = None,
+    overlap_pcie: bool = False,
+) -> float:
+    """Convert an :class:`OpCost` to seconds.
+
+    Compute and device-memory traffic overlap (roofline: the slower one
+    dominates); PCIe traffic is either serialised after the kernel time or
+    overlapped with it when ``overlap_pcie`` is True (asynchronous copies).
+    """
+    kernel = max(
+        cost.flops / (hardware.compute_flops * hardware.kernel_efficiency),
+        cost.device_bytes / (hardware.memory_bandwidth * hardware.kernel_efficiency),
+    )
+    pcie_rate = (pcie_gbps or hardware.pcie_bandwidth_gbps) * 1e9
+    pcie = cost.pcie_bytes / pcie_rate if cost.pcie_bytes else 0.0
+    if overlap_pcie:
+        return max(kernel, pcie) + cost.fixed_seconds
+    return kernel + pcie + cost.fixed_seconds
+
+
+def kv_bytes(arch: ReferenceArchitecture, num_tokens: int, num_layers: int | None = None) -> float:
+    """Bytes of K plus V for ``num_tokens`` tokens over ``num_layers`` layers."""
+    layers = arch.n_layers if num_layers is None else num_layers
+    return (
+        2.0
+        * layers
+        * arch.n_kv_heads
+        * arch.head_dim
+        * arch.bytes_per_element
+        * num_tokens
+    )
+
+
+def linear_layers_cost(arch: ReferenceArchitecture, num_tokens: int) -> OpCost:
+    """Cost of all dense projections (QKV, output, FFN, lm-head excluded).
+
+    Weights are read once per forward pass regardless of the number of
+    tokens (they stay resident and are streamed from device memory), and the
+    FLOPs scale with the number of tokens.
+    """
+    weight_params = arch.num_parameters - 2 * arch.vocab_size * arch.d_model
+    weight_bytes = weight_params * arch.bytes_per_element
+    flops = 2.0 * weight_params * num_tokens
+    activation_bytes = 4.0 * num_tokens * arch.d_model * arch.bytes_per_element
+    return OpCost(flops=flops, device_bytes=weight_bytes + activation_bytes)
+
+
+def attention_prefill_cost(arch: ReferenceArchitecture, prompt_length: int) -> OpCost:
+    """Cost of exact causal attention over the prompt (all layers)."""
+    # 2 * P^2 * d per head for scores plus the same for the weighted sum,
+    # halved by causality.
+    flops = (
+        2.0
+        * arch.n_layers
+        * arch.n_heads
+        * prompt_length
+        * prompt_length
+        * arch.head_dim
+    )
+    bytes_kv = kv_bytes(arch, prompt_length)
+    return OpCost(flops=flops, device_bytes=bytes_kv)
+
+
+def attention_decode_cost(
+    arch: ReferenceArchitecture,
+    attended_tokens: float,
+    num_layers: int | None = None,
+    read_amplification: float = 1.0,
+) -> OpCost:
+    """Cost of one decoding step's attention over ``attended_tokens`` tokens.
+
+    ``read_amplification`` models implementations that materialise the
+    grouped-query expansion (repeat_kv in HuggingFace transformers), which
+    re-reads every KV entry once per query head instead of once per kv head.
+    """
+    layers = arch.n_layers if num_layers is None else num_layers
+    flops = 4.0 * layers * arch.n_heads * attended_tokens * arch.head_dim
+    bytes_read = kv_bytes(arch, attended_tokens, layers) * read_amplification
+    return OpCost(flops=flops, device_bytes=bytes_read)

@@ -1,0 +1,99 @@
+"""Hardware descriptions used by the analytical performance model.
+
+The paper measures latency on an NVIDIA Ada 6000 (RTX 6000 Ada generation)
+GPU with the KV cache optionally offloaded to host memory over PCIe.  The
+reproduction has no GPU, so the efficiency experiments (paper Fig. 12/13 and
+the caching study) are driven by a roofline-style analytical model
+parameterised by the numbers below.
+
+Besides peak numbers, the model exposes a small set of *implementation
+efficiency* parameters.  They encode well-known properties of the software
+stacks the paper uses (HuggingFace transformers for the dense baseline,
+FlexGen for InfiniGen) and are documented where they matter:
+
+* ``kernel_efficiency`` — fraction of peak memory bandwidth achieved by the
+  eager PyTorch decoding kernels.
+* ``pcie_token_gather_gbps`` / ``pcie_cluster_gather_gbps`` — effective
+  host-to-device bandwidth when gathering scattered per-token KV entries vs.
+  contiguous per-cluster blocks.  Scattered 4 KB copies achieve only a small
+  fraction of the PCIe peak, which is precisely why ClusterKV's
+  cluster-granularity transfers and its GPU-side cache matter
+  (paper Sec. IV-D).
+* ``layer_sync_overhead_s`` — fixed per-layer scheduling/synchronisation
+  overhead of offloading frameworks (significant for FlexGen/InfiniGen).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["HardwareConfig", "ADA_6000", "get_hardware", "list_hardware"]
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """Performance-relevant parameters of a GPU + host platform."""
+
+    name: str
+    compute_tflops: float  # dense fp16 TFLOP/s
+    memory_bandwidth_gbps: float  # device memory GB/s
+    pcie_bandwidth_gbps: float  # peak host-to-device GB/s
+    pcie_token_gather_gbps: float  # effective GB/s for scattered token gathers
+    pcie_cluster_gather_gbps: float  # effective GB/s for contiguous cluster blocks
+    kernel_efficiency: float  # fraction of peak reached by eager kernels
+    layer_sync_overhead_s: float  # per-layer scheduling overhead (offloading stacks)
+    gpu_memory_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.compute_tflops <= 0 or self.memory_bandwidth_gbps <= 0:
+            raise ValueError("compute and bandwidth must be positive")
+        if not 0.0 < self.kernel_efficiency <= 1.0:
+            raise ValueError("kernel_efficiency must lie in (0, 1]")
+
+    @property
+    def compute_flops(self) -> float:
+        """Peak compute in FLOP/s."""
+        return self.compute_tflops * 1e12
+
+    @property
+    def memory_bandwidth(self) -> float:
+        """Device memory bandwidth in bytes/s."""
+        return self.memory_bandwidth_gbps * 1e9
+
+    @property
+    def pcie_bandwidth(self) -> float:
+        """Peak PCIe bandwidth in bytes/s."""
+        return self.pcie_bandwidth_gbps * 1e9
+
+    def scaled(self, **overrides: float) -> "HardwareConfig":
+        """Copy of this configuration with some fields replaced."""
+        return replace(self, **overrides)
+
+
+# NVIDIA RTX 6000 Ada generation: 91.1 TFLOP/s fp16 (dense), 960 GB/s GDDR6,
+# PCIe 4.0 x16 (~25 GB/s effective), 48 GB device memory.
+ADA_6000 = HardwareConfig(
+    name="ada-6000",
+    compute_tflops=91.1,
+    memory_bandwidth_gbps=960.0,
+    pcie_bandwidth_gbps=25.0,
+    pcie_token_gather_gbps=3.0,
+    pcie_cluster_gather_gbps=20.0,
+    kernel_efficiency=0.6,
+    layer_sync_overhead_s=2.0e-4,
+    gpu_memory_bytes=48 * 1024**3,
+)
+
+_HARDWARE = {ADA_6000.name: ADA_6000}
+
+
+def get_hardware(name: str) -> HardwareConfig:
+    """Look up a registered hardware configuration by name."""
+    if name not in _HARDWARE:
+        raise KeyError(f"unknown hardware {name!r}; available: {sorted(_HARDWARE)}")
+    return _HARDWARE[name]
+
+
+def list_hardware() -> list[str]:
+    """Names of all registered hardware configurations."""
+    return sorted(_HARDWARE)

@@ -1,0 +1,23 @@
+"""Synthetic long-context workloads (LongBench and PG19 analogues)."""
+
+from .longbench import (
+    LONGBENCH_TASKS,
+    LongBenchSample,
+    LongBenchTaskGenerator,
+    LongBenchTaskSpec,
+)
+from .pg19 import PG19Config, PG19Generator, PG19Sample
+from .synthetic_text import DocumentBuilder, PlantedSpan, TopicModel
+
+__all__ = [
+    "TopicModel",
+    "DocumentBuilder",
+    "PlantedSpan",
+    "LONGBENCH_TASKS",
+    "LongBenchTaskSpec",
+    "LongBenchTaskGenerator",
+    "LongBenchSample",
+    "PG19Config",
+    "PG19Generator",
+    "PG19Sample",
+]

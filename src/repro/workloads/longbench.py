@@ -1,0 +1,288 @@
+"""Synthetic LongBench-analogue task suite.
+
+The paper evaluates model accuracy on eight LongBench datasets (2WikiMQA,
+TriviaQA, HotpotQA, MultiFieldQA, MuSiQue, NarrativeQA, Qasper, GovReport)
+covering single-document QA, multi-document/multi-hop QA, few-shot QA and
+summarisation, scored with F1 (ROUGE-L for GovReport).  The datasets are not
+available offline, so this module generates synthetic analogues with the
+same *task structure*:
+
+* a long, topically structured document,
+* one or more planted evidence chains (cue tokens → optional bridge tokens →
+  answer tokens) that the model must retrieve to answer,
+* distractor spans that reuse part of the cue and lead to wrong answers, and
+* a trailing question that repeats the cue.
+
+A sample is answerable by the synthetic retrieval model under full attention
+(the pointer head resolves the evidence chain), and becomes unanswerable
+exactly when KV compression fails to recall the evidence positions — the
+quantity the paper's accuracy experiments measure.  The per-task parameters
+(number of hops, distractors, answer length, metric) mirror the relative
+difficulty of the original datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..model.tokenizer import SyntheticTokenizer
+from .synthetic_text import DocumentBuilder, TopicModel
+
+__all__ = ["LongBenchTaskSpec", "LongBenchSample", "LongBenchTaskGenerator", "LONGBENCH_TASKS"]
+
+
+@dataclass(frozen=True)
+class LongBenchTaskSpec:
+    """Static description of one synthetic LongBench-analogue task.
+
+    Attributes
+    ----------
+    name:
+        Task identifier (matches the paper's dataset names, lower-cased).
+    category:
+        Task family: ``"single_doc_qa"``, ``"multi_doc_qa"``, ``"few_shot"``
+        or ``"summarization"``.
+    hops:
+        Number of retrieval hops in the evidence chain (1 for single-hop).
+    cue_length:
+        Number of cue tokens shared between the question and the evidence.
+    answer_length:
+        Number of answer tokens to generate.
+    num_distractors:
+        Number of distractor spans reusing the final cue token.
+    num_hard_distractors:
+        Distractors that reuse the full cue bigram (genuinely ambiguous even
+        with full attention; controls the task's ceiling).
+    metric:
+        ``"f1"`` or ``"rouge_l"``.
+    paper_full_kv_score:
+        The score the paper reports for the full-KV configuration on the
+        original dataset (used for reporting in EXPERIMENTS.md, not for any
+        computation).
+    """
+
+    name: str
+    category: str
+    hops: int
+    cue_length: int
+    answer_length: int
+    num_distractors: int
+    num_hard_distractors: int
+    metric: str
+    paper_full_kv_score: float
+
+    def __post_init__(self) -> None:
+        if self.hops < 1:
+            raise ValueError("hops must be at least 1")
+        if self.cue_length < 2:
+            raise ValueError("cue_length must be at least 2 (bigram anchoring)")
+        if self.metric not in ("f1", "rouge_l"):
+            raise ValueError("metric must be 'f1' or 'rouge_l'")
+
+
+LONGBENCH_TASKS: dict[str, LongBenchTaskSpec] = {
+    "2wikimqa": LongBenchTaskSpec(
+        name="2wikimqa",
+        category="multi_doc_qa",
+        hops=2,
+        cue_length=3,
+        answer_length=6,
+        num_distractors=3,
+        num_hard_distractors=0,
+        metric="f1",
+        paper_full_kv_score=49.0,
+    ),
+    "triviaqa": LongBenchTaskSpec(
+        name="triviaqa",
+        category="few_shot",
+        hops=1,
+        cue_length=3,
+        answer_length=5,
+        num_distractors=1,
+        num_hard_distractors=0,
+        metric="f1",
+        paper_full_kv_score=88.0,
+    ),
+    "hotpotqa": LongBenchTaskSpec(
+        name="hotpotqa",
+        category="multi_doc_qa",
+        hops=2,
+        cue_length=3,
+        answer_length=6,
+        num_distractors=2,
+        num_hard_distractors=0,
+        metric="f1",
+        paper_full_kv_score=58.0,
+    ),
+    "multifieldqa": LongBenchTaskSpec(
+        name="multifieldqa",
+        category="single_doc_qa",
+        hops=1,
+        cue_length=3,
+        answer_length=6,
+        num_distractors=3,
+        num_hard_distractors=0,
+        metric="f1",
+        paper_full_kv_score=52.0,
+    ),
+    "musique": LongBenchTaskSpec(
+        name="musique",
+        category="multi_doc_qa",
+        hops=3,
+        cue_length=3,
+        answer_length=6,
+        num_distractors=3,
+        num_hard_distractors=1,
+        metric="f1",
+        paper_full_kv_score=32.0,
+    ),
+    "narrativeqa": LongBenchTaskSpec(
+        name="narrativeqa",
+        category="single_doc_qa",
+        hops=2,
+        cue_length=3,
+        answer_length=8,
+        num_distractors=4,
+        num_hard_distractors=1,
+        metric="f1",
+        paper_full_kv_score=25.0,
+    ),
+    "qasper": LongBenchTaskSpec(
+        name="qasper",
+        category="single_doc_qa",
+        hops=1,
+        cue_length=3,
+        answer_length=7,
+        num_distractors=3,
+        num_hard_distractors=1,
+        metric="f1",
+        paper_full_kv_score=42.0,
+    ),
+    "govreport": LongBenchTaskSpec(
+        name="govreport",
+        category="summarization",
+        hops=1,
+        cue_length=3,
+        answer_length=16,
+        num_distractors=1,
+        num_hard_distractors=0,
+        metric="rouge_l",
+        paper_full_kv_score=31.0,
+    ),
+}
+
+
+@dataclass
+class LongBenchSample:
+    """One generated QA/summarisation sample."""
+
+    task: str
+    prompt_ids: np.ndarray
+    reference_answer: str
+    answer_length: int
+    metric: str
+    evidence_positions: np.ndarray
+    context_length: int
+
+    @property
+    def prompt_length(self) -> int:
+        return int(self.prompt_ids.shape[0])
+
+
+class LongBenchTaskGenerator:
+    """Generates samples of one synthetic LongBench-analogue task."""
+
+    def __init__(
+        self,
+        tokenizer: SyntheticTokenizer,
+        spec: LongBenchTaskSpec,
+        topic_model: TopicModel | None = None,
+        seed: int = 0,
+        protected_prefix: int = 16,
+    ) -> None:
+        self.tokenizer = tokenizer
+        self.spec = spec
+        self.seed = seed
+        self.protected_prefix = protected_prefix
+        self.topic_model = topic_model or TopicModel(tokenizer, seed=seed)
+
+    # ------------------------------------------------------------------
+    # sample generation
+    # ------------------------------------------------------------------
+    def generate_sample(self, context_length: int, index: int = 0) -> LongBenchSample:
+        """Generate one sample with a context of roughly ``context_length`` tokens."""
+        if context_length <= 4 * self.protected_prefix:
+            raise ValueError("context_length too small for the protected prefix")
+        rng = np.random.default_rng(
+            (self.seed * 1_000_003 + index * 97 + hash(self.spec.name) % 10_007) % (2**32)
+        )
+        spec = self.spec
+
+        background = self.topic_model.sample_background(context_length, rng)
+        builder = DocumentBuilder(background, protected_prefix=self.protected_prefix)
+
+        # Rare tokens for the evidence chain: cue, one two-token bridge per
+        # extra hop, and the answer span.  Two-token bridges are needed so
+        # that the bigram pointer can follow the chain from one evidence span
+        # to the next.
+        used: set[int] = set()
+        cue = self.topic_model.sample_reserved(spec.cue_length, rng, exclude=used)
+        used.update(int(token) for token in cue)
+        num_bridges = max(0, spec.hops - 1)
+        bridge_tokens = self.topic_model.sample_reserved(2 * num_bridges, rng, exclude=used)
+        used.update(int(token) for token in bridge_tokens)
+        bridges = [bridge_tokens[2 * i : 2 * i + 2] for i in range(num_bridges)]
+        answer = self.topic_model.sample_reserved(spec.answer_length, rng, exclude=used)
+        used.update(int(token) for token in answer)
+
+        # Plant the evidence chain: cue -> bridge_1 -> ... -> answer.  Each
+        # hop span starts with the previous link (so the pointer can hand
+        # over) and ends with the next link or the answer.
+        chain_heads = [cue] + bridges
+        chain_tails = bridges + [answer]
+        for head, tail in zip(chain_heads, chain_tails):
+            builder.plant(np.concatenate([head, tail]), rng, kind="evidence")
+
+        # Weak distractors reuse only the *last* cue token (so their bigram
+        # signature differs); hard distractors reuse the full cue and lead to
+        # a wrong continuation, capping the achievable score even with the
+        # full KV cache.
+        for _ in range(spec.num_distractors):
+            junk = self.topic_model.sample_reserved(spec.answer_length, rng, exclude=used)
+            builder.plant(
+                np.concatenate([cue[-1:], junk]), rng, kind="distractor"
+            )
+        for _ in range(spec.num_hard_distractors):
+            junk = self.topic_model.sample_reserved(spec.answer_length, rng, exclude=used)
+            builder.plant(np.concatenate([cue, junk]), rng, kind="hard_distractor")
+
+        document = builder.build()
+        question = np.concatenate(
+            [np.asarray([self.tokenizer.bos_id], dtype=np.int64), cue]
+        )
+        prompt_ids = np.concatenate([document, question])
+        reference_answer = self.tokenizer.decode(answer)
+
+        # Multi-hop chains emit the intermediate bridge tokens before the
+        # answer, so the generation length leaves room for them.
+        generation_length = spec.answer_length + 2 * num_bridges
+
+        return LongBenchSample(
+            task=spec.name,
+            prompt_ids=prompt_ids.astype(np.int64),
+            reference_answer=reference_answer,
+            answer_length=generation_length,
+            metric=spec.metric,
+            evidence_positions=builder.evidence_positions(),
+            context_length=int(prompt_ids.shape[0]),
+        )
+
+    def generate_dataset(
+        self, context_length: int, num_samples: int
+    ) -> list[LongBenchSample]:
+        """Generate ``num_samples`` independent samples."""
+        if num_samples <= 0:
+            raise ValueError("num_samples must be positive")
+        return [self.generate_sample(context_length, index) for index in range(num_samples)]

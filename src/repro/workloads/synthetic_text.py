@@ -1,0 +1,189 @@
+"""Synthetic long-context text generation.
+
+The offline environment has no access to LongBench or PG19, so the
+reproduction generates synthetic long documents with the two properties that
+drive the paper's accuracy results:
+
+* **Topical structure** — the vocabulary is partitioned into topics and a
+  document is a sequence of topic segments.  Tokens of the same topic have
+  correlated embeddings usage, so their keys form groups in the semantic
+  space — the structure ClusterKV's clustering exploits.
+* **Planted evidence** — question answering samples plant short evidence
+  spans (cue tokens followed by answer tokens) at random positions.  The
+  model can only produce the correct answer if the evidence positions are
+  recallable at decoding time, which is exactly the quantity the paper's
+  accuracy experiments measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..model.tokenizer import SyntheticTokenizer
+
+__all__ = ["TopicModel", "PlantedSpan", "DocumentBuilder"]
+
+
+class TopicModel:
+    """Partition of the vocabulary into topics.
+
+    Topics are *contiguous* token-id blocks, which aligns them with the
+    clustered token embeddings of :mod:`repro.model.weights` (token ids in
+    the same block share an embedding cluster centre).  A trailing fraction
+    of the vocabulary is reserved for "rare" tokens that never appear in
+    background text; evidence spans draw their cue and link tokens from this
+    reserved pool so that pointer-style retrieval has unambiguous anchors
+    (distractors reuse them deliberately).
+    """
+
+    def __init__(
+        self,
+        tokenizer: SyntheticTokenizer,
+        num_topics: int = 16,
+        reserved_fraction: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        if num_topics <= 0:
+            raise ValueError("num_topics must be positive")
+        if not 0.0 < reserved_fraction < 1.0:
+            raise ValueError("reserved_fraction must lie in (0, 1)")
+        self.tokenizer = tokenizer
+        self.num_topics = num_topics
+        self.seed = seed
+        vocab = np.arange(
+            tokenizer.num_special_tokens, tokenizer.vocab_size, dtype=np.int64
+        )
+        num_reserved = max(num_topics, int(len(vocab) * reserved_fraction))
+        background = vocab[: len(vocab) - num_reserved]
+        self.reserved_tokens = vocab[len(vocab) - num_reserved :]
+        if background.size < num_topics:
+            raise ValueError("vocabulary too small for the requested number of topics")
+        boundaries = np.linspace(0, background.size, num_topics + 1).astype(int)
+        self.topics = [
+            background[boundaries[t] : boundaries[t + 1]] for t in range(num_topics)
+        ]
+
+    def sample_topic_segment(
+        self, topic: int, length: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sample a segment of ``length`` tokens from one topic."""
+        if topic < 0 or topic >= self.num_topics:
+            raise IndexError(f"topic {topic} out of range")
+        return rng.choice(self.topics[topic], size=length, replace=True)
+
+    def sample_background(
+        self, length: int, rng: np.random.Generator, segment_length: int = 32
+    ) -> np.ndarray:
+        """Sample ``length`` tokens of topic-structured background text."""
+        pieces = []
+        remaining = length
+        while remaining > 0:
+            topic = int(rng.integers(0, self.num_topics))
+            seg_len = int(min(remaining, segment_length))
+            pieces.append(self.sample_topic_segment(topic, seg_len, rng))
+            remaining -= seg_len
+        return np.concatenate(pieces) if pieces else np.zeros(0, dtype=np.int64)
+
+    def sample_reserved(
+        self, count: int, rng: np.random.Generator, exclude: set[int] | None = None
+    ) -> np.ndarray:
+        """Sample distinct rare tokens (used for cues, links and answers)."""
+        exclude = exclude or set()
+        candidates = np.array(
+            [token for token in self.reserved_tokens if int(token) not in exclude],
+            dtype=np.int64,
+        )
+        if candidates.size < count:
+            raise ValueError("not enough reserved tokens available")
+        return rng.choice(candidates, size=count, replace=False)
+
+
+@dataclass(frozen=True)
+class PlantedSpan:
+    """A contiguous token span planted into a document at a known position."""
+
+    tokens: np.ndarray
+    position: int
+    kind: str = "evidence"
+
+    @property
+    def end(self) -> int:
+        return self.position + len(self.tokens)
+
+
+@dataclass
+class DocumentBuilder:
+    """Assembles a background document and plants spans into it.
+
+    Spans overwrite the background tokens at their position; the builder
+    guarantees that planted spans never overlap each other or the
+    attention-sink prefix.
+    """
+
+    background: np.ndarray
+    protected_prefix: int = 16
+    spans: list[PlantedSpan] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.background = np.asarray(self.background, dtype=np.int64).copy()
+        if self.protected_prefix >= len(self.background):
+            raise ValueError("protected prefix longer than the document")
+
+    @property
+    def length(self) -> int:
+        return int(self.background.shape[0])
+
+    def _occupied(self) -> list[tuple[int, int]]:
+        return [(span.position, span.end) for span in self.spans]
+
+    def plant(
+        self,
+        tokens: np.ndarray,
+        rng: np.random.Generator,
+        kind: str = "evidence",
+        region: tuple[int, int] | None = None,
+        max_attempts: int = 200,
+    ) -> PlantedSpan:
+        """Plant ``tokens`` at a random non-overlapping position.
+
+        Parameters
+        ----------
+        tokens:
+            Span to plant.
+        rng:
+            Random generator controlling the position.
+        kind:
+            Label stored on the span (``"evidence"``, ``"distractor"``, ...).
+        region:
+            Optional ``(low, high)`` bounds for the span start position.
+        """
+        tokens = np.asarray(tokens, dtype=np.int64)
+        span_len = tokens.shape[0]
+        low = self.protected_prefix if region is None else max(region[0], self.protected_prefix)
+        high = self.length - span_len if region is None else min(region[1], self.length - span_len)
+        if high <= low:
+            raise ValueError("no room to plant the span in the requested region")
+        occupied = self._occupied()
+        for _ in range(max_attempts):
+            position = int(rng.integers(low, high))
+            end = position + span_len
+            if all(end <= start or position >= stop for start, stop in occupied):
+                self.background[position:end] = tokens
+                span = PlantedSpan(tokens=tokens.copy(), position=position, kind=kind)
+                self.spans.append(span)
+                return span
+        raise RuntimeError("failed to find a non-overlapping position for the span")
+
+    def build(self) -> np.ndarray:
+        """Return the document token ids."""
+        return self.background.copy()
+
+    def evidence_positions(self) -> np.ndarray:
+        """Token positions covered by evidence spans (for analyses)."""
+        positions: list[int] = []
+        for span in self.spans:
+            if span.kind == "evidence":
+                positions.extend(range(span.position, span.end))
+        return np.asarray(sorted(positions), dtype=np.int64)

@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    GenerationConfig,
+    ModelConfig,
+    SyntheticTokenizer,
+    TransformerModel,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> ModelConfig:
+    """A very small model configuration used across tests."""
+    return ModelConfig(
+        name="test-tiny",
+        vocab_size=128,
+        d_model=32,
+        n_layers=2,
+        n_heads=4,
+        n_kv_heads=2,
+        d_ff=64,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_model(tiny_config: ModelConfig) -> TransformerModel:
+    """A tiny transformer with deterministic weights."""
+    return TransformerModel(tiny_config)
+
+
+@pytest.fixture(scope="session")
+def tiny_tokenizer(tiny_config: ModelConfig) -> SyntheticTokenizer:
+    """Tokenizer matching the tiny model's vocabulary."""
+    return SyntheticTokenizer(tiny_config.vocab_size)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Deterministic random generator for individual tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def short_prompt(tiny_config: ModelConfig, rng: np.random.Generator) -> np.ndarray:
+    """A short random prompt of valid token ids."""
+    return rng.integers(4, tiny_config.vocab_size, size=96).astype(np.int64)
+
+
+@pytest.fixture()
+def fast_generation_config() -> GenerationConfig:
+    """Generation settings that keep tests fast."""
+    return GenerationConfig(
+        budget=None,
+        max_new_tokens=4,
+        num_full_layers=1,
+        num_sink_tokens=4,
+    )

@@ -1,0 +1,73 @@
+"""Unit tests for the motivation analyses (Fig. 3a/3b)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyse_page_fragmentation, track_token_importance
+from repro.baselines import top_k_indices
+
+
+class TestImportanceTracking:
+    def test_trace_shape_and_bounds(self, tiny_model, short_prompt):
+        positions = np.array([10, 40, 80])
+        trace = track_token_importance(
+            tiny_model, short_prompt, positions, num_steps=6, num_sink_tokens=4
+        )
+        assert trace.rankings.shape == (6, 3)
+        assert trace.rankings.min() >= 0
+        np.testing.assert_array_equal(trace.token_positions, positions)
+
+    def test_rank_variation_nonnegative(self, tiny_model, short_prompt):
+        trace = track_token_importance(
+            tiny_model, short_prompt, [5, 50], num_steps=5, num_sink_tokens=4
+        )
+        variation = trace.rank_variation()
+        assert np.all(variation >= 0)
+        low, high = trace.rank_range(0)
+        assert low <= high
+
+    def test_importance_fluctuates(self, tiny_model, short_prompt):
+        """The paper's motivating observation: rankings change across steps."""
+        trace = track_token_importance(
+            tiny_model, short_prompt, np.arange(10, 90, 10), num_steps=12, num_sink_tokens=4
+        )
+        assert trace.rank_variation().max() > 0
+
+
+class TestFragmentation:
+    def test_uniform_scores_spread_over_pages(self, rng):
+        score_vectors = [rng.normal(size=256) for _ in range(4)]
+        stats = analyse_page_fragmentation(score_vectors, top_k=16, page_size=16)
+        assert 1.0 <= stats.important_per_occupied_page <= 16.0
+        assert 0.0 < stats.occupied_page_fraction <= 1.0
+        assert stats.histogram.sum() > 0
+        assert stats.waste_factor >= 1.0
+
+    def test_clustered_scores_fill_pages(self):
+        """If all important tokens sit in one page, fragmentation is minimal."""
+        scores = np.zeros(128)
+        scores[32:48] = 10.0  # exactly one page of 16
+        stats = analyse_page_fragmentation([scores], top_k=16, page_size=16)
+        assert stats.important_per_occupied_page == pytest.approx(16.0)
+        assert stats.waste_factor == pytest.approx(1.0)
+
+    def test_scattered_scores_fragment(self):
+        """Important tokens spaced one per page give the worst waste factor."""
+        scores = np.zeros(256)
+        scores[::16] = 5.0
+        stats = analyse_page_fragmentation([scores], top_k=16, page_size=16)
+        assert stats.important_per_occupied_page == pytest.approx(1.0)
+        assert stats.waste_factor == pytest.approx(16.0)
+
+    def test_consistency_with_topk(self):
+        scores = np.arange(64, dtype=float)
+        stats = analyse_page_fragmentation([scores], top_k=8, page_size=16)
+        important = top_k_indices(scores, 8)
+        assert stats.top_k == 8
+        assert important.min() == 56  # the last 8 positions
+
+    def test_validates_inputs(self, rng):
+        with pytest.raises(ValueError):
+            analyse_page_fragmentation([], top_k=4)
+        with pytest.raises(ValueError):
+            analyse_page_fragmentation([rng.normal(size=16)], top_k=0)

@@ -1,0 +1,96 @@
+"""Unit tests for the attention module."""
+
+import numpy as np
+import pytest
+
+from repro.model.attention import full_causal_attention, selected_attention
+from repro.model.tensor_ops import softmax
+
+
+def _random_qkv(rng, n_heads=4, n_kv_heads=2, length=8, head_dim=8):
+    q = rng.normal(size=(n_heads, length, head_dim))
+    k = rng.normal(size=(n_kv_heads, length, head_dim))
+    v = rng.normal(size=(n_kv_heads, length, head_dim))
+    return q, k, v
+
+
+class TestFullCausalAttention:
+    def test_output_shape(self, rng):
+        q, k, v = _random_qkv(rng)
+        out = full_causal_attention(q, k, v, scale=0.5)
+        assert out.output.shape == (8, 4 * 8)
+
+    def test_first_token_attends_only_to_itself(self, rng):
+        q, k, v = _random_qkv(rng)
+        out = full_causal_attention(q, k, v, scale=0.5, return_weights=True)
+        for head_weights in out.weights:
+            np.testing.assert_allclose(head_weights[0, 1:], 0.0, atol=1e-12)
+            assert head_weights[0, 0] == pytest.approx(1.0)
+
+    def test_weights_rows_sum_to_one(self, rng):
+        q, k, v = _random_qkv(rng)
+        out = full_causal_attention(q, k, v, scale=0.5, return_weights=True)
+        for head_weights in out.weights:
+            np.testing.assert_allclose(head_weights.sum(axis=-1), 1.0, atol=1e-9)
+
+    def test_matches_manual_single_head(self, rng):
+        q = rng.normal(size=(1, 4, 8))
+        k = rng.normal(size=(1, 4, 8))
+        v = rng.normal(size=(1, 4, 8))
+        out = full_causal_attention(q, k, v, scale=1.0)
+        # Manual computation for the last query (sees all four keys).
+        scores = q[0, -1] @ k[0].T
+        expected_last = softmax(scores) @ v[0]
+        np.testing.assert_allclose(out.output[-1], expected_last, atol=1e-9)
+
+    def test_gqa_mapping(self, rng):
+        """With identical kv heads, GQA must equal MHA with repeated kv."""
+        q = rng.normal(size=(4, 5, 8))
+        k_single = rng.normal(size=(1, 5, 8))
+        v_single = rng.normal(size=(1, 5, 8))
+        gqa = full_causal_attention(q, k_single, v_single, scale=0.3)
+        k_rep = np.repeat(k_single, 4, axis=0)
+        v_rep = np.repeat(v_single, 4, axis=0)
+        mha = full_causal_attention(q, k_rep, v_rep, scale=0.3)
+        np.testing.assert_allclose(gqa.output, mha.output, atol=1e-12)
+
+    def test_rejects_bad_grouping(self, rng):
+        q = rng.normal(size=(4, 3, 8))
+        k = rng.normal(size=(3, 3, 8))
+        v = rng.normal(size=(3, 3, 8))
+        with pytest.raises(ValueError):
+            full_causal_attention(q, k, v, scale=1.0)
+
+
+class TestSelectedAttention:
+    def test_selecting_everything_matches_full(self, rng):
+        """Decode attention over all tokens equals the last row of full attention."""
+        q, k, v = _random_qkv(rng, length=10)
+        full = full_causal_attention(q, k, v, scale=0.4)
+        last_queries = q[:, -1, :]
+        keys = [k[h] for h in range(k.shape[0])]
+        values = [v[h] for h in range(v.shape[0])]
+        selected = selected_attention(last_queries, keys, values, scale=0.4)
+        np.testing.assert_allclose(selected.output, full.output[-1], atol=1e-9)
+
+    def test_variable_selection_sizes_per_head(self, rng):
+        q = rng.normal(size=(4, 8))
+        keys = [rng.normal(size=(3, 8)), rng.normal(size=(7, 8))]
+        values = [rng.normal(size=(3, 8)), rng.normal(size=(7, 8))]
+        out = selected_attention(q, keys, values, scale=1.0)
+        assert out.output.shape == (4 * 8,)
+        assert out.weights[0].shape == (3,)
+        assert out.weights[-1].shape == (7,)
+
+    def test_empty_selection_raises(self, rng):
+        q = rng.normal(size=(2, 8))
+        with pytest.raises(ValueError):
+            selected_attention(q, [np.zeros((0, 8))], [np.zeros((0, 8))], scale=1.0)
+
+    def test_single_token_selection_returns_its_value(self, rng):
+        q = rng.normal(size=(2, 4))
+        key = rng.normal(size=(1, 4))
+        value = rng.normal(size=(1, 4))
+        out = selected_attention(q, [key], [value], scale=1.0)
+        np.testing.assert_allclose(out.output[:4], value[0], atol=1e-12)
+        np.testing.assert_allclose(out.output[4:], value[0], atol=1e-12)

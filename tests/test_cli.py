@@ -1,0 +1,47 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_experiments_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig12"])
+        assert args.command == "fig12"
+        args = parser.parse_args(["fig9", "--scale", "32", "--samples", "3"])
+        assert args.scale == 32
+        assert args.samples == 3
+
+    def test_unknown_command_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig99"])
+
+
+class TestMain:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "regenerate" in capsys.readouterr().out
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12" in out and "cache-study" in out
+
+    def test_fig12_runs_and_prints_table(self, capsys):
+        assert main(["fig12"]) == 0
+        out = capsys.readouterr().out
+        assert "[Fig. 12]" in out
+        assert "best speedup" in out
+
+    def test_fig13_runs(self, capsys):
+        assert main(["fig13"]) == 0
+        out = capsys.readouterr().out
+        assert "[Fig. 13a]" in out and "[Fig. 13b]" in out
+
+    def test_output_file_written(self, tmp_path, capsys):
+        target = tmp_path / "fig12.txt"
+        assert main(["fig12", "--out", str(target)]) == 0
+        assert "[Fig. 12]" in target.read_text()

@@ -1,0 +1,145 @@
+"""Unit tests for the semantic clustering of key vectors."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import (
+    ClusteringResult,
+    cluster_heads,
+    clustering_flops,
+    kmeans_cluster,
+    pairwise_scores,
+)
+
+
+def _blobs(rng, centers, points_per_center, noise=0.05):
+    """Well-separated clusters of unit-ish vectors around given centres."""
+    pieces = []
+    for center in centers:
+        pieces.append(center[None, :] + noise * rng.normal(size=(points_per_center, center.shape[0])))
+    return np.concatenate(pieces, axis=0)
+
+
+class TestPairwiseScores:
+    def test_cosine_is_scale_invariant(self, rng):
+        keys = rng.normal(size=(5, 8))
+        centroids = rng.normal(size=(3, 8))
+        a = pairwise_scores(keys, centroids, "cosine")
+        b = pairwise_scores(keys * 10.0, centroids, "cosine")
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    def test_ip_is_not_scale_invariant(self, rng):
+        keys = rng.normal(size=(5, 8))
+        centroids = rng.normal(size=(3, 8))
+        a = pairwise_scores(keys, centroids, "ip")
+        b = pairwise_scores(keys * 10.0, centroids, "ip")
+        np.testing.assert_allclose(b, 10.0 * a, atol=1e-9)
+
+    def test_l2_argmax_matches_nearest(self, rng):
+        keys = rng.normal(size=(10, 4))
+        centroids = rng.normal(size=(3, 4))
+        scores = pairwise_scores(keys, centroids, "l2")
+        explicit = np.array(
+            [[np.sum((k - c) ** 2) for c in centroids] for k in keys]
+        )
+        np.testing.assert_array_equal(np.argmax(scores, axis=1), np.argmin(explicit, axis=1))
+
+    def test_unknown_metric_raises(self, rng):
+        with pytest.raises(ValueError):
+            pairwise_scores(rng.normal(size=(2, 2)), rng.normal(size=(2, 2)), "manhattan")
+
+
+class TestKMeans:
+    def test_recovers_separated_clusters(self, rng):
+        centers = np.eye(8)[:3]
+        keys = _blobs(rng, centers, points_per_center=20)
+        result = kmeans_cluster(keys, 3, metric="cosine", seed=0)
+        assert result.n_clusters == 3
+        # All points generated from the same centre must share a label.
+        labels = result.labels.reshape(3, 20)
+        for group in labels:
+            assert len(set(group.tolist())) == 1
+        # And different centres must have different labels.
+        assert len({group[0] for group in labels}) == 3
+
+    def test_labels_in_range_and_sizes_sum(self, rng):
+        keys = rng.normal(size=(50, 8))
+        result = kmeans_cluster(keys, 7, seed=1)
+        assert result.labels.shape == (50,)
+        assert result.labels.min() >= 0
+        assert result.labels.max() < result.n_clusters
+        assert result.cluster_sizes().sum() == 50
+
+    def test_no_empty_clusters(self, rng):
+        keys = rng.normal(size=(40, 6))
+        result = kmeans_cluster(keys, 10, seed=2)
+        assert np.all(result.cluster_sizes() > 0)
+
+    def test_more_clusters_than_points_is_clamped(self, rng):
+        keys = rng.normal(size=(4, 6))
+        result = kmeans_cluster(keys, 16, seed=3)
+        assert result.n_clusters <= 4
+        assert result.labels.shape == (4,)
+
+    def test_empty_input(self):
+        result = kmeans_cluster(np.zeros((0, 8)), 4)
+        assert result.n_clusters == 0
+        assert result.labels.shape == (0,)
+
+    def test_deterministic_for_fixed_seed(self, rng):
+        keys = rng.normal(size=(30, 8))
+        a = kmeans_cluster(keys, 5, seed=9)
+        b = kmeans_cluster(keys, 5, seed=9)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        np.testing.assert_allclose(a.centroids, b.centroids)
+
+    def test_convergence_flag(self, rng):
+        centers = np.eye(4)[:2]
+        keys = _blobs(rng, centers, points_per_center=10)
+        result = kmeans_cluster(keys, 2, max_iters=50, seed=0)
+        assert result.converged
+        assert result.n_iters <= 50
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ValueError):
+            kmeans_cluster(rng.normal(size=(10,)), 2)
+        with pytest.raises(ValueError):
+            kmeans_cluster(rng.normal(size=(10, 4)), 0)
+
+    def test_centroid_is_mean_of_members_cosine(self, rng):
+        keys = rng.normal(size=(24, 6))
+        result = kmeans_cluster(keys, 3, metric="cosine", seed=4)
+        if not result.converged:
+            pytest.skip("did not converge within the iteration cap")
+        for cluster in range(result.n_clusters):
+            members = keys[result.labels == cluster]
+            np.testing.assert_allclose(
+                result.centroids[cluster], members.mean(axis=0), atol=1e-9
+            )
+
+
+class TestClusterHeads:
+    def test_per_head_results(self, rng):
+        keys = rng.normal(size=(3, 30, 8))
+        results = cluster_heads(keys, 4, seed=0)
+        assert len(results) == 3
+        for result in results:
+            assert isinstance(result, ClusteringResult)
+            assert result.labels.shape == (30,)
+
+    def test_heads_clustered_independently(self, rng):
+        keys = rng.normal(size=(2, 30, 8))
+        results = cluster_heads(keys, 4, seed=0)
+        # Different heads have different data, so centroids must differ.
+        assert not np.allclose(results[0].centroids, results[1].centroids)
+
+    def test_rejects_bad_shape(self, rng):
+        with pytest.raises(ValueError):
+            cluster_heads(rng.normal(size=(30, 8)), 4)
+
+
+def test_clustering_flops_scaling():
+    base = clustering_flops(100, 10, 16, 5)
+    assert clustering_flops(200, 10, 16, 5) == 2 * base
+    assert clustering_flops(100, 20, 16, 5) == 2 * base
+    assert base > 0

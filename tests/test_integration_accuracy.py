@@ -1,0 +1,121 @@
+"""End-to-end integration tests of the accuracy pipeline at a small scale.
+
+These tests exercise the full path — workload generation, inference engine,
+KV selection, metric scoring — and assert the *qualitative* results the
+paper reports (who wins, and that compression at a generous budget matches
+full attention), with loose thresholds so that the suite stays robust to the
+exact synthetic configuration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ContextScale,
+    EvaluationContext,
+    build_clusterkv_config,
+    build_selector,
+    evaluate_sample,
+)
+from repro.core import ClusterKVSelector
+from repro.metrics import mean_recall
+from repro.workloads import LONGBENCH_TASKS, LongBenchTaskGenerator
+
+SCALE = ContextScale(64)  # very small contexts: fast CI-scale integration
+CONTEXT_LENGTH = 512
+NUM_SAMPLES = 3
+
+
+@pytest.fixture(scope="module")
+def eval_context():
+    return EvaluationContext.create("glm-sim", SCALE, seed=0)
+
+
+@pytest.fixture(scope="module")
+def qa_samples(eval_context):
+    generator = LongBenchTaskGenerator(
+        eval_context.tokenizer,
+        LONGBENCH_TASKS["multifieldqa"],
+        topic_model=eval_context.topic_model,
+        seed=0,
+    )
+    return generator.generate_dataset(CONTEXT_LENGTH, NUM_SAMPLES)
+
+
+def _mean_score(eval_context, samples, method, budget):
+    scores = []
+    for sample in samples:
+        selector = build_selector(method, SCALE)
+        score, _ = evaluate_sample(
+            eval_context, selector, sample, budget, num_full_layers=1
+        )
+        scores.append(score)
+    return float(np.mean(scores))
+
+
+@pytest.mark.integration
+class TestAccuracyPipeline:
+    def test_full_kv_solves_retrieval_task(self, eval_context, qa_samples):
+        score = _mean_score(eval_context, qa_samples, "full", None)
+        assert score > 0.9
+
+    def test_generous_budget_matches_full(self, eval_context, qa_samples):
+        """At ~40% of the context the compressed methods match full KV."""
+        budget = int(0.4 * CONTEXT_LENGTH)
+        full = _mean_score(eval_context, qa_samples, "full", None)
+        clusterkv = _mean_score(eval_context, qa_samples, "clusterkv", budget)
+        assert clusterkv >= full - 0.15
+
+    def test_clusterkv_beats_quest_at_tight_budget(self, eval_context, qa_samples):
+        budget = max(16, CONTEXT_LENGTH // 16)
+        clusterkv = _mean_score(eval_context, qa_samples, "clusterkv", budget)
+        quest = _mean_score(eval_context, qa_samples, "quest", budget)
+        assert clusterkv >= quest
+
+    def test_oracle_upper_bounds_methods(self, eval_context, qa_samples):
+        budget = max(24, CONTEXT_LENGTH // 12)
+        oracle = _mean_score(eval_context, qa_samples, "oracle", budget)
+        quest = _mean_score(eval_context, qa_samples, "quest", budget)
+        assert oracle >= quest - 1e-9
+
+
+@pytest.mark.integration
+class TestRecallPipeline:
+    def test_recall_ordering_and_monotonicity(self, eval_context, qa_samples):
+        """ClusterKV recalls more important tokens than Quest, and recall
+        grows with the budget (paper Fig. 11a)."""
+        sample = qa_samples[0]
+        sample.answer_length = 8
+
+        def recall(method, budget):
+            selector = build_selector(method, SCALE)
+            _, result = evaluate_sample(
+                eval_context,
+                selector,
+                sample,
+                budget,
+                num_full_layers=1,
+                record_true_scores=True,
+            )
+            return mean_recall(result.recall_records)
+
+        tight = max(16, CONTEXT_LENGTH // 16)
+        generous = CONTEXT_LENGTH // 4
+        assert recall("clusterkv", generous) > recall("clusterkv", tight) - 0.05
+        assert recall("clusterkv", generous) >= recall("quest", generous) - 0.05
+
+    def test_cache_hit_rate_increases_with_history(self, eval_context, qa_samples):
+        """R = 2 caches at least as well as R = 1 (paper Sec. V-C)."""
+        sample = qa_samples[0]
+        sample.answer_length = 12
+        budget = CONTEXT_LENGTH // 8
+        hit_rates = {}
+        for history in (1, 2):
+            selector = ClusterKVSelector(
+                build_clusterkv_config(SCALE, cache_history=history)
+            )
+            _, result = evaluate_sample(
+                eval_context, selector, sample, budget, num_full_layers=1
+            )
+            hit_rates[history] = result.cache_hit_rate
+        assert hit_rates[2] >= hit_rates[1] - 1e-9

@@ -1,0 +1,121 @@
+"""Unit tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    ScoreTable,
+    average_scores,
+    mean_recall,
+    normalize_answer,
+    perplexity_from_logprobs,
+    qa_f1_score,
+    recall_by_budget,
+    rouge_l_score,
+)
+from repro.model.generation import RecallRecord
+
+
+class TestQAF1:
+    def test_exact_match(self):
+        assert qa_f1_score("w1 w2 w3", "w1 w2 w3") == pytest.approx(1.0)
+
+    def test_no_overlap(self):
+        assert qa_f1_score("a b", "c d") == 0.0
+
+    def test_partial_overlap(self):
+        # prediction has 2 tokens, reference 4, overlap 2 -> P=1, R=0.5, F1=2/3
+        assert qa_f1_score("w1 w2", "w1 w2 w3 w4") == pytest.approx(2 / 3)
+
+    def test_case_and_punctuation_normalised(self):
+        assert qa_f1_score("Hello, World!", "hello world") == pytest.approx(1.0)
+
+    def test_empty_prediction(self):
+        assert qa_f1_score("", "w1") == 0.0
+        assert qa_f1_score("", "") == 1.0
+
+    def test_order_does_not_matter_for_bag_overlap(self):
+        assert qa_f1_score("w2 w1", "w1 w2") == pytest.approx(1.0)
+
+    def test_normalize_answer(self):
+        assert normalize_answer(" A, b! ") == ["a", "b"]
+
+
+class TestRougeL:
+    def test_identical(self):
+        assert rouge_l_score("w1 w2 w3", "w1 w2 w3") == pytest.approx(1.0)
+
+    def test_subsequence_order_matters(self):
+        in_order = rouge_l_score("w1 w2 w3 w4", "w1 w3")
+        reversed_order = rouge_l_score("w1 w2 w3 w4", "w3 w1")
+        assert in_order > reversed_order
+
+    def test_disjoint(self):
+        assert rouge_l_score("a b", "c d") == 0.0
+
+    def test_bounded_by_one(self):
+        assert 0.0 <= rouge_l_score("w1 w2 w5", "w1 w2 w3 w4") <= 1.0
+
+
+class TestPerplexity:
+    def test_uniform_distribution(self):
+        logprobs = [np.log(1 / 16)] * 10
+        assert perplexity_from_logprobs(logprobs) == pytest.approx(16.0)
+
+    def test_perfect_prediction(self):
+        assert perplexity_from_logprobs([0.0, 0.0]) == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            perplexity_from_logprobs([])
+
+    def test_non_finite_raises(self):
+        with pytest.raises(ValueError):
+            perplexity_from_logprobs([0.0, -np.inf])
+
+
+class TestRecallAggregation:
+    def _records(self):
+        return [
+            RecallRecord(step=0, layer=2, head=0, budget=64, recall=0.5),
+            RecallRecord(step=0, layer=2, head=1, budget=64, recall=0.7),
+            RecallRecord(step=1, layer=3, head=0, budget=128, recall=0.9),
+        ]
+
+    def test_mean_recall(self):
+        assert mean_recall(self._records()) == pytest.approx((0.5 + 0.7 + 0.9) / 3)
+
+    def test_mean_recall_empty(self):
+        assert mean_recall([]) == 0.0
+
+    def test_recall_by_budget(self):
+        grouped = recall_by_budget(self._records())
+        assert grouped[64] == pytest.approx(0.6)
+        assert grouped[128] == pytest.approx(0.9)
+
+
+class TestScoreTable:
+    def test_record_and_query(self):
+        table = ScoreTable()
+        table.record("clusterkv", 256, "qasper", 0.8)
+        table.record("clusterkv", 512, "qasper", 0.9)
+        table.record("quest", 256, "qasper", 0.5)
+        assert table.methods() == ["clusterkv", "quest"]
+        assert table.budgets() == [256, 512]
+        assert table.task_curve("clusterkv", "qasper") == {256: 0.8, 512: 0.9}
+
+    def test_average_by_budget(self):
+        table = ScoreTable()
+        table.record("clusterkv", 256, "a", 0.4)
+        table.record("clusterkv", 256, "b", 0.6)
+        assert table.average_by_budget("clusterkv") == {256: pytest.approx(0.5)}
+
+    def test_to_rows_flattening(self):
+        table = ScoreTable()
+        table.record("full", 256, "a", 1.0)
+        rows = table.to_rows()
+        assert rows == [{"method": "full", "budget": 256, "task": "a", "score": 1.0}]
+
+    def test_average_scores_empty_raises(self):
+        with pytest.raises(ValueError):
+            average_scores({})

@@ -1,0 +1,181 @@
+"""Unit tests for the analytical performance model."""
+
+import pytest
+
+from repro.model import get_reference_architecture
+from repro.perfmodel import (
+    ADA_6000,
+    LatencyModel,
+    MethodLatencyParams,
+    OpCost,
+    attention_decode_cost,
+    attention_prefill_cost,
+    kv_bytes,
+    linear_layers_cost,
+    roofline_time,
+)
+
+
+@pytest.fixture(scope="module")
+def llama():
+    return get_reference_architecture("llama-3.1-8b")
+
+
+@pytest.fixture(scope="module")
+def model(llama):
+    return LatencyModel(llama, ADA_6000)
+
+
+class TestCosts:
+    def test_opcost_addition_and_scaling(self):
+        a = OpCost(flops=1.0, device_bytes=2.0, pcie_bytes=3.0)
+        b = OpCost(flops=10.0, device_bytes=20.0, pcie_bytes=30.0, fixed_seconds=1.0)
+        total = a + b
+        assert total.flops == 11.0
+        assert total.pcie_bytes == 33.0
+        scaled = a.scaled(4)
+        assert scaled.device_bytes == 8.0
+
+    def test_roofline_compute_vs_memory_bound(self):
+        compute_heavy = OpCost(flops=1e15, device_bytes=1.0)
+        memory_heavy = OpCost(flops=1.0, device_bytes=1e12)
+        t_compute = roofline_time(compute_heavy, ADA_6000)
+        t_memory = roofline_time(memory_heavy, ADA_6000)
+        assert t_compute == pytest.approx(
+            1e15 / (ADA_6000.compute_flops * ADA_6000.kernel_efficiency)
+        )
+        assert t_memory == pytest.approx(
+            1e12 / (ADA_6000.memory_bandwidth * ADA_6000.kernel_efficiency)
+        )
+
+    def test_pcie_overlap(self):
+        cost = OpCost(device_bytes=1e9, pcie_bytes=1e9)
+        serial = roofline_time(cost, ADA_6000, overlap_pcie=False)
+        overlapped = roofline_time(cost, ADA_6000, overlap_pcie=True)
+        assert overlapped < serial
+
+    def test_kv_bytes_scaling(self, llama):
+        single = kv_bytes(llama, 1)
+        assert single == 2 * llama.n_layers * llama.n_kv_heads * llama.head_dim * 2
+        assert kv_bytes(llama, 100) == 100 * single
+        assert kv_bytes(llama, 10, num_layers=2) < kv_bytes(llama, 10)
+
+    def test_linear_cost_weight_bytes_independent_of_tokens(self, llama):
+        one = linear_layers_cost(llama, 1)
+        many = linear_layers_cost(llama, 128)
+        assert many.flops == pytest.approx(128 * one.flops, rel=1e-6)
+        # Weight streaming dominates the bytes and is token-independent.
+        assert many.device_bytes < 2 * one.device_bytes
+
+    def test_attention_costs_scale_with_length(self, llama):
+        assert (
+            attention_prefill_cost(llama, 2048).flops
+            == attention_prefill_cost(llama, 1024).flops * 4
+        )
+        assert (
+            attention_decode_cost(llama, 2048).device_bytes
+            == attention_decode_cost(llama, 1024).device_bytes * 2
+        )
+
+    def test_read_amplification(self, llama):
+        base = attention_decode_cost(llama, 1000, read_amplification=1.0)
+        amplified = attention_decode_cost(llama, 1000, read_amplification=4.0)
+        assert amplified.device_bytes == pytest.approx(4 * base.device_bytes)
+
+
+class TestLatencyModel:
+    def test_decode_step_full_grows_with_context(self, model):
+        short = model.decode_step("full", 8192, None)
+        long = model.decode_step("full", 32768, None)
+        assert long["total"] > short["total"]
+
+    def test_clusterkv_step_nearly_flat_in_context(self, model):
+        short = model.decode_step("clusterkv", 8192, 1024)
+        long = model.decode_step("clusterkv", 32768, 1024)
+        assert long["total"] < 1.2 * short["total"]
+
+    def test_clusterkv_faster_than_full_at_long_context(self, model):
+        full = model.decode_step("full", 32768, None)
+        compressed = model.decode_step("clusterkv", 32768, 1024)
+        assert compressed["total"] < full["total"]
+
+    def test_infinigen_selection_scales_with_context(self, model):
+        short = model.decode_step("infinigen", 8192, 256)
+        long = model.decode_step("infinigen", 32768, 256)
+        assert long["selection"] > short["selection"]
+
+    def test_quest_has_no_pcie_transfer(self, model):
+        step = model.decode_step("quest", 32768, 1024)
+        assert step["transfer"] == 0.0
+
+    def test_cache_disabled_costs_more(self, model):
+        cached = model.decode_step("clusterkv", 32768, 1024, cache_hit_rate=0.63)
+        uncached = model.decode_step(
+            "clusterkv", 32768, 1024, cache_hit_rate=0.0, cluster_cache_enabled=False
+        )
+        assert uncached["total"] > 1.5 * cached["total"]
+
+    def test_generation_latency_report_consistency(self, model):
+        report = model.generation_latency("clusterkv", 16384, 512, budget=1024)
+        assert report.total_seconds == pytest.approx(
+            report.prefill_seconds + report.prefill_build_seconds + report.decode_seconds
+        )
+        assert report.decode_throughput == pytest.approx(512 / report.decode_seconds)
+
+    def test_unknown_method_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.decode_step("h2o", 1024, 64)
+        with pytest.raises(ValueError):
+            model.generation_latency("h2o", 1024, 64)
+
+    def test_invalid_lengths_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.generation_latency("full", 0, 64)
+
+
+class TestPaperShapes:
+    """Coarse checks that the modelled numbers match the paper's claims."""
+
+    def test_fig12_speedup_band(self, model):
+        full = model.generation_latency("full", 32768, 1024)
+        ours = model.generation_latency("clusterkv", 32768, 1024, budget=1024)
+        speedup = ours.speedup_over(full)
+        assert 1.4 <= speedup <= 2.5  # paper reports ~2x
+
+    def test_fig12_throughput_band(self, model):
+        full = model.generation_latency("full", 32768, 1024)
+        ours = model.generation_latency("clusterkv", 32768, 1024, budget=1024)
+        ratio = ours.decode_throughput / full.decode_throughput
+        assert 1.7 <= ratio <= 3.0  # paper reports up to 2.5x
+
+    def test_prefill_clustering_overhead_small(self, model):
+        report = model.generation_latency("clusterkv", 32768, 256, budget=1024)
+        fraction = report.prefill_build_seconds / (
+            report.prefill_seconds + report.prefill_build_seconds
+        )
+        assert fraction < 0.10  # paper: 6-8% of prefill
+
+    def test_fig13b_quest_parity(self, model):
+        for prompt in (8192, 32768):
+            quest = model.generation_latency("quest", prompt, 512, budget=1024)
+            ours = model.generation_latency("clusterkv", prompt, 512, budget=1024)
+            deviation = abs(ours.total_seconds - quest.total_seconds) / quest.total_seconds
+            assert deviation < 0.08  # paper: within ~5%
+
+    def test_fig13a_infinigen_speedup(self):
+        opt = get_reference_architecture("opt-6.7b")
+        model = LatencyModel(opt, ADA_6000)
+        infinigen = model.generation_latency("infinigen", 2048, 256, budget=256)
+        ours = model.generation_latency("clusterkv", 2048, 256, budget=256)
+        speedup = ours.speedup_over(infinigen)
+        assert 1.8 <= speedup <= 3.0  # paper: ~2.3x average
+
+    def test_custom_params_change_results(self, llama):
+        default = LatencyModel(llama, ADA_6000)
+        tweaked = LatencyModel(
+            llama, ADA_6000, MethodLatencyParams(cache_hit_rate=0.0)
+        )
+        assert (
+            tweaked.decode_step("clusterkv", 32768, 1024)["transfer"]
+            > default.decode_step("clusterkv", 32768, 1024)["transfer"]
+        )

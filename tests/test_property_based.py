@@ -1,0 +1,147 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.baselines import top_k_indices
+from repro.core.clustering import kmeans_cluster
+from repro.core.metadata import ClusterMetadata
+from repro.core.selection import select_clusters
+from repro.core.cache import ClusterCache
+from repro.metrics import qa_f1_score, rouge_l_score
+from repro.model.tensor_ops import softmax
+
+# Keep hypothesis runs short: the functions under test are numerical and each
+# example is cheap, but CI time still matters.
+SETTINGS = settings(max_examples=40, deadline=None)
+
+
+finite_floats = st.floats(
+    min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+
+
+@SETTINGS
+@given(arrays(np.float64, st.integers(1, 40), elements=finite_floats))
+def test_softmax_is_a_distribution(x):
+    out = softmax(x)
+    assert np.all(out >= 0)
+    assert np.isclose(out.sum(), 1.0)
+
+
+@SETTINGS
+@given(
+    arrays(np.float64, st.integers(1, 60), elements=finite_floats),
+    st.integers(min_value=0, max_value=80),
+)
+def test_top_k_indices_properties(scores, k):
+    indices = top_k_indices(scores, k)
+    expected = min(k, scores.shape[0])
+    assert indices.shape[0] == expected
+    assert np.all(np.diff(indices) > 0) or indices.shape[0] <= 1
+    if expected and expected < scores.shape[0]:
+        chosen = set(indices.tolist())
+        worst_chosen = min(scores[i] for i in chosen)
+        best_rest = max(scores[i] for i in range(scores.shape[0]) if i not in chosen)
+        assert worst_chosen >= best_rest - 1e-12
+
+
+@SETTINGS
+@given(
+    st.integers(min_value=2, max_value=60),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=2, max_value=8),
+    st.sampled_from(["cosine", "l2", "ip"]),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_kmeans_invariants(num_keys, n_clusters, dim, metric, seed):
+    rng = np.random.default_rng(seed)
+    keys = rng.normal(size=(num_keys, dim))
+    result = kmeans_cluster(keys, n_clusters, metric=metric, seed=seed)
+    # Every key gets a label within range; cluster sizes sum to the key count.
+    assert result.labels.shape == (num_keys,)
+    assert result.labels.min() >= 0
+    assert result.labels.max() < result.n_clusters
+    assert result.cluster_sizes().sum() == num_keys
+    assert result.n_clusters <= min(n_clusters, num_keys)
+    assert np.all(np.isfinite(result.centroids))
+
+
+@SETTINGS
+@given(
+    st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=80),
+    st.integers(min_value=0, max_value=120),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_cluster_selection_invariants(labels, budget, seed):
+    """Selection never exceeds the budget (when clusters cover it) and
+    returns valid, unique, sorted token indices."""
+    labels = np.asarray(labels, dtype=np.int64)
+    n_clusters = int(labels.max()) + 1
+    rng = np.random.default_rng(seed)
+    centroids = rng.normal(size=(n_clusters, 4))
+    from repro.core.clustering import ClusteringResult
+
+    meta = ClusterMetadata(head_dim=4)
+    meta.append_clustering(
+        ClusteringResult(labels=labels, centroids=centroids, n_iters=1, converged=True),
+        token_offset=0,
+    )
+    query = rng.normal(size=4)
+    outcome = select_clusters(query, meta, budget)
+    indices = outcome.token_indices
+    assert indices.shape[0] == min(budget, labels.shape[0])
+    assert len(set(indices.tolist())) == indices.shape[0]
+    if indices.shape[0]:
+        assert indices.min() >= 0
+        assert indices.max() < labels.shape[0]
+        assert np.all(np.diff(indices) > 0)
+
+
+@SETTINGS
+@given(
+    st.lists(
+        st.lists(st.integers(min_value=0, max_value=20), min_size=0, max_size=6),
+        min_size=1,
+        max_size=30,
+    ),
+    st.integers(min_value=0, max_value=3),
+)
+def test_cluster_cache_hit_rate_bounds(steps, history):
+    """Accumulated hit rate is always within [0, 1] and hits never exceed
+    what was previously selected."""
+    cache = ClusterCache(history=history)
+    previously_selected: set[int] = set()
+    for step_labels in steps:
+        labels = np.asarray(sorted(set(step_labels)), dtype=np.int64)
+        tokens = {int(label): int(label) % 5 + 1 for label in labels}
+        lookup = cache.lookup(labels, tokens)
+        assert set(lookup.hit_labels.tolist()).issubset(previously_selected)
+        cache.update(labels)
+        previously_selected |= set(labels.tolist())
+    assert 0.0 <= cache.hit_rate <= 1.0
+
+
+words = st.lists(
+    st.sampled_from([f"w{i}" for i in range(12)]), min_size=0, max_size=12
+).map(" ".join)
+
+
+@SETTINGS
+@given(words, words)
+def test_f1_and_rouge_bounds(prediction, reference):
+    f1 = qa_f1_score(prediction, reference)
+    rouge = rouge_l_score(prediction, reference)
+    assert 0.0 <= f1 <= 1.0
+    assert 0.0 <= rouge <= 1.0
+    # Identity gives a perfect score.
+    assert qa_f1_score(reference, reference) in (1.0,)
+    assert rouge_l_score(reference, reference) in (1.0,)
+
+
+@SETTINGS
+@given(words)
+def test_f1_identity(text):
+    assert qa_f1_score(text, text) == 1.0

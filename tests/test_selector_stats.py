@@ -1,0 +1,55 @@
+"""Unit tests for selector statistics accounting."""
+
+import pytest
+
+from repro.baselines import SelectorStats, clip_budget
+
+
+class TestSelectorStats:
+    def test_merge_sums_all_counters(self):
+        a = SelectorStats(
+            score_flops=10,
+            build_flops=5,
+            selected_tokens=100,
+            fetched_tokens=40,
+            cache_hit_tokens=60,
+            cache_miss_tokens=40,
+            num_selections=2,
+            aux_bytes=8,
+        )
+        b = SelectorStats(
+            score_flops=1,
+            build_flops=1,
+            selected_tokens=1,
+            fetched_tokens=1,
+            cache_hit_tokens=1,
+            cache_miss_tokens=1,
+            num_selections=1,
+            aux_bytes=1,
+        )
+        merged = a.merge(b)
+        assert merged.score_flops == 11
+        assert merged.build_flops == 6
+        assert merged.selected_tokens == 101
+        assert merged.fetched_tokens == 41
+        assert merged.cache_hit_tokens == 61
+        assert merged.cache_miss_tokens == 41
+        assert merged.num_selections == 3
+        assert merged.aux_bytes == 9
+        # merge does not mutate its inputs
+        assert a.score_flops == 10 and b.score_flops == 1
+
+    def test_cache_hit_rate(self):
+        stats = SelectorStats(cache_hit_tokens=30, cache_miss_tokens=10)
+        assert stats.cache_hit_rate == pytest.approx(0.75)
+        assert SelectorStats().cache_hit_rate == 0.0
+
+
+class TestClipBudget:
+    def test_clamps_to_context(self):
+        assert clip_budget(100, 40) == 40
+        assert clip_budget(10, 40) == 10
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            clip_budget(0, 10)

@@ -1,0 +1,207 @@
+"""Unit tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.model import SyntheticTokenizer
+from repro.workloads import (
+    LONGBENCH_TASKS,
+    DocumentBuilder,
+    LongBenchTaskGenerator,
+    LongBenchTaskSpec,
+    PG19Config,
+    PG19Generator,
+    TopicModel,
+)
+
+
+@pytest.fixture(scope="module")
+def tokenizer():
+    return SyntheticTokenizer(512)
+
+
+@pytest.fixture(scope="module")
+def topic_model(tokenizer):
+    return TopicModel(tokenizer, num_topics=8, seed=0)
+
+
+class TestTopicModel:
+    def test_topics_partition_background(self, topic_model, tokenizer):
+        all_topic_tokens = np.concatenate(topic_model.topics)
+        reserved = set(topic_model.reserved_tokens.tolist())
+        background = set(all_topic_tokens.tolist())
+        assert not (reserved & background)
+        assert min(background | reserved) >= tokenizer.num_special_tokens
+
+    def test_background_only_uses_topic_tokens(self, topic_model, rng):
+        segment = topic_model.sample_background(200, rng)
+        allowed = set(np.concatenate(topic_model.topics).tolist())
+        assert set(segment.tolist()).issubset(allowed)
+        assert segment.shape == (200,)
+
+    def test_reserved_sampling_distinct_and_excludable(self, topic_model, rng):
+        first = topic_model.sample_reserved(10, rng)
+        assert len(set(first.tolist())) == 10
+        second = topic_model.sample_reserved(10, rng, exclude=set(first.tolist()))
+        assert not (set(first.tolist()) & set(second.tolist()))
+
+    def test_topic_segment_stays_in_topic(self, topic_model, rng):
+        segment = topic_model.sample_topic_tokens = topic_model.sample_topic_segment(2, 50, rng)
+        assert set(segment.tolist()).issubset(set(topic_model.topics[2].tolist()))
+
+    def test_invalid_parameters(self, tokenizer):
+        with pytest.raises(ValueError):
+            TopicModel(tokenizer, num_topics=0)
+        with pytest.raises(ValueError):
+            TopicModel(tokenizer, reserved_fraction=1.5)
+
+
+class TestDocumentBuilder:
+    def test_plant_and_build(self, topic_model, rng):
+        background = topic_model.sample_background(200, rng)
+        builder = DocumentBuilder(background, protected_prefix=16)
+        span = builder.plant(np.array([500, 501, 502]), rng)
+        document = builder.build()
+        np.testing.assert_array_equal(
+            document[span.position : span.end], [500, 501, 502]
+        )
+        assert span.position >= 16
+
+    def test_spans_do_not_overlap(self, topic_model, rng):
+        background = topic_model.sample_background(300, rng)
+        builder = DocumentBuilder(background, protected_prefix=8)
+        spans = [builder.plant(np.arange(400, 410), rng) for _ in range(10)]
+        intervals = sorted((span.position, span.end) for span in spans)
+        for (_, end_a), (start_b, _) in zip(intervals, intervals[1:]):
+            assert end_a <= start_b
+
+    def test_evidence_positions_reported(self, topic_model, rng):
+        background = topic_model.sample_background(120, rng)
+        builder = DocumentBuilder(background, protected_prefix=8)
+        evidence = builder.plant(np.array([400, 401]), rng, kind="evidence")
+        builder.plant(np.array([402, 403]), rng, kind="distractor")
+        positions = builder.evidence_positions()
+        np.testing.assert_array_equal(positions, [evidence.position, evidence.position + 1])
+
+    def test_too_small_document_rejected(self):
+        with pytest.raises(ValueError):
+            DocumentBuilder(np.arange(10), protected_prefix=16)
+
+
+class TestLongBenchTasks:
+    def test_all_eight_tasks_registered(self):
+        assert len(LONGBENCH_TASKS) == 8
+        assert set(LONGBENCH_TASKS) == {
+            "2wikimqa",
+            "triviaqa",
+            "hotpotqa",
+            "multifieldqa",
+            "musique",
+            "narrativeqa",
+            "qasper",
+            "govreport",
+        }
+
+    def test_metrics_match_paper_protocol(self):
+        assert LONGBENCH_TASKS["govreport"].metric == "rouge_l"
+        assert all(
+            spec.metric == "f1"
+            for name, spec in LONGBENCH_TASKS.items()
+            if name != "govreport"
+        )
+
+    def test_sample_structure(self, tokenizer, topic_model):
+        generator = LongBenchTaskGenerator(
+            tokenizer, LONGBENCH_TASKS["multifieldqa"], topic_model=topic_model, seed=0
+        )
+        sample = generator.generate_sample(512)
+        assert sample.prompt_ids.dtype == np.int64
+        assert sample.prompt_length > 512  # document plus question
+        assert sample.answer_length >= LONGBENCH_TASKS["multifieldqa"].answer_length
+        assert len(sample.reference_answer.split()) == LONGBENCH_TASKS[
+            "multifieldqa"
+        ].answer_length
+        assert sample.evidence_positions.size > 0
+
+    def test_question_repeats_cue_from_evidence(self, tokenizer, topic_model):
+        generator = LongBenchTaskGenerator(
+            tokenizer, LONGBENCH_TASKS["triviaqa"], topic_model=topic_model, seed=1
+        )
+        sample = generator.generate_sample(512)
+        cue_len = LONGBENCH_TASKS["triviaqa"].cue_length
+        question_cue = sample.prompt_ids[-cue_len:]
+        document = sample.prompt_ids[: -cue_len - 1]
+        # The cue must appear verbatim inside the document (the evidence span).
+        found = any(
+            np.array_equal(document[i : i + cue_len], question_cue)
+            for i in range(len(document) - cue_len)
+        )
+        assert found
+
+    def test_multi_hop_adds_generation_room(self, tokenizer, topic_model):
+        spec = LONGBENCH_TASKS["musique"]
+        generator = LongBenchTaskGenerator(tokenizer, spec, topic_model=topic_model)
+        sample = generator.generate_sample(512)
+        assert sample.answer_length == spec.answer_length + 2 * (spec.hops - 1)
+
+    def test_samples_are_deterministic_per_index(self, tokenizer, topic_model):
+        generator = LongBenchTaskGenerator(
+            tokenizer, LONGBENCH_TASKS["qasper"], topic_model=topic_model, seed=3
+        )
+        a = generator.generate_sample(512, index=5)
+        b = generator.generate_sample(512, index=5)
+        np.testing.assert_array_equal(a.prompt_ids, b.prompt_ids)
+        c = generator.generate_sample(512, index=6)
+        assert not np.array_equal(a.prompt_ids, c.prompt_ids)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            LongBenchTaskSpec(
+                name="bad", category="single_doc_qa", hops=0, cue_length=3,
+                answer_length=4, num_distractors=0, num_hard_distractors=0,
+                metric="f1", paper_full_kv_score=0.0,
+            )
+        with pytest.raises(ValueError):
+            LongBenchTaskSpec(
+                name="bad", category="single_doc_qa", hops=1, cue_length=3,
+                answer_length=4, num_distractors=0, num_hard_distractors=0,
+                metric="bleu", paper_full_kv_score=0.0,
+            )
+
+    def test_dataset_generation(self, tokenizer, topic_model):
+        generator = LongBenchTaskGenerator(
+            tokenizer, LONGBENCH_TASKS["govreport"], topic_model=topic_model
+        )
+        samples = generator.generate_dataset(400, 3)
+        assert len(samples) == 3
+        assert all(sample.metric == "rouge_l" for sample in samples)
+
+
+class TestPG19:
+    def test_exact_length(self, tokenizer, topic_model):
+        generator = PG19Generator(tokenizer, topic_model=topic_model, seed=0)
+        sample = generator.generate_sample(700)
+        assert sample.length == 700
+
+    def test_motifs_recur(self, tokenizer, topic_model):
+        config = PG19Config(num_motifs=4, motif_length=8, motif_fraction=0.5)
+        generator = PG19Generator(tokenizer, config, topic_model=topic_model, seed=0)
+        sample = generator.generate_sample(1200)
+        assert sample.motif_positions.size > 4  # at least some recurrences
+
+    def test_deterministic(self, tokenizer, topic_model):
+        generator = PG19Generator(tokenizer, topic_model=topic_model, seed=5)
+        a = generator.generate_sample(500, index=1)
+        b = generator.generate_sample(500, index=1)
+        np.testing.assert_array_equal(a.token_ids, b.token_ids)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            PG19Config(motif_fraction=0.0)
+        with pytest.raises(ValueError):
+            PG19Config(motif_length=1)
+
+    def test_too_short_document_rejected(self, tokenizer, topic_model):
+        generator = PG19Generator(tokenizer, topic_model=topic_model)
+        with pytest.raises(ValueError):
+            generator.generate_sample(5)
