@@ -1,0 +1,55 @@
+"""Serving throughput benchmark: tokens/sec vs. batch size.
+
+Measures the continuous-batching :class:`repro.serving.BatchedEngine`
+against one-at-a-time serving of the same requests through the
+single-sequence engine, for the paper's method (ClusterKV) and two
+baselines.  The acceptance bar is >1.5x generated-token throughput at batch
+8 over eight sequential runs; both modes execute the same numerical code,
+so the speedup isolates the batching of the per-token transformer matmuls.
+
+A second benchmark sweeps the batch size to show throughput scaling.
+"""
+
+from conftest import run_once
+
+from repro.serving import ServeBenchConfig, format_serve_bench, run_serve_bench
+
+
+def test_bench_serving_throughput_batch8(benchmark):
+    """Batch-8 continuous batching beats 8 sequential runs by >1.5x."""
+    config = ServeBenchConfig(repeats=3)
+    results = run_once(benchmark, run_serve_bench, config)
+    print()
+    print(format_serve_bench(results))
+    assert {item.method for item in results} == {"clusterkv", "streaming_llm", "full"}
+    for item in results:
+        # All requests fit one batch, so occupancy should be nearly full.
+        assert item.mean_occupancy > config.max_batch_size * 0.9
+        assert item.total_tokens == config.num_requests * config.max_new_tokens
+        assert item.speedup > 1.5, (
+            f"{item.method}: batched serving only {item.speedup:.2f}x faster"
+        )
+
+
+def test_bench_serving_batch_size_scaling(benchmark):
+    """Tokens/sec grows with batch size (1 -> 4 -> 8)."""
+
+    def sweep():
+        throughputs = {}
+        for batch in (1, 4, 8):
+            config = ServeBenchConfig(
+                methods=("clusterkv",),
+                num_requests=batch,
+                max_batch_size=batch,
+                max_new_tokens=48,
+                repeats=1,
+            )
+            item = run_serve_bench(config)[0]
+            throughputs[batch] = item.batched_tokens_per_second
+        return throughputs
+
+    throughputs = run_once(benchmark, sweep)
+    print()
+    for batch, tps in throughputs.items():
+        print(f"[serving-scaling] batch {batch}: {tps:.1f} tok/s")
+    assert throughputs[8] > throughputs[1]

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Docstring-coverage check for the public API under ``src/repro``.
+
+Walks every module and reports public objects without docstrings:
+
+* modules (the module-level docstring),
+* public classes (name not starting with ``_``),
+* public functions and methods (name not starting with ``_``; dunder
+  methods other than ``__init__`` are exempt, as is any function nested
+  inside another function).
+
+Run directly (exits non-zero when coverage is incomplete)::
+
+    python scripts/check_docs.py
+
+or through the tier-1 suite via ``tests/test_docstring_coverage.py``, which
+fails with the same listing.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SOURCE_ROOT = REPO_ROOT / "src" / "repro"
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _has_docstring(node: ast.AST) -> bool:
+    return ast.get_docstring(node) is not None
+
+
+def _check_function(
+    node: ast.FunctionDef | ast.AsyncFunctionDef, scope: str, missing: list[str]
+) -> None:
+    name = node.name
+    if name.startswith("__") and name.endswith("__"):
+        return  # dunders document themselves through the data model
+    if not _is_public(name):
+        return
+    if not _has_docstring(node):
+        missing.append(f"{scope}.{name} (function)")
+
+
+def _check_class(node: ast.ClassDef, scope: str, missing: list[str]) -> None:
+    if not _is_public(node.name):
+        return
+    qualified = f"{scope}.{node.name}"
+    if not _has_docstring(node):
+        missing.append(f"{qualified} (class)")
+    for child in node.body:
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _check_function(child, qualified, missing)
+
+
+def check_module(path: Path, module_name: str) -> list[str]:
+    """Return the missing-docstring entries of one module file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    missing: list[str] = []
+    if not _has_docstring(tree):
+        missing.append(f"{module_name} (module)")
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _check_function(node, module_name, missing)
+        elif isinstance(node, ast.ClassDef):
+            _check_class(node, module_name, missing)
+    return missing
+
+
+def find_missing_docstrings(source_root: Path = SOURCE_ROOT) -> list[str]:
+    """All public objects under ``source_root`` that lack a docstring."""
+    missing: list[str] = []
+    for path in sorted(source_root.rglob("*.py")):
+        relative = path.relative_to(source_root.parent)
+        module_name = ".".join(relative.with_suffix("").parts)
+        if module_name.endswith(".__init__"):
+            module_name = module_name[: -len(".__init__")]
+        missing.extend(check_module(path, module_name))
+    return missing
+
+
+def main() -> int:
+    """CLI entry point: print missing docstrings, exit 1 if any."""
+    missing = find_missing_docstrings()
+    if not missing:
+        print(f"docstring coverage OK ({SOURCE_ROOT})")
+        return 0
+    print(f"{len(missing)} public object(s) lack docstrings:")
+    for entry in missing:
+        print(f"  - {entry}")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

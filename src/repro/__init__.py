@@ -13,6 +13,8 @@ Top-level convenience re-exports; see the subpackages for the full API:
   PG19 analogues).
 * :mod:`repro.metrics` — F1, ROUGE-L, perplexity, recall rate.
 * :mod:`repro.experiments` — one module per paper table/figure.
+* :mod:`repro.serving` — batched multi-request serving with continuous
+  scheduling over any of the above compression methods.
 """
 
 from .baselines import (
@@ -32,6 +34,15 @@ from .model import (
     TransformerModel,
     get_model_config,
     get_reference_architecture,
+)
+from .serving import (
+    BatchedEngine,
+    ContinuousBatchingScheduler,
+    RequestQueue,
+    SchedulerConfig,
+    ServeReport,
+    ServeRequest,
+    serve_prompts,
 )
 
 __version__ = "0.1.0"
@@ -53,4 +64,11 @@ __all__ = [
     "SyntheticTokenizer",
     "get_model_config",
     "get_reference_architecture",
+    "BatchedEngine",
+    "ServeReport",
+    "ServeRequest",
+    "RequestQueue",
+    "ContinuousBatchingScheduler",
+    "SchedulerConfig",
+    "serve_prompts",
 ]

@@ -46,6 +46,7 @@ class ImportanceTrace:
 
     @property
     def num_steps(self) -> int:
+        """Number of recorded decoding steps."""
         return int(self.rankings.shape[0])
 
     def rank_range(self, token_index: int) -> tuple[int, int]:

@@ -18,12 +18,15 @@ class FullKVLayerState(LayerSelectorState):
         self._num_tokens = 0
 
     def observe_prefill(self, keys: np.ndarray) -> None:
+        """Record the prompt length; full attention needs no structure."""
         self._num_tokens = int(np.asarray(keys).shape[1])
 
     def observe_decode(self, keys: np.ndarray) -> None:
+        """Extend the token count with the newly decoded tokens."""
         self._num_tokens += int(np.asarray(keys).shape[1])
 
     def select(self, queries: np.ndarray, budget: int, step: int) -> list[np.ndarray]:
+        """Select every cached token for every kv head."""
         indices = np.arange(self._num_tokens, dtype=np.int64)
         self.stats.selected_tokens += self._num_tokens * self.n_kv_heads
         self.stats.num_selections += 1
@@ -31,6 +34,7 @@ class FullKVLayerState(LayerSelectorState):
 
     @property
     def context_length(self) -> int:
+        """Number of tokens observed so far (prefill plus decode)."""
         return self._num_tokens
 
 
@@ -47,4 +51,5 @@ class FullKVSelector(KVSelectorFactory):
         head_dim: int,
         num_sink_tokens: int,
     ) -> FullKVLayerState:
+        """Create the full-attention state of one layer."""
         return FullKVLayerState(layer_idx, n_kv_heads, head_dim)

@@ -70,11 +70,13 @@ class H2OLayerState(LayerSelectorState):
     # observation
     # ------------------------------------------------------------------
     def observe_prefill(self, keys: np.ndarray) -> None:
+        """Store the prompt keys; eviction starts at the first decode step."""
         keys = np.asarray(keys, dtype=np.float64)
         self._key_blocks.append(keys)
         self._num_tokens = keys.shape[1]
 
     def observe_decode(self, keys: np.ndarray) -> None:
+        """Store keys of newly decoded tokens (eviction candidates next step)."""
         keys = np.asarray(keys, dtype=np.float64)
         self._key_blocks.append(keys)
         self._num_tokens += keys.shape[1]
@@ -88,6 +90,7 @@ class H2OLayerState(LayerSelectorState):
     # selection
     # ------------------------------------------------------------------
     def select(self, queries: np.ndarray, budget: int, step: int) -> list[np.ndarray]:
+        """Keep sinks, the recent window and the heaviest hitters; evicted tokens are never recalled."""
         merged = merge_group_queries(queries)
         budget = clip_budget(budget, self._num_tokens)
         keys = self._all_keys()
@@ -150,6 +153,7 @@ class H2OLayerState(LayerSelectorState):
 
     @property
     def context_length(self) -> int:
+        """Number of tokens observed so far (prefill plus decode)."""
         return self._num_tokens
 
 
@@ -169,4 +173,5 @@ class H2OSelector(KVSelectorFactory):
         head_dim: int,
         num_sink_tokens: int,
     ) -> H2OLayerState:
+        """Create the H2O eviction state of one layer."""
         return H2OLayerState(layer_idx, n_kv_heads, head_dim, self.config, num_sink_tokens)

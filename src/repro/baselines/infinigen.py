@@ -103,6 +103,7 @@ class InfiniGenLayerState(LayerSelectorState):
     # observation
     # ------------------------------------------------------------------
     def observe_prefill(self, keys: np.ndarray) -> None:
+        """SVD the prompt keys into partial weights and build partial keys."""
         keys = self._validate(keys)
         self._num_tokens = keys.shape[1]
         self._projections = []
@@ -124,6 +125,7 @@ class InfiniGenLayerState(LayerSelectorState):
         self._refresh_aux_bytes()
 
     def observe_decode(self, keys: np.ndarray) -> None:
+        """Project newly decoded keys into the partial space."""
         keys = self._validate(keys)
         if self._projections is None:
             raise RuntimeError("observe_decode called before observe_prefill")
@@ -139,6 +141,7 @@ class InfiniGenLayerState(LayerSelectorState):
     # selection
     # ------------------------------------------------------------------
     def select(self, queries: np.ndarray, budget: int, step: int) -> list[np.ndarray]:
+        """Speculate scores with partial keys and pick the top-``B`` tokens."""
         if self._projections is None:
             raise RuntimeError("select called before observe_prefill")
         merged = merge_group_queries(queries)
@@ -170,6 +173,7 @@ class InfiniGenLayerState(LayerSelectorState):
 
     @property
     def context_length(self) -> int:
+        """Number of tokens observed so far (prefill plus decode)."""
         return self._num_tokens
 
     # ------------------------------------------------------------------
@@ -213,9 +217,11 @@ class InfiniGenSelector(KVSelectorFactory):
         head_dim: int,
         num_sink_tokens: int,
     ) -> InfiniGenLayerState:
+        """Create the InfiniGen partial-key state of one layer."""
         return InfiniGenLayerState(layer_idx, n_kv_heads, head_dim, self.config)
 
     def describe(self) -> dict[str, object]:
+        """Method configuration, including the partial-weight ratio."""
         description = super().describe()
         description.update(partial_ratio=self.config.partial_ratio)
         return description

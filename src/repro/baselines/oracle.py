@@ -45,11 +45,13 @@ class OracleTopKLayerState(LayerSelectorState):
         self._num_tokens = 0
 
     def observe_prefill(self, keys: np.ndarray) -> None:
+        """Store the prompt keys for exact scoring."""
         keys = np.asarray(keys, dtype=np.float64)
         self._key_blocks.append(keys)
         self._num_tokens = keys.shape[1]
 
     def observe_decode(self, keys: np.ndarray) -> None:
+        """Store keys of newly decoded tokens."""
         keys = np.asarray(keys, dtype=np.float64)
         self._key_blocks.append(keys)
         self._num_tokens += keys.shape[1]
@@ -60,6 +62,7 @@ class OracleTopKLayerState(LayerSelectorState):
         return self._key_blocks[0]
 
     def select(self, queries: np.ndarray, budget: int, step: int) -> list[np.ndarray]:
+        """Select the exact top-``B`` tokens by true score per kv head."""
         merged = merge_group_queries(queries)
         budget = clip_budget(budget, self._num_tokens)
         keys = self._all_keys()
@@ -75,6 +78,7 @@ class OracleTopKLayerState(LayerSelectorState):
 
     @property
     def context_length(self) -> int:
+        """Number of tokens observed so far (prefill plus decode)."""
         return self._num_tokens
 
 
@@ -91,4 +95,5 @@ class OracleTopKSelector(KVSelectorFactory):
         head_dim: int,
         num_sink_tokens: int,
     ) -> OracleTopKLayerState:
+        """Create the exact top-k oracle state of one layer."""
         return OracleTopKLayerState(layer_idx, n_kv_heads, head_dim)

@@ -75,9 +75,11 @@ class QuestLayerState(LayerSelectorState):
     # observation
     # ------------------------------------------------------------------
     def observe_prefill(self, keys: np.ndarray) -> None:
+        """Fold the prompt keys into per-page min/max summaries."""
         self._ingest(keys)
 
     def observe_decode(self, keys: np.ndarray) -> None:
+        """Fold newly decoded keys into per-page min/max summaries."""
         self._ingest(keys)
 
     def _ingest(self, keys: np.ndarray) -> None:
@@ -106,6 +108,7 @@ class QuestLayerState(LayerSelectorState):
     # selection
     # ------------------------------------------------------------------
     def select(self, queries: np.ndarray, budget: int, step: int) -> list[np.ndarray]:
+        """Rank pages by their score upper bound and take whole pages until the budget is met."""
         merged = merge_group_queries(queries)
         budget = clip_budget(budget, self._num_tokens)
         num_pages = len(self._page_counts)
@@ -147,6 +150,7 @@ class QuestLayerState(LayerSelectorState):
 
     @property
     def context_length(self) -> int:
+        """Number of tokens observed so far (prefill plus decode)."""
         return self._num_tokens
 
     @property
@@ -171,9 +175,11 @@ class QuestSelector(KVSelectorFactory):
         head_dim: int,
         num_sink_tokens: int,
     ) -> QuestLayerState:
+        """Create the Quest page-summary state of one layer."""
         return QuestLayerState(layer_idx, n_kv_heads, head_dim, self.config)
 
     def describe(self) -> dict[str, object]:
+        """Method configuration, including the page size."""
         description = super().describe()
         description.update(page_size=self.config.page_size)
         return description

@@ -33,12 +33,15 @@ class StreamingLLMLayerState(LayerSelectorState):
         self._num_tokens = 0
 
     def observe_prefill(self, keys: np.ndarray) -> None:
+        """Record the prompt length (the fixed pattern needs no structure)."""
         self._num_tokens = int(np.asarray(keys).shape[1])
 
     def observe_decode(self, keys: np.ndarray) -> None:
+        """Extend the token count with the newly decoded tokens."""
         self._num_tokens += int(np.asarray(keys).shape[1])
 
     def select(self, queries: np.ndarray, budget: int, step: int) -> list[np.ndarray]:
+        """Select the sink tokens plus the most recent window."""
         budget = clip_budget(budget, self._num_tokens)
         num_sinks = min(self.num_sink_tokens, self._num_tokens, budget)
         window = budget - num_sinks
@@ -53,6 +56,7 @@ class StreamingLLMLayerState(LayerSelectorState):
 
     @property
     def context_length(self) -> int:
+        """Number of tokens observed so far (prefill plus decode)."""
         return self._num_tokens
 
 
@@ -69,4 +73,5 @@ class StreamingLLMSelector(KVSelectorFactory):
         head_dim: int,
         num_sink_tokens: int,
     ) -> StreamingLLMLayerState:
+        """Create the sink-plus-window state of one layer."""
         return StreamingLLMLayerState(layer_idx, n_kv_heads, head_dim, num_sink_tokens)

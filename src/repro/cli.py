@@ -29,6 +29,22 @@ from . import experiments as exp
 __all__ = ["main", "build_parser"]
 
 
+def _run_serve_bench(args: argparse.Namespace) -> str:
+    from .serving import ServeBenchConfig, format_serve_bench, run_serve_bench
+
+    config = ServeBenchConfig(
+        model=args.model,
+        methods=tuple(args.methods),
+        num_requests=args.requests,
+        max_batch_size=args.batch,
+        prompt_len=args.prompt_len,
+        max_new_tokens=args.new_tokens,
+        budget=args.budget,
+        repeats=args.repeats,
+    )
+    return format_serve_bench(run_serve_bench(config))
+
+
 def _run_fig3(args: argparse.Namespace) -> str:
     result = exp.run_fig3(exp.Fig3Config(scale=exp.ContextScale(args.scale)))
     return exp.format_fig3(result)
@@ -92,6 +108,17 @@ _EXPERIMENTS = {
     "design-ablation": ("ClusterKV design-choice ablation", _run_design_ablation),
 }
 
+# Commands with their own argument sets (not the shared experiment flags).
+# ``build_parser`` registers their subparsers; ``main`` dispatches and
+# ``list`` prints both registries, so adding a command means one entry here
+# plus its subparser setup.
+_SERVING_COMMANDS = {
+    "serve-bench": (
+        "continuous-batching serving throughput vs. sequential runs",
+        _run_serve_bench,
+    ),
+}
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser of the ``repro`` CLI."""
@@ -113,6 +140,27 @@ def build_parser() -> argparse.ArgumentParser:
             "--samples", type=int, default=2, help="samples per task (default 2)"
         )
         sub.add_argument("--out", type=str, default=None, help="write output to a file")
+
+    serve = subparsers.add_parser(
+        "serve-bench", help=_SERVING_COMMANDS["serve-bench"][0]
+    )
+    serve.add_argument(
+        "--model", type=str, default="serve-sim", help="model config (default serve-sim)"
+    )
+    serve.add_argument(
+        "--methods",
+        type=str,
+        nargs="+",
+        default=["clusterkv", "streaming_llm", "full"],
+        help="KV selection methods to benchmark",
+    )
+    serve.add_argument("--requests", type=int, default=8, help="number of requests")
+    serve.add_argument("--batch", type=int, default=8, help="max concurrent requests")
+    serve.add_argument("--prompt-len", type=int, default=64, help="prompt tokens")
+    serve.add_argument("--new-tokens", type=int, default=96, help="decode tokens")
+    serve.add_argument("--budget", type=int, default=48, help="KV budget per head")
+    serve.add_argument("--repeats", type=int, default=2, help="timing repeats")
+    serve.add_argument("--out", type=str, default=None, help="write output to a file")
     return parser
 
 
@@ -124,10 +172,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.print_help()
         return 2
     if args.command == "list":
-        for name, (description, _) in _EXPERIMENTS.items():
+        for name, (description, _) in {**_EXPERIMENTS, **_SERVING_COMMANDS}.items():
             print(f"{name:16s} {description}")
         return 0
-    _, runner = _EXPERIMENTS[args.command]
+    _, runner = {**_EXPERIMENTS, **_SERVING_COMMANDS}[args.command]
     output = runner(args)
     if getattr(args, "out", None):
         with open(args.out, "w", encoding="utf-8") as handle:

@@ -86,15 +86,20 @@ class ClusterCache:
         """
         selected_labels = np.asarray(selected_labels, dtype=np.int64)
         cached = self.cached_labels
-        hit_mask = np.array(
-            [int(label) in cached for label in selected_labels], dtype=bool
-        )
-        hit_labels = selected_labels[hit_mask]
-        miss_labels = selected_labels[~hit_mask]
-        hit_tokens = int(sum(tokens_per_label.get(int(label), 0) for label in hit_labels))
-        miss_tokens = int(
-            sum(tokens_per_label.get(int(label), 0) for label in miss_labels)
-        )
+        hits: list[int] = []
+        misses: list[int] = []
+        hit_tokens = 0
+        miss_tokens = 0
+        for label in selected_labels.tolist():
+            tokens = tokens_per_label.get(label, 0)
+            if label in cached:
+                hits.append(label)
+                hit_tokens += tokens
+            else:
+                misses.append(label)
+                miss_tokens += tokens
+        hit_labels = np.asarray(hits, dtype=np.int64)
+        miss_labels = np.asarray(misses, dtype=np.int64)
         self.total_hit_tokens += hit_tokens
         self.total_miss_tokens += miss_tokens
         self.num_lookups += 1

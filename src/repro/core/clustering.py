@@ -49,6 +49,7 @@ class ClusteringResult:
 
     @property
     def n_clusters(self) -> int:
+        """Number of clusters in this result."""
         return self.centroids.shape[0]
 
     def cluster_sizes(self) -> np.ndarray:

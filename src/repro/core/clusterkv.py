@@ -67,6 +67,7 @@ class ClusterKVLayerState(LayerSelectorState):
     # observation
     # ------------------------------------------------------------------
     def observe_prefill(self, keys: np.ndarray) -> None:
+        """Cluster the prompt keys into semantic clusters (paper Sec. III-B)."""
         keys = self._validate_keys(keys)
         if self._prefilled:
             raise RuntimeError("observe_prefill called twice")
@@ -95,6 +96,7 @@ class ClusterKVLayerState(LayerSelectorState):
         self._refresh_aux_bytes()
 
     def observe_decode(self, keys: np.ndarray) -> None:
+        """Buffer decoded keys; cluster them every ``decode_window`` tokens."""
         keys = self._validate_keys(keys)
         if not self._prefilled:
             raise RuntimeError("observe_decode called before observe_prefill")
@@ -133,6 +135,7 @@ class ClusterKVLayerState(LayerSelectorState):
     def select(
         self, queries: np.ndarray, budget: int, step: int
     ) -> list[np.ndarray]:
+        """Select the clusters closest to the query until the budget is met (paper Sec. III-C)."""
         merged = merge_group_queries(queries)
         if merged.shape != (self.n_kv_heads, self.head_dim):
             raise ValueError(
@@ -146,13 +149,9 @@ class ClusterKVLayerState(LayerSelectorState):
 
         # Tokens that are always attended: the attention sinks and the decode
         # tokens that have not been clustered yet (they still live on the GPU).
-        always = np.concatenate(
-            [
-                np.arange(self._num_sinks_held, dtype=np.int64),
-                np.arange(self._pending_start, self._num_tokens, dtype=np.int64),
-            ]
-        )
-        cluster_budget = max(0, budget - always.shape[0])
+        sinks = np.arange(self._num_sinks_held, dtype=np.int64)
+        pending = np.arange(self._pending_start, self._num_tokens, dtype=np.int64)
+        cluster_budget = max(0, budget - sinks.shape[0] - pending.shape[0])
 
         selections: list[np.ndarray] = []
         for head in range(self.n_kv_heads):
@@ -168,8 +167,12 @@ class ClusterKVLayerState(LayerSelectorState):
             lookup = self.caches[head].lookup(outcome.selected_labels, tokens_per_label)
             self.caches[head].update(outcome.selected_labels)
 
-            indices = np.unique(np.concatenate([always, outcome.token_indices]))
-            selections.append(indices.astype(np.int64))
+            # Clusters only ever cover [num_sinks_held, pending_start) and
+            # cluster token lists are disjoint and sorted, so the three
+            # segments concatenate into a sorted, unique int64 index array
+            # without an O(B log B) np.unique on the decode hot path.
+            indices = np.concatenate([sinks, outcome.token_indices, pending])
+            selections.append(indices)
 
             self.stats.score_flops += outcome.score_flops
             self.stats.selected_tokens += int(indices.shape[0])
@@ -195,6 +198,7 @@ class ClusterKVLayerState(LayerSelectorState):
     # ------------------------------------------------------------------
     @property
     def context_length(self) -> int:
+        """Number of tokens observed so far (prefill plus decode)."""
         return self._num_tokens
 
     @property
@@ -249,6 +253,7 @@ class ClusterKVSelector(KVSelectorFactory):
         head_dim: int,
         num_sink_tokens: int,
     ) -> ClusterKVLayerState:
+        """Create the ClusterKV clustering state of one layer."""
         return ClusterKVLayerState(
             layer_idx,
             n_kv_heads,
@@ -258,6 +263,7 @@ class ClusterKVSelector(KVSelectorFactory):
         )
 
     def describe(self) -> dict[str, object]:
+        """Method configuration, including the clustering constants."""
         description = super().describe()
         description.update(
             tokens_per_cluster=self.config.tokens_per_cluster,

@@ -64,6 +64,7 @@ class DesignAblationResult:
     config: DesignAblationConfig | None = None
 
     def score_of(self, name: str) -> float:
+        """Aggregate score of the named design variant."""
         return self.variants[name].score
 
 

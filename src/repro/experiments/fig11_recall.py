@@ -63,6 +63,7 @@ class Fig11Result:
     config: Fig11Config | None = None
 
     def record(self, series: str, paper_budget: int, recall: float) -> None:
+        """Store the recall of one (series, paper-scale budget) point."""
         self.curves.setdefault(series, {})[paper_budget] = recall
 
 

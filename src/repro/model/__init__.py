@@ -10,9 +10,11 @@ pluggable KV compression method.
 from .attention import AttentionOutput, full_causal_attention, selected_attention
 from .config import GenerationConfig, ModelConfig
 from .generation import (
+    EngineCore,
     GenerationResult,
     InferenceEngine,
     RecallRecord,
+    SequenceState,
     StepAttentionRecord,
 )
 from .kv_cache import KVCacheStore, LayerKVCache
@@ -34,6 +36,8 @@ __all__ = [
     "GenerationConfig",
     "TransformerModel",
     "InferenceEngine",
+    "EngineCore",
+    "SequenceState",
     "GenerationResult",
     "RecallRecord",
     "StepAttentionRecord",

@@ -129,16 +129,19 @@ def selected_attention(
     n_kv_heads = len(keys_per_kv_head)
     group = _check_group(n_heads, n_kv_heads)
 
-    output = np.zeros((n_heads, head_dim))
+    # All query heads of one kv group attend to the same selected tokens, so
+    # their scores and outputs are computed with one GEMM per kv head rather
+    # than one GEMV per query head — this is the decode hot path.
+    output = np.empty((n_heads, head_dim))
     weights_list: list[np.ndarray] = []
-    for head in range(n_heads):
-        kv_head = head // group
+    for kv_head in range(n_kv_heads):
         keys = np.asarray(keys_per_kv_head[kv_head], dtype=np.float64)
         values = np.asarray(values_per_kv_head[kv_head], dtype=np.float64)
         if keys.shape[0] == 0:
             raise ValueError(f"kv head {kv_head} has no selected tokens")
-        scores = (keys @ queries[head]) * scale
-        weights = softmax(scores)
-        output[head] = weights @ values
-        weights_list.append(weights)
+        group_queries = queries[kv_head * group : (kv_head + 1) * group]
+        scores = (group_queries @ keys.T) * scale
+        weights = softmax(scores, axis=-1)
+        output[kv_head * group : (kv_head + 1) * group] = weights @ values
+        weights_list.extend(weights[i] for i in range(group))
     return AttentionOutput(output=output.reshape(-1), weights=weights_list)

@@ -12,6 +12,24 @@ The engine mirrors the paper's system organisation (paper Fig. 5):
   approximate attention, and tracks every byte that has to be moved between
   memory tiers.
 
+The module is split into three layers so that both the single-sequence
+:class:`InferenceEngine` and the multi-request
+:class:`repro.serving.BatchedEngine` share one numerical code path:
+
+* :class:`SequenceState` — everything that belongs to *one* request: the KV
+  cache store, per-layer selector states, the pointer-head state and the
+  sampling RNG.
+* :class:`EngineCore` — stateless-per-request stepping logic bound to a
+  model and a :class:`~repro.model.config.GenerationConfig`.  Its
+  :meth:`EngineCore.decode_step_batch` runs one decoding step for ``B``
+  sequences at once, batching the per-token transformer blocks (embedding,
+  QKV projection, attention output, feed-forward, logits) into single NumPy
+  calls while attention and KV selection remain per-request.  With ``B = 1``
+  the executed operations are exactly those of the single-sequence path, so
+  batched serving at batch size one is bit-identical to this engine.
+* :class:`InferenceEngine` — the historical one-request facade used by the
+  accuracy and analysis experiments.
+
 The engine also supports teacher-forced scoring (for perplexity evaluation)
 and optional recording of exact attention scores so that recall-rate metrics
 and the motivation analyses can be computed.
@@ -39,6 +57,8 @@ __all__ = [
     "RecallRecord",
     "StepAttentionRecord",
     "GenerationResult",
+    "SequenceState",
+    "EngineCore",
     "InferenceEngine",
 ]
 
@@ -100,8 +120,468 @@ class GenerationResult:
         return float(np.exp(-np.mean(self.target_logprobs)))
 
 
+class SequenceState:
+    """Per-request decoding state, independent of the engine driving it.
+
+    One instance exists per generation request and owns every piece of
+    mutable state the request accumulates: the KV cache of all layers, one
+    :class:`~repro.baselines.base.LayerSelectorState` per compressed layer,
+    the pointer-head history, the sampling RNG and the
+    :class:`GenerationResult` under construction.  The
+    :class:`repro.serving.BatchedEngine` keeps many of these alive at once
+    and interleaves their decode steps; the single-sequence
+    :class:`InferenceEngine` owns exactly one.
+
+    Parameters
+    ----------
+    model:
+        The (shared, immutable) transformer whose weights are used.
+    selector:
+        KV compression method factory; fresh per-layer states are created
+        for this sequence, so one factory instance can serve many requests.
+    generation_config:
+        Decoding configuration (budget, sinks, sampling, tracing).
+    offload:
+        Memory-tier manager on which the KV buffers of this sequence are
+        registered.  In batched serving this manager is shared by all
+        requests, which is what lets the scheduler enforce a *global* KV
+        memory budget.
+    buffer_prefix:
+        Prefix for the names of the KV buffers registered on ``offload``;
+        must be unique per live sequence when the manager is shared.
+    seed:
+        Optional per-request sampling seed; defaults to
+        ``generation_config.seed``.
+    """
+
+    def __init__(
+        self,
+        model: TransformerModel,
+        selector: KVSelectorFactory,
+        generation_config: GenerationConfig,
+        offload: OffloadManager,
+        buffer_prefix: str = "",
+        seed: int | None = None,
+    ) -> None:
+        config = model.config
+        self.selector = selector
+        self.offload = offload
+        self.rng = np.random.default_rng(
+            generation_config.seed if seed is None else seed
+        )
+        self.kv_store = KVCacheStore(
+            n_layers=config.n_layers,
+            n_kv_heads=config.n_kv_heads,
+            head_dim=config.head_dim,
+            offload=offload,
+            residency=selector.kv_residency,
+            buffer_prefix=buffer_prefix,
+        )
+        self.layer_states: list[LayerSelectorState | None] = []
+        for layer_idx in range(config.n_layers):
+            if layer_idx < generation_config.num_full_layers:
+                self.layer_states.append(None)
+            else:
+                self.layer_states.append(
+                    selector.create_layer_state(
+                        layer_idx,
+                        config.n_kv_heads,
+                        config.head_dim,
+                        generation_config.num_sink_tokens,
+                    )
+                )
+        self.copy_head = CopyHead(model.weights) if config.use_copy_head else None
+        # The pointer (copy) head is an attention head over the context like
+        # any other: its keys go through the same KV selection machinery, so
+        # the accuracy of a compression method directly gates what the model
+        # can retrieve.
+        self.copy_state: LayerSelectorState | None = None
+        if self.copy_head is not None:
+            self.copy_state = selector.create_layer_state(
+                config.n_layers,
+                1,
+                config.d_model,
+                generation_config.num_sink_tokens,
+            )
+        self.trace_layer = config.n_layers - 1
+        self.prefilled = False
+        self.position = 0
+        self.result = GenerationResult(prompt_length=0, method=selector.name)
+
+    def release(self) -> None:
+        """Deregister this sequence's KV buffers from the offload manager.
+
+        Called by the serving engine when a request retires so that its tier
+        usage is returned to the pool before the next admission decision.
+        """
+        self.kv_store.release()
+
+
+class EngineCore:
+    """Shared stepping logic for single-sequence and batched inference.
+
+    The core is bound to one model and one
+    :class:`~repro.model.config.GenerationConfig` and operates on
+    :class:`SequenceState` instances passed in per call.  It holds no
+    per-request state, so one core can drive any number of concurrent
+    sequences.
+    """
+
+    def __init__(self, model: TransformerModel, generation_config: GenerationConfig) -> None:
+        self.model = model
+        self.generation_config = generation_config
+
+    # ------------------------------------------------------------------
+    # prefill
+    # ------------------------------------------------------------------
+    def prefill(self, seq: SequenceState, prompt_ids: np.ndarray) -> np.ndarray:
+        """Run exact prefill attention over the prompt of one sequence.
+
+        Returns the output probability distribution (``(vocab,)``) after the
+        last prompt token, from which the first generated token is sampled.
+        """
+        if seq.prefilled:
+            raise RuntimeError("the sequence has already been prefilled")
+        seq.prefilled = True
+        prompt_ids = np.asarray(prompt_ids, dtype=np.int64)
+        config = self.model.config
+        length = prompt_ids.shape[0]
+        if length == 0:
+            raise ValueError("the prompt must contain at least one token")
+        seq.result.prompt_length = length
+        positions = np.arange(length)
+        hidden = self.model.embed(prompt_ids, positions)
+
+        for layer_idx in range(config.n_layers):
+            q, k, v = self.model.attention_qkv(layer_idx, hidden, positions)
+            seq.kv_store.append(layer_idx, k, v, step=-1)
+            state = seq.layer_states[layer_idx]
+            if state is not None:
+                state.observe_prefill(k)
+            attn = full_causal_attention(q, k, v, config.softmax_scale)
+            hidden = self.model.attention_output(layer_idx, hidden, attn.output)
+            hidden = self.model.ffn(layer_idx, hidden)
+
+        if seq.copy_head is not None:
+            copy_keys = seq.copy_head.ingest(prompt_ids)
+            if seq.copy_state is not None:
+                seq.copy_state.observe_prefill(copy_keys[None, :, :])
+        seq.position = length
+
+        logits = self.model.final_logits(hidden[-1:, :])[0]
+        vocab_probs = softmax(logits)
+        return self._mix_copy(seq, vocab_probs, int(prompt_ids[-1]), allowed_indices=None)
+
+    # ------------------------------------------------------------------
+    # decoding
+    # ------------------------------------------------------------------
+    def decode_step_batch(
+        self,
+        seqs: list[SequenceState],
+        token_ids: list[int],
+        steps: list[int],
+    ) -> list[np.ndarray]:
+        """Run one decoding step for a batch of sequences.
+
+        The per-token transformer blocks (embedding, QKV projection with
+        RoPE, attention output projection, feed-forward, final logits) are
+        row-wise over tokens, so the batch is pushed through them as a
+        pseudo-sequence of ``B`` independent tokens in single NumPy calls.
+        Attention and KV selection depend on per-request caches of differing
+        lengths and stay per-sequence.
+
+        Parameters
+        ----------
+        seqs:
+            The sequences to step, each already prefilled.
+        token_ids:
+            The most recent token of each sequence (fed back as input).
+        steps:
+            Per-sequence zero-based decode step indices (requests admitted
+            at different times sit at different steps within one batch).
+
+        Returns
+        -------
+        list of numpy.ndarray
+            One output probability distribution (``(vocab,)``) per sequence.
+        """
+        config = self.model.config
+        batch = len(seqs)
+        if not (batch == len(token_ids) == len(steps)):
+            raise ValueError("seqs, token_ids and steps must have equal lengths")
+        tokens = np.asarray(token_ids, dtype=np.int64)
+        positions = np.asarray([seq.position for seq in seqs], dtype=np.int64)
+        hidden = self.model.embed(tokens, positions)
+
+        for layer_idx in range(config.n_layers):
+            q, k, v = self.model.attention_qkv(layer_idx, hidden, positions)
+            attn_concat = np.empty((batch, config.n_heads * config.head_dim))
+            for b, seq in enumerate(seqs):
+                attn_concat[b] = self._attend_one(
+                    seq,
+                    layer_idx,
+                    q[:, b, :],
+                    k[:, b : b + 1, :],
+                    v[:, b : b + 1, :],
+                    steps[b],
+                )
+            hidden = self.model.attention_output(layer_idx, hidden, attn_concat)
+            hidden = self.model.ffn(layer_idx, hidden)
+
+        logits = self.model.final_logits(hidden)
+        # Row-wise softmax over the whole batch: one call instead of B, and
+        # each row is identical to the 1-D softmax of that row's logits.
+        all_probs = softmax(logits, axis=-1)
+        distributions: list[np.ndarray] = []
+        for b, seq in enumerate(seqs):
+            allowed_indices = self._update_copy_head(seq, int(tokens[b]), steps[b])
+            seq.position += 1
+            distributions.append(
+                self._mix_copy(seq, all_probs[b], int(tokens[b]), allowed_indices)
+            )
+        return distributions
+
+    def _attend_one(
+        self,
+        seq: SequenceState,
+        layer_idx: int,
+        query_vectors: np.ndarray,
+        k_new: np.ndarray,
+        v_new: np.ndarray,
+        step: int,
+    ) -> np.ndarray:
+        """KV append, token selection and attention of one sequence/layer.
+
+        ``query_vectors`` is ``(n_heads, head_dim)``; ``k_new``/``v_new``
+        are ``(n_kv_heads, 1, head_dim)``.  Returns the concatenated
+        attention output, shape ``(n_heads * head_dim,)``.
+        """
+        config = self.model.config
+        gen = self.generation_config
+        seq.kv_store.append(layer_idx, k_new, v_new, step=step)
+        state = seq.layer_states[layer_idx]
+        context_length = len(seq.kv_store.layers[layer_idx])
+
+        if state is not None:
+            state.observe_decode(k_new)
+
+        budget = gen.budget if gen.budget is not None else context_length
+        use_selection = (
+            state is not None and gen.budget is not None and budget < context_length
+        )
+        if use_selection:
+            grouped = query_vectors.reshape(
+                config.n_kv_heads, config.group_size, config.head_dim
+            )
+            fetched_before = state.stats.fetched_tokens
+            indices_per_head = state.select(grouped, budget, step)
+            fetched_delta = state.stats.fetched_tokens - fetched_before
+            seq.kv_store.record_fetch(fetched_delta, step)
+
+            keys_sel = []
+            values_sel = []
+            for kv_head in range(config.n_kv_heads):
+                k_sel, v_sel = seq.kv_store.gather(
+                    layer_idx, kv_head, indices_per_head[kv_head]
+                )
+                keys_sel.append(k_sel)
+                values_sel.append(v_sel)
+        else:
+            # Full-context attention: hand out views of the cache instead of
+            # gathering per-head copies — same values, no per-step O(L) copy.
+            # Index arrays are only materialised if a recorder needs them.
+            indices_per_head = None
+            if state is not None:
+                state.stats.selected_tokens += context_length * config.n_kv_heads
+                state.stats.num_selections += 1
+            keys_full = seq.kv_store.keys(layer_idx)
+            values_full = seq.kv_store.values(layer_idx)
+            keys_sel = [keys_full[kv_head] for kv_head in range(config.n_kv_heads)]
+            values_sel = [values_full[kv_head] for kv_head in range(config.n_kv_heads)]
+
+        attn = selected_attention(
+            query_vectors, keys_sel, values_sel, config.softmax_scale
+        )
+
+        def materialised_indices() -> list[np.ndarray]:
+            if indices_per_head is not None:
+                return indices_per_head
+            return [
+                np.arange(context_length, dtype=np.int64)
+                for _ in range(config.n_kv_heads)
+            ]
+
+        if gen.record_true_scores and state is not None and gen.budget is not None:
+            self._record_recall(
+                seq, layer_idx, step, query_vectors, materialised_indices(), budget
+            )
+        if gen.record_attention_trace and layer_idx == seq.trace_layer:
+            self._record_trace(
+                seq, layer_idx, step, query_vectors, materialised_indices(), attn.weights
+            )
+        return attn.output
+
+    def _update_copy_head(
+        self, seq: SequenceState, token_id: int, step: int
+    ) -> np.ndarray | None:
+        """Ingest the current token into the pointer head and select its context.
+
+        Returns the indices the pointer head may attend to at this step
+        (``None`` means the full history, i.e. no compression).
+        """
+        if seq.copy_head is None:
+            return None
+        gen = self.generation_config
+        copy_keys = seq.copy_head.ingest(np.asarray([token_id]))
+        if seq.copy_state is None:
+            return None
+        seq.copy_state.observe_decode(copy_keys[None, :, :])
+        history = len(seq.copy_head)
+        if gen.budget is None or gen.budget >= history:
+            seq.copy_state.stats.selected_tokens += history
+            seq.copy_state.stats.num_selections += 1
+            return None
+        query = seq.copy_head.current_signature()
+        selections = seq.copy_state.select(query[None, None, :], gen.budget, step)
+        return selections[0]
+
+    # ------------------------------------------------------------------
+    # sampling and bookkeeping
+    # ------------------------------------------------------------------
+    def pick_token(self, seq: SequenceState, distribution: np.ndarray) -> int:
+        """Sample the next token of a sequence from an output distribution."""
+        if self.generation_config.greedy:
+            return greedy_sample(distribution)
+        return temperature_sample(
+            distribution, seq.rng, self.generation_config.temperature
+        )
+
+    def record_output(self, seq: SequenceState, token_id: int, distribution: np.ndarray) -> None:
+        """Append a generated token and its log-probability to the result."""
+        seq.result.output_ids.append(token_id)
+        seq.result.output_logprobs.append(
+            float(np.log(max(distribution[token_id], 1e-30)))
+        )
+
+    def finalise(self, seq: SequenceState) -> GenerationResult:
+        """Merge per-layer selector statistics into the sequence's result."""
+        result = seq.result
+        merged = SelectorStats()
+        states: list[tuple[int, LayerSelectorState]] = [
+            (layer_idx, state)
+            for layer_idx, state in enumerate(seq.layer_states)
+            if state is not None
+        ]
+        if seq.copy_state is not None:
+            states.append((self.model.config.n_layers, seq.copy_state))
+        for layer_idx, state in states:
+            result.per_layer_stats[layer_idx] = state.stats
+            merged = merged.merge(state.stats)
+        result.selector_stats = merged
+        result.ledger = seq.offload.ledger
+        result.kv_cache_bytes = seq.kv_store.total_nbytes()
+        hit_rates = [
+            state.cache_hit_rate()
+            for _, state in states
+            if hasattr(state, "cache_hit_rate")
+        ]
+        result.cache_hit_rate = float(np.mean(hit_rates)) if hit_rates else 0.0
+        return result
+
+    # ------------------------------------------------------------------
+    # instrumentation helpers
+    # ------------------------------------------------------------------
+    def _mix_copy(
+        self,
+        seq: SequenceState,
+        vocab_probs: np.ndarray,
+        current_token_id: int,
+        allowed_indices: np.ndarray | None,
+    ) -> np.ndarray:
+        if seq.copy_head is None:
+            return vocab_probs
+        copy_dist = seq.copy_head.copy_distribution(
+            current_token_id, allowed_indices=allowed_indices
+        )
+        if copy_dist is None:
+            return vocab_probs
+        return mix_distributions(copy_dist, vocab_probs, self.model.config.copy_gate)
+
+    def _record_recall(
+        self,
+        seq: SequenceState,
+        layer_idx: int,
+        step: int,
+        query_vectors: np.ndarray,
+        indices_per_head: list[np.ndarray],
+        budget: int,
+    ) -> None:
+        config = self.model.config
+        keys = seq.kv_store.keys(layer_idx)
+        context_length = keys.shape[1]
+        effective_budget = min(budget, context_length)
+        grouped = query_vectors.reshape(
+            config.n_kv_heads, config.group_size, config.head_dim
+        ).sum(axis=1)
+        for kv_head in range(config.n_kv_heads):
+            true_scores = keys[kv_head] @ grouped[kv_head]
+            true_top = top_k_indices(true_scores, effective_budget)
+            selected = set(indices_per_head[kv_head].tolist())
+            hits = sum(1 for index in true_top.tolist() if index in selected)
+            recall = hits / max(1, true_top.shape[0])
+            seq.result.recall_records.append(
+                RecallRecord(
+                    step=step,
+                    layer=layer_idx,
+                    head=kv_head,
+                    budget=effective_budget,
+                    recall=recall,
+                )
+            )
+
+    def _record_trace(
+        self,
+        seq: SequenceState,
+        layer_idx: int,
+        step: int,
+        query_vectors: np.ndarray,
+        indices_per_head: list[np.ndarray],
+        attention_weights: list[np.ndarray] | None,
+    ) -> None:
+        config = self.model.config
+        keys = seq.kv_store.keys(layer_idx)
+        grouped = query_vectors.reshape(
+            config.n_kv_heads, config.group_size, config.head_dim
+        ).sum(axis=1)
+        true_scores = [keys[kv_head] @ grouped[kv_head] for kv_head in range(config.n_kv_heads)]
+        # Average the per-query-head weights inside each kv group so the trace
+        # has one weight vector per kv head, aligned with its selected indices.
+        kv_weights: list[np.ndarray] = []
+        if attention_weights is not None:
+            for kv_head in range(config.n_kv_heads):
+                group_slice = attention_weights[
+                    kv_head * config.group_size : (kv_head + 1) * config.group_size
+                ]
+                kv_weights.append(np.mean(np.stack(group_slice, axis=0), axis=0))
+        seq.result.attention_trace.append(
+            StepAttentionRecord(
+                step=step,
+                layer=layer_idx,
+                selected_indices=[idx.copy() for idx in indices_per_head],
+                attention_weights=kv_weights,
+                true_scores=true_scores,
+            )
+        )
+
+
 class InferenceEngine:
-    """Runs prefill and decoding for one model / selection method pair."""
+    """Runs prefill and decoding for one model / selection method pair.
+
+    This is the single-request facade used by the accuracy experiments; the
+    heavy lifting lives in :class:`EngineCore` and :class:`SequenceState`,
+    which :class:`repro.serving.BatchedEngine` shares for multi-request
+    continuous batching.
+    """
 
     def __init__(
         self,
@@ -114,75 +594,44 @@ class InferenceEngine:
         self.selector = selector if selector is not None else FullKVSelector()
         self.generation_config = generation_config or GenerationConfig()
         self.offload = offload if offload is not None else OffloadManager()
-        self._rng = np.random.default_rng(self.generation_config.seed)
+        self._core = EngineCore(model, self.generation_config)
+        self._sequence = SequenceState(
+            model, self.selector, self.generation_config, self.offload
+        )
 
-        config = model.config
-        self.kv_store = KVCacheStore(
-            n_layers=config.n_layers,
-            n_kv_heads=config.n_kv_heads,
-            head_dim=config.head_dim,
-            offload=self.offload,
-            residency=self.selector.kv_residency,
-        )
-        self.layer_states: list[LayerSelectorState | None] = []
-        for layer_idx in range(config.n_layers):
-            if layer_idx < self.generation_config.num_full_layers:
-                self.layer_states.append(None)
-            else:
-                self.layer_states.append(
-                    self.selector.create_layer_state(
-                        layer_idx,
-                        config.n_kv_heads,
-                        config.head_dim,
-                        self.generation_config.num_sink_tokens,
-                    )
-                )
-        self.copy_head = (
-            CopyHead(model.weights) if config.use_copy_head else None
-        )
-        # The pointer (copy) head is an attention head over the context like
-        # any other: its keys go through the same KV selection machinery, so
-        # the accuracy of a compression method directly gates what the model
-        # can retrieve.
-        self.copy_state: LayerSelectorState | None = None
-        if self.copy_head is not None:
-            self.copy_state = self.selector.create_layer_state(
-                config.n_layers,
-                1,
-                config.d_model,
-                self.generation_config.num_sink_tokens,
-            )
-        self._trace_layer = config.n_layers - 1
-        self._prefilled = False
-        self._position = 0
+    @property
+    def kv_store(self) -> KVCacheStore:
+        """KV cache store of the engine's single sequence."""
+        return self._sequence.kv_store
+
+    @property
+    def layer_states(self) -> list[LayerSelectorState | None]:
+        """Per-layer selector states (``None`` for uncompressed layers)."""
+        return self._sequence.layer_states
+
+    @property
+    def copy_head(self) -> CopyHead | None:
+        """Pointer head of the engine's single sequence, if enabled."""
+        return self._sequence.copy_head
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
     def generate(self, prompt_ids: np.ndarray | list[int]) -> GenerationResult:
         """Autoregressively generate ``max_new_tokens`` tokens after the prompt."""
-        prompt_ids = np.asarray(prompt_ids, dtype=np.int64)
-        result = GenerationResult(
-            prompt_length=int(prompt_ids.shape[0]), method=self.selector.name
-        )
-        distribution = self._prefill(prompt_ids, result)
+        seq = self._sequence
+        distribution = self._core.prefill(seq, np.asarray(prompt_ids, dtype=np.int64))
 
-        current_token = self._pick_token(distribution)
-        logprob = float(np.log(max(distribution[current_token], 1e-30)))
-        result.output_ids.append(current_token)
-        result.output_logprobs.append(logprob)
+        current_token = self._core.pick_token(seq, distribution)
+        self._core.record_output(seq, current_token, distribution)
 
         for step in range(self.generation_config.max_new_tokens - 1):
-            distribution = self._decode_step(current_token, step, result)
-            current_token = self._pick_token(distribution)
-            result.output_ids.append(current_token)
-            result.output_logprobs.append(
-                float(np.log(max(distribution[current_token], 1e-30)))
-            )
-            result.decode_steps += 1
+            distribution = self._core.decode_step_batch([seq], [current_token], [step])[0]
+            current_token = self._core.pick_token(seq, distribution)
+            self._core.record_output(seq, current_token, distribution)
+            seq.result.decode_steps += 1
 
-        self._finalise(result)
-        return result
+        return self._core.finalise(seq)
 
     def score_sequence(
         self, token_ids: np.ndarray | list[int], prefill_length: int
@@ -200,268 +649,18 @@ class InferenceEngine:
             raise ValueError(
                 "prefill_length must be positive and smaller than the sequence"
             )
-        result = GenerationResult(prompt_length=prefill_length, method=self.selector.name)
-        distribution = self._prefill(token_ids[:prefill_length], result)
+        seq = self._sequence
+        distribution = self._core.prefill(seq, token_ids[:prefill_length])
 
         for offset in range(prefill_length, token_ids.shape[0]):
             target = int(token_ids[offset])
-            result.target_logprobs.append(
+            seq.result.target_logprobs.append(
                 float(np.log(max(distribution[target], 1e-30)))
             )
             if offset == token_ids.shape[0] - 1:
                 break
             step = offset - prefill_length
-            distribution = self._decode_step(target, step, result)
-            result.decode_steps += 1
+            distribution = self._core.decode_step_batch([seq], [target], [step])[0]
+            seq.result.decode_steps += 1
 
-        self._finalise(result)
-        return result
-
-    # ------------------------------------------------------------------
-    # prefill
-    # ------------------------------------------------------------------
-    def _prefill(self, prompt_ids: np.ndarray, result: GenerationResult) -> np.ndarray:
-        if self._prefilled:
-            raise RuntimeError("the engine has already been used; create a new one")
-        self._prefilled = True
-        config = self.model.config
-        length = prompt_ids.shape[0]
-        if length == 0:
-            raise ValueError("the prompt must contain at least one token")
-        positions = np.arange(length)
-        hidden = self.model.embed(prompt_ids, positions)
-
-        for layer_idx in range(config.n_layers):
-            q, k, v = self.model.attention_qkv(layer_idx, hidden, positions)
-            self.kv_store.append(layer_idx, k, v, step=-1)
-            state = self.layer_states[layer_idx]
-            if state is not None:
-                state.observe_prefill(k)
-            attn = full_causal_attention(q, k, v, config.softmax_scale)
-            hidden = self.model.attention_output(layer_idx, hidden, attn.output)
-            hidden = self.model.ffn(layer_idx, hidden)
-
-        if self.copy_head is not None:
-            copy_keys = self.copy_head.ingest(prompt_ids)
-            if self.copy_state is not None:
-                self.copy_state.observe_prefill(copy_keys[None, :, :])
-        self._position = length
-
-        logits = self.model.final_logits(hidden[-1:, :])[0]
-        vocab_probs = softmax(logits)
-        distribution = self._mix_copy(
-            vocab_probs, int(prompt_ids[-1]), allowed_indices=None
-        )
-        return distribution
-
-    # ------------------------------------------------------------------
-    # decoding
-    # ------------------------------------------------------------------
-    def _decode_step(
-        self, token_id: int, step: int, result: GenerationResult
-    ) -> np.ndarray:
-        config = self.model.config
-        gen = self.generation_config
-        position = self._position
-        positions = np.asarray([position])
-        hidden = self.model.embed(np.asarray([token_id]), positions)
-
-        for layer_idx in range(config.n_layers):
-            q, k, v = self.model.attention_qkv(layer_idx, hidden, positions)
-            self.kv_store.append(layer_idx, k, v, step=step)
-            state = self.layer_states[layer_idx]
-            context_length = len(self.kv_store.layers[layer_idx])
-
-            if state is not None:
-                state.observe_decode(k)
-
-            query_vectors = q[:, 0, :]  # (n_heads, head_dim)
-            budget = gen.budget if gen.budget is not None else context_length
-            use_selection = (
-                state is not None and gen.budget is not None and budget < context_length
-            )
-            if use_selection:
-                grouped = query_vectors.reshape(
-                    config.n_kv_heads, config.group_size, config.head_dim
-                )
-                fetched_before = state.stats.fetched_tokens
-                indices_per_head = state.select(grouped, budget, step)
-                fetched_delta = state.stats.fetched_tokens - fetched_before
-                self.kv_store.record_fetch(fetched_delta, step)
-            else:
-                indices_per_head = [
-                    np.arange(context_length, dtype=np.int64)
-                    for _ in range(config.n_kv_heads)
-                ]
-                if state is not None:
-                    state.stats.selected_tokens += context_length * config.n_kv_heads
-                    state.stats.num_selections += 1
-
-            keys_sel = []
-            values_sel = []
-            for kv_head in range(config.n_kv_heads):
-                k_sel, v_sel = self.kv_store.gather(
-                    layer_idx, kv_head, indices_per_head[kv_head]
-                )
-                keys_sel.append(k_sel)
-                values_sel.append(v_sel)
-
-            attn = selected_attention(
-                query_vectors, keys_sel, values_sel, config.softmax_scale
-            )
-
-            if gen.record_true_scores and state is not None and gen.budget is not None:
-                self._record_recall(
-                    result, layer_idx, step, query_vectors, indices_per_head, budget
-                )
-            if gen.record_attention_trace and layer_idx == self._trace_layer:
-                self._record_trace(
-                    result, layer_idx, step, query_vectors, indices_per_head, attn.weights
-                )
-
-            hidden = self.model.attention_output(
-                layer_idx, hidden, attn.output[None, :]
-            )
-            hidden = self.model.ffn(layer_idx, hidden)
-
-        allowed_indices = self._update_copy_head(token_id, step)
-        self._position += 1
-
-        logits = self.model.final_logits(hidden)[0]
-        vocab_probs = softmax(logits)
-        return self._mix_copy(vocab_probs, token_id, allowed_indices)
-
-    def _update_copy_head(self, token_id: int, step: int) -> np.ndarray | None:
-        """Ingest the current token into the pointer head and select its context.
-
-        Returns the indices the pointer head may attend to at this step
-        (``None`` means the full history, i.e. no compression).
-        """
-        if self.copy_head is None:
-            return None
-        gen = self.generation_config
-        copy_keys = self.copy_head.ingest(np.asarray([token_id]))
-        if self.copy_state is None:
-            return None
-        self.copy_state.observe_decode(copy_keys[None, :, :])
-        history = len(self.copy_head)
-        if gen.budget is None or gen.budget >= history:
-            self.copy_state.stats.selected_tokens += history
-            self.copy_state.stats.num_selections += 1
-            return None
-        query = self.copy_head.current_signature()
-        selections = self.copy_state.select(query[None, None, :], gen.budget, step)
-        return selections[0]
-
-    # ------------------------------------------------------------------
-    # helpers
-    # ------------------------------------------------------------------
-    def _mix_copy(
-        self,
-        vocab_probs: np.ndarray,
-        current_token_id: int,
-        allowed_indices: np.ndarray | None,
-    ) -> np.ndarray:
-        if self.copy_head is None:
-            return vocab_probs
-        copy_dist = self.copy_head.copy_distribution(
-            current_token_id, allowed_indices=allowed_indices
-        )
-        if copy_dist is None:
-            return vocab_probs
-        return mix_distributions(copy_dist, vocab_probs, self.model.config.copy_gate)
-
-    def _pick_token(self, distribution: np.ndarray) -> int:
-        if self.generation_config.greedy:
-            return greedy_sample(distribution)
-        return temperature_sample(
-            distribution, self._rng, self.generation_config.temperature
-        )
-
-    def _record_recall(
-        self,
-        result: GenerationResult,
-        layer_idx: int,
-        step: int,
-        query_vectors: np.ndarray,
-        indices_per_head: list[np.ndarray],
-        budget: int,
-    ) -> None:
-        config = self.model.config
-        keys = self.kv_store.keys(layer_idx)
-        context_length = keys.shape[1]
-        effective_budget = min(budget, context_length)
-        grouped = query_vectors.reshape(
-            config.n_kv_heads, config.group_size, config.head_dim
-        ).sum(axis=1)
-        for kv_head in range(config.n_kv_heads):
-            true_scores = keys[kv_head] @ grouped[kv_head]
-            true_top = top_k_indices(true_scores, effective_budget)
-            selected = set(indices_per_head[kv_head].tolist())
-            hits = sum(1 for index in true_top.tolist() if index in selected)
-            recall = hits / max(1, true_top.shape[0])
-            result.recall_records.append(
-                RecallRecord(
-                    step=step,
-                    layer=layer_idx,
-                    head=kv_head,
-                    budget=effective_budget,
-                    recall=recall,
-                )
-            )
-
-    def _record_trace(
-        self,
-        result: GenerationResult,
-        layer_idx: int,
-        step: int,
-        query_vectors: np.ndarray,
-        indices_per_head: list[np.ndarray],
-        attention_weights: list[np.ndarray] | None,
-    ) -> None:
-        config = self.model.config
-        keys = self.kv_store.keys(layer_idx)
-        grouped = query_vectors.reshape(
-            config.n_kv_heads, config.group_size, config.head_dim
-        ).sum(axis=1)
-        true_scores = [keys[kv_head] @ grouped[kv_head] for kv_head in range(config.n_kv_heads)]
-        # Average the per-query-head weights inside each kv group so the trace
-        # has one weight vector per kv head, aligned with its selected indices.
-        kv_weights: list[np.ndarray] = []
-        if attention_weights is not None:
-            for kv_head in range(config.n_kv_heads):
-                group_slice = attention_weights[
-                    kv_head * config.group_size : (kv_head + 1) * config.group_size
-                ]
-                kv_weights.append(np.mean(np.stack(group_slice, axis=0), axis=0))
-        result.attention_trace.append(
-            StepAttentionRecord(
-                step=step,
-                layer=layer_idx,
-                selected_indices=[idx.copy() for idx in indices_per_head],
-                attention_weights=kv_weights,
-                true_scores=true_scores,
-            )
-        )
-
-    def _finalise(self, result: GenerationResult) -> None:
-        merged = SelectorStats()
-        states: list[tuple[int, LayerSelectorState]] = [
-            (layer_idx, state)
-            for layer_idx, state in enumerate(self.layer_states)
-            if state is not None
-        ]
-        if self.copy_state is not None:
-            states.append((self.model.config.n_layers, self.copy_state))
-        for layer_idx, state in states:
-            result.per_layer_stats[layer_idx] = state.stats
-            merged = merged.merge(state.stats)
-        result.selector_stats = merged
-        result.ledger = self.offload.ledger
-        result.kv_cache_bytes = self.kv_store.total_nbytes()
-        hit_rates = [
-            state.cache_hit_rate()
-            for _, state in states
-            if hasattr(state, "cache_hit_rate")
-        ]
-        result.cache_hit_rate = float(np.mean(hit_rates)) if hit_rates else 0.0
+        return self._core.finalise(seq)

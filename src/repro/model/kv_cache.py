@@ -123,13 +123,19 @@ class KVCacheStore:
         offload: OffloadManager | None = None,
         residency: TierKind = TierKind.GPU,
         bytes_per_element: int = 2,
+        buffer_prefix: str = "",
     ) -> None:
         self.n_layers = n_layers
         self.n_kv_heads = n_kv_heads
         self.head_dim = head_dim
         self.offload = offload
         self.bytes_per_element = bytes_per_element
+        # ``buffer_prefix`` namespaces the per-layer buffer registrations so
+        # that many stores (one per in-flight serving request) can share one
+        # OffloadManager without name collisions.
+        self.buffer_prefix = buffer_prefix
         self._policy = _ResidencyPolicy(residency)
+        self._released = False
         self.layers = [
             LayerKVCache(layer_idx, n_kv_heads, head_dim) for layer_idx in range(n_layers)
         ]
@@ -195,5 +201,18 @@ class KVCacheStore:
         """Total bytes of all cached K and V entries."""
         return sum(len(layer) * self.token_nbytes() for layer in self.layers)
 
+    def release(self) -> None:
+        """Deregister all layer buffers from the offload manager.
+
+        Frees the tier usage accounted to this store (the NumPy arrays are
+        garbage-collected with the store itself).  Safe to call twice; used
+        by the serving engine when a request retires.
+        """
+        if self.offload is None or self._released:
+            return
+        for layer_idx in range(self.n_layers):
+            self.offload.release(self._buffer_name(layer_idx))
+        self._released = True
+
     def _buffer_name(self, layer_idx: int) -> str:
-        return f"kv_layer_{layer_idx}"
+        return f"{self.buffer_prefix}kv_layer_{layer_idx}"

@@ -48,6 +48,7 @@ class ReferenceArchitecture:
 
     @property
     def head_dim(self) -> int:
+        """Per-head hidden dimension."""
         return self.d_model // self.n_heads
 
     @property
@@ -114,6 +115,27 @@ _SIM_CONFIGS: dict[str, ModelConfig] = {
         activation="swiglu",
         use_rope=True,
         seed=2,
+    ),
+    # Serving-benchmark analogue: keeps the Llama-style family but with the
+    # FFN/vocab proportions of real 8-9B models (d_ff = 4 * d_model, larger
+    # vocabulary), so that decode cost is dominated by the batchable
+    # per-token matmuls rather than Python overhead — the regime in which
+    # continuous batching pays off on real hardware.  The pointer head is
+    # disabled: serving throughput experiments do not need retrieval
+    # workloads and its per-token host-side work is per-request.
+    "serve-sim": ModelConfig(
+        name="serve-sim",
+        vocab_size=2048,
+        d_model=128,
+        n_layers=4,
+        n_heads=8,
+        n_kv_heads=4,
+        d_ff=512,
+        norm_type="rmsnorm",
+        activation="swiglu",
+        use_rope=True,
+        use_copy_head=False,
+        seed=11,
     ),
     # OPT-6.7B analogue: MHA, learned positions, LayerNorm, GELU.
     "opt-sim": ModelConfig(

@@ -40,9 +40,11 @@ def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     with long contexts.
     """
     x = np.asarray(x, dtype=np.float64)
-    shifted = x - np.max(x, axis=axis, keepdims=True)
+    # Method-call reductions avoid the np.max/np.sum dispatch wrappers; this
+    # sits on the per-head decode hot path and is called once per attention.
+    shifted = x - x.max(axis=axis, keepdims=True)
     exp = np.exp(shifted)
-    return exp / np.sum(exp, axis=axis, keepdims=True)
+    return exp / exp.sum(axis=axis, keepdims=True)
 
 
 def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:

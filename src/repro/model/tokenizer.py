@@ -48,22 +48,27 @@ class SyntheticTokenizer:
 
     @property
     def pad_id(self) -> int:
+        """Token id of the padding token."""
         return PAD_ID
 
     @property
     def bos_id(self) -> int:
+        """Token id of the beginning-of-sequence token."""
         return BOS_ID
 
     @property
     def eos_id(self) -> int:
+        """Token id of the end-of-sequence token."""
         return EOS_ID
 
     @property
     def unk_id(self) -> int:
+        """Token id of the unknown-word token."""
         return UNK_ID
 
     @property
     def num_special_tokens(self) -> int:
+        """Number of reserved special token ids."""
         return NUM_SPECIAL_TOKENS
 
     def word_for_id(self, token_id: int) -> str:

@@ -1,0 +1,42 @@
+"""Batched multi-request serving with continuous scheduling.
+
+This subsystem turns the single-sequence reproduction into a small serving
+engine: a :class:`RequestQueue` of pending prompts, a
+:class:`ContinuousBatchingScheduler` that admits prefills under batch-slot
+and global KV-memory budgets, and a :class:`BatchedEngine` that interleaves
+per-step decodes across all active sequences, retiring requests as they
+finish.  All requests share one transformer, one
+:class:`~repro.memory.OffloadManager` (so tier usage and transfer traffic
+are accounted globally) and one
+:class:`~repro.model.generation.EngineCore`, whose batched decode path is
+also the single-sequence path — a batch of one is bit-identical to
+:class:`repro.model.InferenceEngine`.
+"""
+
+from .bench import (
+    MethodThroughput,
+    ServeBenchConfig,
+    format_serve_bench,
+    run_serve_bench,
+)
+from .engine import BatchedEngine, ServeReport, serve_prompts
+from .queue import RequestQueue
+from .request import ActiveRequest, CompletedRequest, RequestStatus, ServeRequest
+from .scheduler import ContinuousBatchingScheduler, SchedulerConfig
+
+__all__ = [
+    "BatchedEngine",
+    "ServeReport",
+    "serve_prompts",
+    "RequestQueue",
+    "ServeRequest",
+    "ActiveRequest",
+    "CompletedRequest",
+    "RequestStatus",
+    "ContinuousBatchingScheduler",
+    "SchedulerConfig",
+    "ServeBenchConfig",
+    "MethodThroughput",
+    "run_serve_bench",
+    "format_serve_bench",
+]

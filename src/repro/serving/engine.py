@@ -1,0 +1,333 @@
+"""Batched multi-request serving engine with continuous batching.
+
+:class:`BatchedEngine` drives N concurrent generation requests through the
+shared :class:`~repro.model.generation.EngineCore`:
+
+* each engine step first asks the
+  :class:`~repro.serving.scheduler.ContinuousBatchingScheduler` which queued
+  requests to admit (bounded by batch slots and the global KV memory
+  budget), prefills them and samples their first token;
+* then one decode step runs for *all* active requests at once —
+  :meth:`~repro.model.generation.EngineCore.decode_step_batch` batches the
+  per-token transformer blocks across requests while KV selection and
+  attention remain per-request (each request has its own cache length,
+  selector state and budget accounting);
+* finished requests retire immediately, releasing their KV buffers from the
+  shared :class:`~repro.memory.OffloadManager` so the freed memory is
+  available to the very next admission decision.
+
+Because admitted requests join the decode batch mid-flight and retire
+mid-flight, the batch composition changes continuously — no request waits
+for a "generation round" to end (continuous batching, as opposed to static
+batching).  A batch of size one executes exactly the operations of
+:class:`~repro.model.generation.InferenceEngine`, token for token and bit
+for bit.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines.base import KVSelectorFactory
+from ..baselines.full import FullKVSelector
+from ..memory import OffloadManager, TransferLedger
+from ..model.config import GenerationConfig
+from ..model.generation import EngineCore, GenerationResult, SequenceState
+from ..model.transformer import TransformerModel
+from .queue import RequestQueue
+from .request import ActiveRequest, CompletedRequest, RequestStatus, ServeRequest
+from .scheduler import ContinuousBatchingScheduler, SchedulerConfig
+
+__all__ = ["ServeReport", "BatchedEngine", "serve_prompts"]
+
+
+@dataclass
+class ServeReport:
+    """Aggregate outcome of draining the request queue once.
+
+    Attributes
+    ----------
+    completed:
+        Retired requests in retirement order, each with its
+        :class:`~repro.model.generation.GenerationResult`.
+    engine_steps:
+        Number of engine steps executed (admission + batched decode).
+    total_generated_tokens:
+        Tokens emitted across all requests.
+    occupancy:
+        Decode-batch size at every engine step; its mean is the
+        continuous-batching utilisation.
+    ledger:
+        The shared transfer ledger covering all requests.
+    peak_gpu_bytes / peak_cpu_bytes:
+        High-water marks of the shared memory tiers.
+    wall_time_seconds:
+        Wall-clock duration of the :meth:`BatchedEngine.run` call.
+    """
+
+    completed: list[CompletedRequest] = field(default_factory=list)
+    engine_steps: int = 0
+    total_generated_tokens: int = 0
+    occupancy: list[int] = field(default_factory=list)
+    ledger: TransferLedger | None = None
+    peak_gpu_bytes: int = 0
+    peak_cpu_bytes: int = 0
+    wall_time_seconds: float = 0.0
+
+    @property
+    def mean_batch_occupancy(self) -> float:
+        """Average number of requests decoding per engine step."""
+        if not self.occupancy:
+            return 0.0
+        return float(np.mean(self.occupancy))
+
+    @property
+    def tokens_per_second(self) -> float:
+        """Generated-token throughput of the run (0 when untimed)."""
+        if self.wall_time_seconds <= 0.0:
+            return 0.0
+        return self.total_generated_tokens / self.wall_time_seconds
+
+    def results(self) -> dict[str, GenerationResult]:
+        """Per-request results keyed by request id."""
+        return {c.request.request_id: c.result for c in self.completed}
+
+
+class BatchedEngine:
+    """Serves many generation requests concurrently over one model.
+
+    Parameters
+    ----------
+    model:
+        The shared transformer (weights are read-only across requests).
+    selector:
+        KV compression method factory; fresh per-layer selector states are
+        created for every request, so one factory serves all of them.
+    generation_config:
+        Engine-wide decoding configuration.  ``max_new_tokens`` and ``seed``
+        can be overridden per request at submission.
+    scheduler_config:
+        Admission policy (batch slots, prefill rate, global KV budget).
+    offload:
+        Shared memory-tier manager; defaults to a fresh
+        :class:`~repro.memory.OffloadManager`.  All requests register their
+        KV buffers here, which is what makes the scheduler's KV budget and
+        the report's peak-bytes numbers global rather than per-request.
+    """
+
+    def __init__(
+        self,
+        model: TransformerModel,
+        selector: KVSelectorFactory | None = None,
+        generation_config: GenerationConfig | None = None,
+        scheduler_config: SchedulerConfig | None = None,
+        offload: OffloadManager | None = None,
+    ) -> None:
+        self.model = model
+        self.selector = selector if selector is not None else FullKVSelector()
+        self.generation_config = generation_config or GenerationConfig()
+        self.offload = offload if offload is not None else OffloadManager()
+        self.scheduler = ContinuousBatchingScheduler(scheduler_config)
+        self.queue = RequestQueue()
+        self.core = EngineCore(model, self.generation_config)
+        self._active: list[ActiveRequest] = []
+        self._reserved_bytes: dict[str, int] = {}
+        self._submitted_at_step: dict[str, int] = {}
+        self._engine_step = 0
+        self._kv_bytes_per_token = model.config.kv_bytes_per_token()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        prompt_ids: np.ndarray | list[int],
+        request_id: str | None = None,
+        max_new_tokens: int | None = None,
+        seed: int | None = None,
+    ) -> ServeRequest:
+        """Enqueue a generation request; it runs at the next :meth:`step`.
+
+        Raises
+        ------
+        ValueError
+            If ``request_id`` was already submitted to this engine (the
+            queue is the sole id issuer; ids key the shared KV buffers and
+            the report), or if the request's projected KV footprint exceeds
+            the scheduler's whole memory budget (such a request could never
+            be admitted).
+        """
+        budget = self.scheduler.config.kv_budget_bytes
+        if budget is not None:
+            prompt_length = int(np.asarray(prompt_ids).shape[0])
+            resolved_max_new = (
+                max_new_tokens
+                if max_new_tokens is not None
+                else self.generation_config.max_new_tokens
+            )
+            projected = self.scheduler.projected_bytes_for(
+                prompt_length, resolved_max_new, self._kv_bytes_per_token
+            )
+            if projected > budget:
+                raise ValueError(
+                    f"request {request_id if request_id is not None else '<auto>'} "
+                    f"needs {projected} bytes of KV, "
+                    f"more than the whole budget of {budget} bytes"
+                )
+        request = self.queue.submit(
+            prompt_ids, request_id=request_id, max_new_tokens=max_new_tokens, seed=seed
+        )
+        self._submitted_at_step[request.request_id] = self._engine_step
+        return request
+
+    @property
+    def num_active(self) -> int:
+        """Requests currently holding a decode slot."""
+        return len(self._active)
+
+    @property
+    def active_request_ids(self) -> list[str]:
+        """Ids of the in-flight requests, in admission order."""
+        return [a.request.request_id for a in self._active]
+
+    def reserved_kv_bytes(self) -> int:
+        """Projected KV bytes reserved by the in-flight requests."""
+        return sum(self._reserved_bytes.values())
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+    def step(self) -> list[CompletedRequest]:
+        """Run one engine step: admit, prefill, batched decode, retire.
+
+        Returns the requests that retired during this step.
+        """
+        admitted = self.scheduler.admit(
+            self.queue,
+            num_active=len(self._active),
+            reserved_bytes=self.reserved_kv_bytes(),
+            kv_bytes_per_token=self._kv_bytes_per_token,
+            default_max_new_tokens=self.generation_config.max_new_tokens,
+        )
+        for request in admitted:
+            self._prefill_request(request)
+
+        batch = [a for a in self._active if not a.is_finished]
+        if batch:
+            distributions = self.core.decode_step_batch(
+                [a.sequence for a in batch],
+                [a.current_token for a in batch],
+                [a.decode_step for a in batch],
+            )
+            for active, distribution in zip(batch, distributions):
+                token = self.core.pick_token(active.sequence, distribution)
+                self.core.record_output(active.sequence, token, distribution)
+                active.sequence.result.decode_steps += 1
+                active.current_token = token
+                active.decode_step += 1
+        self._last_occupancy = len(batch)
+
+        completed = self._retire_finished()
+        self._engine_step += 1
+        return completed
+
+    def run(self) -> ServeReport:
+        """Drain the queue: step until no request is queued or in flight."""
+        report = ServeReport()
+        start = time.perf_counter()
+        while self.queue or self._active:
+            completed = self.step()
+            report.completed.extend(completed)
+            report.occupancy.append(self._last_occupancy)
+            report.engine_steps += 1
+        report.wall_time_seconds = time.perf_counter() - start
+        report.total_generated_tokens = sum(
+            len(c.result.output_ids) for c in report.completed
+        )
+        report.ledger = self.offload.ledger
+        report.peak_gpu_bytes = self.offload.gpu.peak_bytes
+        report.peak_cpu_bytes = self.offload.cpu.peak_bytes
+        return report
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _prefill_request(self, request: ServeRequest) -> None:
+        """Prefill an admitted request and sample its first token."""
+        sequence = SequenceState(
+            self.model,
+            self.selector,
+            self.generation_config,
+            self.offload,
+            buffer_prefix=f"{request.request_id}/",
+            seed=request.seed,
+        )
+        max_new_tokens = (
+            request.max_new_tokens
+            if request.max_new_tokens is not None
+            else self.generation_config.max_new_tokens
+        )
+        active = ActiveRequest(
+            request=request,
+            sequence=sequence,
+            max_new_tokens=max_new_tokens,
+            admitted_at_step=self._engine_step,
+            status=RequestStatus.PREFILLING,
+        )
+        self._reserved_bytes[request.request_id] = self.scheduler.projected_bytes(
+            request, self._kv_bytes_per_token, self.generation_config.max_new_tokens
+        )
+        distribution = self.core.prefill(sequence, request.prompt_ids)
+        token = self.core.pick_token(sequence, distribution)
+        self.core.record_output(sequence, token, distribution)
+        active.current_token = token
+        active.status = RequestStatus.DECODING
+        self._active.append(active)
+
+    def _retire_finished(self) -> list[CompletedRequest]:
+        """Finalise finished requests and release their KV memory."""
+        completed: list[CompletedRequest] = []
+        still_active: list[ActiveRequest] = []
+        for active in self._active:
+            if not active.is_finished:
+                still_active.append(active)
+                continue
+            active.status = RequestStatus.FINISHED
+            result = self.core.finalise(active.sequence)
+            active.sequence.release()
+            self._reserved_bytes.pop(active.request.request_id, None)
+            completed.append(
+                CompletedRequest(
+                    request=active.request,
+                    result=result,
+                    admitted_at_step=active.admitted_at_step,
+                    finished_at_step=self._engine_step,
+                    submitted_at_step=self._submitted_at_step.pop(
+                        active.request.request_id, 0
+                    ),
+                )
+            )
+        self._active = still_active
+        return completed
+
+
+def serve_prompts(
+    model: TransformerModel,
+    prompts: list[np.ndarray],
+    selector: KVSelectorFactory | None = None,
+    generation_config: GenerationConfig | None = None,
+    scheduler_config: SchedulerConfig | None = None,
+) -> ServeReport:
+    """Convenience wrapper: serve a list of prompts and drain the queue."""
+    engine = BatchedEngine(
+        model,
+        selector=selector,
+        generation_config=generation_config,
+        scheduler_config=scheduler_config,
+    )
+    for prompt in prompts:
+        engine.submit(prompt)
+    return engine.run()

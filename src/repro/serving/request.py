@@ -1,0 +1,138 @@
+"""Request objects of the batched serving engine.
+
+A :class:`ServeRequest` is what a client submits: a prompt plus optional
+per-request overrides.  While a request is in flight the engine wraps it in
+an :class:`ActiveRequest` that carries the mutable decoding state (the
+:class:`~repro.model.generation.SequenceState`); once it retires the engine
+emits a :class:`CompletedRequest` pairing the original request with its
+:class:`~repro.model.generation.GenerationResult` and scheduling timeline.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..model.generation import GenerationResult, SequenceState
+
+__all__ = [
+    "RequestStatus",
+    "ServeRequest",
+    "ActiveRequest",
+    "CompletedRequest",
+]
+
+
+class RequestStatus(enum.Enum):
+    """Lifecycle stage of a serving request."""
+
+    QUEUED = "queued"
+    PREFILLING = "prefilling"
+    DECODING = "decoding"
+    FINISHED = "finished"
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One client request to the batched serving engine.
+
+    Attributes
+    ----------
+    request_id:
+        Unique identifier; assigned by the engine at submission when the
+        caller does not provide one.
+    prompt_ids:
+        Prompt token ids, shape ``(L,)``, dtype int64.
+    max_new_tokens:
+        Per-request decode length; ``None`` falls back to the engine's
+        :class:`~repro.model.config.GenerationConfig.max_new_tokens`.
+    seed:
+        Per-request sampling seed; ``None`` falls back to the engine
+        configuration (only relevant for non-greedy decoding).
+    arrival_order:
+        Monotonically increasing submission index, assigned by the queue.
+        The FCFS scheduler admits strictly in this order.
+    """
+
+    request_id: str
+    prompt_ids: np.ndarray
+    max_new_tokens: int | None = None
+    seed: int | None = None
+    arrival_order: int = 0
+
+    def __post_init__(self) -> None:
+        prompt = np.asarray(self.prompt_ids, dtype=np.int64)
+        if prompt.ndim != 1 or prompt.shape[0] == 0:
+            raise ValueError("prompt_ids must be a non-empty 1-D array")
+        object.__setattr__(self, "prompt_ids", prompt)
+        if self.max_new_tokens is not None and self.max_new_tokens <= 0:
+            raise ValueError("max_new_tokens must be positive when set")
+
+    def prompt_length(self) -> int:
+        """Number of prompt tokens."""
+        return int(self.prompt_ids.shape[0])
+
+
+@dataclass
+class ActiveRequest:
+    """A request currently holding a slot in the decode batch.
+
+    Attributes
+    ----------
+    request:
+        The originating :class:`ServeRequest`.
+    sequence:
+        Per-request decoding state (KV store, selector states, RNG).
+    max_new_tokens:
+        Resolved decode length of this request.
+    current_token:
+        Most recently sampled token, fed back at the next decode step.
+    decode_step:
+        Zero-based index of the next decode step of *this* request (requests
+        admitted at different engine steps sit at different decode steps).
+    admitted_at_step:
+        Engine step at which the request was admitted (prefilled).
+    status:
+        Current lifecycle stage.
+    """
+
+    request: ServeRequest
+    sequence: SequenceState
+    max_new_tokens: int
+    current_token: int = -1
+    decode_step: int = 0
+    admitted_at_step: int = 0
+    status: RequestStatus = RequestStatus.PREFILLING
+
+    @property
+    def tokens_generated(self) -> int:
+        """Number of tokens emitted so far."""
+        return len(self.sequence.result.output_ids)
+
+    @property
+    def is_finished(self) -> bool:
+        """Whether the request has emitted all its tokens."""
+        return self.tokens_generated >= self.max_new_tokens
+
+
+@dataclass
+class CompletedRequest:
+    """A retired request together with its result and scheduling timeline.
+
+    ``queue_delay_steps`` counts engine steps between submission and
+    admission — the head-of-line latency the fairness tests assert on.
+    """
+
+    request: ServeRequest
+    result: GenerationResult
+    admitted_at_step: int
+    finished_at_step: int
+    submitted_at_step: int = 0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def queue_delay_steps(self) -> int:
+        """Engine steps the request spent waiting in the queue."""
+        return self.admitted_at_step - self.submitted_at_step

@@ -1,0 +1,159 @@
+"""Continuous-batching scheduler: admission under slot and memory budgets.
+
+The scheduler decides, at each engine step, which queued requests join the
+decode batch.  Policy is strict first-come-first-served: requests are
+admitted in arrival order and the head of the queue blocks admission when it
+does not fit — a later, smaller request never jumps ahead.  This sacrifices
+a little utilisation for a hard no-starvation guarantee, which is the
+fairness property the tests assert.
+
+Two resources gate admission:
+
+* **slots** — at most ``max_batch_size`` requests decode concurrently, and
+  at most ``max_prefills_per_step`` are prefilled in one engine step (a
+  prefill runs exact quadratic attention over the whole prompt and would
+  otherwise stall the decode batch, the classic continuous-batching
+  trade-off);
+* **KV memory** — the sum over in-flight requests of their *projected* KV
+  footprint (prompt plus full decode length, across all layers) must stay
+  within ``kv_budget_bytes``.  Projections are conservative: a request is
+  only admitted if it can run to completion without evicting others, so the
+  engine never deadlocks mid-decode.  Actual usage is tracked by the shared
+  :class:`~repro.memory.OffloadManager` tier ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .queue import RequestQueue
+from .request import ServeRequest
+
+__all__ = ["SchedulerConfig", "ContinuousBatchingScheduler"]
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Admission policy knobs of the continuous-batching scheduler.
+
+    Attributes
+    ----------
+    max_batch_size:
+        Maximum number of concurrently decoding requests.
+    max_prefills_per_step:
+        Maximum number of requests prefilled in one engine step.
+    kv_budget_bytes:
+        Global KV memory budget across all in-flight requests, in bytes of
+        fp16 K/V entries summed over layers; ``None`` disables the memory
+        gate (slots only).
+    """
+
+    max_batch_size: int = 8
+    max_prefills_per_step: int = 2
+    kv_budget_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if self.max_prefills_per_step <= 0:
+            raise ValueError("max_prefills_per_step must be positive")
+        if self.kv_budget_bytes is not None and self.kv_budget_bytes <= 0:
+            raise ValueError("kv_budget_bytes must be positive when set")
+
+
+class ContinuousBatchingScheduler:
+    """FCFS admission of queued requests into the decode batch."""
+
+    def __init__(self, config: SchedulerConfig | None = None) -> None:
+        self.config = config or SchedulerConfig()
+
+    @staticmethod
+    def projected_bytes_for(
+        prompt_length: int, max_new_tokens: int, kv_bytes_per_token: int
+    ) -> int:
+        """Worst-case KV footprint of one request over its whole lifetime.
+
+        ``(prompt length + decode length) * kv_bytes_per_token`` where
+        ``kv_bytes_per_token`` spans all layers (see
+        :meth:`repro.model.config.ModelConfig.kv_bytes_per_token`).  The
+        single source of the projection formula: used by admission here and
+        by :meth:`repro.serving.BatchedEngine.submit`'s early rejection, so
+        the two gates cannot drift.
+        """
+        return (prompt_length + max_new_tokens) * kv_bytes_per_token
+
+    def projected_bytes(
+        self,
+        request: ServeRequest,
+        kv_bytes_per_token: int,
+        default_max_new_tokens: int,
+    ) -> int:
+        """Projected KV footprint of a queued request (see ``projected_bytes_for``)."""
+        max_new = (
+            request.max_new_tokens
+            if request.max_new_tokens is not None
+            else default_max_new_tokens
+        )
+        return self.projected_bytes_for(
+            request.prompt_length(), max_new, kv_bytes_per_token
+        )
+
+    def admit(
+        self,
+        queue: RequestQueue,
+        num_active: int,
+        reserved_bytes: int,
+        kv_bytes_per_token: int,
+        default_max_new_tokens: int,
+    ) -> list[ServeRequest]:
+        """Pop the queued requests to prefill at this engine step.
+
+        Parameters
+        ----------
+        queue:
+            The pending-request queue (popped in place).
+        num_active:
+            Requests currently decoding.
+        reserved_bytes:
+            Sum of the projected KV footprints of the in-flight requests.
+        kv_bytes_per_token:
+            Per-token KV size across all layers of the served model.
+        default_max_new_tokens:
+            Engine-level decode length used when a request has no override.
+
+        Returns
+        -------
+        list of ServeRequest
+            Admitted requests in arrival order (possibly empty).  Admission
+            stops at the first head-of-queue request that does not fit, so
+            arrival order is preserved unconditionally.
+        """
+        admitted: list[ServeRequest] = []
+        budget = self.config.kv_budget_bytes
+        while queue:
+            if num_active + len(admitted) >= self.config.max_batch_size:
+                break
+            if len(admitted) >= self.config.max_prefills_per_step:
+                break
+            head = queue.peek()
+            assert head is not None
+            projected = self.projected_bytes(
+                head, kv_bytes_per_token, default_max_new_tokens
+            )
+            if budget is not None:
+                if projected > budget:
+                    # The head can never fit.  Only raise when nothing was
+                    # popped this call, so already-admitted requests are
+                    # returned (and served) rather than lost; the next
+                    # admission call reports the unservable head cleanly.
+                    if admitted:
+                        break
+                    raise ValueError(
+                        f"request {head.request_id!r} needs {projected} bytes of KV, "
+                        f"more than the whole budget of {budget} bytes"
+                    )
+                if reserved_bytes + projected > budget:
+                    break
+            admitted.append(queue.pop())
+            reserved_bytes += projected
+        return admitted

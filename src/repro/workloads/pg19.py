@@ -59,6 +59,7 @@ class PG19Sample:
 
     @property
     def length(self) -> int:
+        """Number of tokens in the sample."""
         return int(self.token_ids.shape[0])
 
 

@@ -110,6 +110,7 @@ class PlantedSpan:
 
     @property
     def end(self) -> int:
+        """Exclusive end position of the span in the document."""
         return self.position + len(self.tokens)
 
 
@@ -133,6 +134,7 @@ class DocumentBuilder:
 
     @property
     def length(self) -> int:
+        """Number of tokens in the document being built."""
         return int(self.background.shape[0])
 
     def _occupied(self) -> list[tuple[int, int]]:

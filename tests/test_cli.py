@@ -19,6 +19,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             parser.parse_args(["fig99"])
 
+    def test_serve_bench_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve-bench", "--batch", "4", "--requests", "6", "--methods", "full"]
+        )
+        assert args.command == "serve-bench"
+        assert args.batch == 4
+        assert args.requests == 6
+        assert args.methods == ["full"]
+
 
 class TestMain:
     def test_no_command_prints_help(self, capsys):

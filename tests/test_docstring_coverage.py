@@ -1,0 +1,45 @@
+"""Tier-1 hook of the docstring-coverage check (``scripts/check_docs.py``).
+
+Fails with the full listing whenever a public module, class, function or
+method under ``src/repro`` lacks a docstring, so documentation debt cannot
+accumulate silently.
+"""
+
+import sys
+from pathlib import Path
+
+SCRIPTS_DIR = Path(__file__).resolve().parent.parent / "scripts"
+sys.path.insert(0, str(SCRIPTS_DIR))
+
+from check_docs import SOURCE_ROOT, find_missing_docstrings  # noqa: E402
+
+
+def test_public_api_is_fully_documented():
+    """Every public object under src/repro carries a docstring."""
+    missing = find_missing_docstrings()
+    assert not missing, (
+        f"{len(missing)} public object(s) under {SOURCE_ROOT} lack docstrings:\n"
+        + "\n".join(f"  - {entry}" for entry in missing)
+    )
+
+
+def test_checker_detects_missing_docstrings(tmp_path):
+    """The checker itself flags undocumented modules, classes and functions."""
+    package = tmp_path / "pkg"
+    package.mkdir()
+    (package / "documented.py").write_text(
+        '"""Module docstring."""\n\n'
+        "def covered():\n"
+        '    """Has a docstring."""\n'
+        "def _private():\n"
+        "    pass\n"
+    )
+    (package / "undocumented.py").write_text(
+        "def bare():\n    pass\n\n\nclass Bare:\n    def method(self):\n        pass\n"
+    )
+    missing = find_missing_docstrings(package)
+    assert "pkg.undocumented (module)" in missing
+    assert "pkg.undocumented.bare (function)" in missing
+    assert "pkg.undocumented.Bare (class)" in missing
+    assert "pkg.undocumented.Bare.method (function)" in missing
+    assert not any(entry.startswith("pkg.documented") for entry in missing)

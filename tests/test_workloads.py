@@ -205,3 +205,35 @@ class TestPG19:
         generator = PG19Generator(tokenizer, topic_model=topic_model)
         with pytest.raises(ValueError):
             generator.generate_sample(5)
+
+
+class TestCrossProcessDeterminism:
+    """Sample streams must not depend on Python's per-process hash seed."""
+
+    def test_longbench_sample_independent_of_hash_seed(self):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        snippet = (
+            "from repro.model import SyntheticTokenizer;"
+            "from repro.workloads import LONGBENCH_TASKS, LongBenchTaskGenerator, TopicModel;"
+            "tok = SyntheticTokenizer(256);"
+            "gen = LongBenchTaskGenerator(tok, LONGBENCH_TASKS['multifieldqa'],"
+            " topic_model=TopicModel(tok, seed=0), seed=0);"
+            "print(int(gen.generate_sample(256).prompt_ids.sum()))"
+        )
+        checksums = []
+        for hash_seed in ("1", "2"):
+            src = str(Path(__file__).resolve().parent.parent / "src")
+            env = {**os.environ, "PYTHONHASHSEED": hash_seed}
+            env["PYTHONPATH"] = os.pathsep.join(
+                filter(None, [src, env.get("PYTHONPATH")])
+            )
+            output = subprocess.run(
+                [sys.executable, "-c", snippet],
+                capture_output=True, text=True, check=True, env=env,
+            ).stdout.strip()
+            checksums.append(output)
+        assert checksums[0] == checksums[1]
