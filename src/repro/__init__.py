@@ -3,6 +3,13 @@ for Recallable Compression* (DAC 2025).
 
 Top-level convenience re-exports; see the subpackages for the full API:
 
+* :mod:`repro.api` — the public session facade: :class:`Session` built
+  from one :class:`EngineSpec`, with ``generate()``, ``submit()/step()``
+  and a ``stream()`` iterator of per-token events.
+* :mod:`repro.policies` — the policy registry: every compression method
+  self-registers by name; :class:`PolicySpec` describes a configured
+  method declaratively (dict/JSON/CLI round-trips) and every request can
+  carry its own policy.
 * :mod:`repro.core` — the ClusterKV method (clustering, selection, caching).
 * :mod:`repro.baselines` — Full KV, Quest, InfiniGen, H2O, StreamingLLM and
   the exact top-k oracle.
@@ -35,6 +42,14 @@ from .model import (
     get_model_config,
     get_reference_architecture,
 )
+from .policies import (
+    PolicySpec,
+    UnknownPolicyError,
+    available_policies,
+    build_policy,
+    policy_spec_of,
+    register_policy,
+)
 from .serving import (
     BatchedEngine,
     ContinuousBatchingScheduler,
@@ -44,11 +59,21 @@ from .serving import (
     ServeRequest,
     serve_prompts,
 )
+from .api import EngineSpec, Session, TokenEvent
 
 __version__ = "0.1.0"
 
 __all__ = [
     "__version__",
+    "Session",
+    "EngineSpec",
+    "TokenEvent",
+    "PolicySpec",
+    "UnknownPolicyError",
+    "register_policy",
+    "build_policy",
+    "available_policies",
+    "policy_spec_of",
     "ClusterKVConfig",
     "ClusterKVSelector",
     "FullKVSelector",

@@ -1,0 +1,21 @@
+"""Public session API: the stable facade over the whole reproduction.
+
+``repro.api`` is the entry point applications should use:
+
+* :class:`EngineSpec` — one declarative, JSON-round-trippable config
+  object describing model, default policy, budget, decoding and scheduler
+  knobs.
+* :class:`Session` — built from an ``EngineSpec`` (or its fields as
+  keyword arguments); exposes ``generate()`` for one-shot calls,
+  ``submit()``/``step()``/``run()`` for batched serving, and ``stream()``
+  yielding per-token :class:`TokenEvent` objects.
+
+Compression methods are referred to declaratively through
+:mod:`repro.policies`; every request can carry its own policy, so a single
+session serves heterogeneous traffic.
+"""
+
+from .session import Session, TokenEvent
+from .spec import EngineSpec
+
+__all__ = ["EngineSpec", "Session", "TokenEvent"]

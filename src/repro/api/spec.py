@@ -1,0 +1,128 @@
+"""Declarative engine configuration for the public session API.
+
+An :class:`EngineSpec` gathers everything needed to stand up a serving
+session — model name, default compression policy, KV budget, decoding and
+scheduler knobs — in one frozen, JSON-round-trippable object.  It is the
+config-file / service-deployment counterpart of the imperative
+constructors: ``Session(spec)`` (or ``Session(model=..., policy=...,
+budget=...)``, which builds a spec internally) is the single entry point
+the README quick-start uses.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from typing import Mapping
+
+from ..model import GenerationConfig, TransformerModel, get_model_config
+from ..policies import PolicySpec, build_policy, resolve_policy_spec
+from ..serving import SchedulerConfig
+
+__all__ = ["EngineSpec"]
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One serialisable description of a complete serving engine.
+
+    Attributes
+    ----------
+    model:
+        Name of the model configuration
+        (:func:`repro.model.get_model_config`).
+    policy:
+        Default KV compression policy of the session; requests can still
+        override it individually.  Accepts a :class:`PolicySpec` or a
+        policy string (``"quest"``, ``"clusterkv:tokens_per_cluster=32"``),
+        normalised to a spec at construction.
+    budget:
+        KV cache budget ``B`` in tokens per head; ``None`` disables
+        compression.
+    max_new_tokens / num_full_layers / num_sink_tokens / greedy /
+    temperature / seed:
+        Decoding configuration, see
+        :class:`~repro.model.config.GenerationConfig`.
+    max_batch_size / max_prefills_per_step / kv_budget_bytes:
+        Scheduler configuration, see
+        :class:`~repro.serving.SchedulerConfig`.
+    """
+
+    model: str = "serve-sim"
+    policy: PolicySpec | str = field(default_factory=lambda: PolicySpec("full"))
+    budget: int | None = None
+    max_new_tokens: int = 32
+    num_full_layers: int = 2
+    num_sink_tokens: int = 16
+    greedy: bool = True
+    temperature: float = 1.0
+    seed: int = 0
+    max_batch_size: int = 8
+    max_prefills_per_step: int = 2
+    kv_budget_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "policy", resolve_policy_spec(self.policy))
+
+    # ------------------------------------------------------------------
+    # builders
+    # ------------------------------------------------------------------
+    def build_model(self) -> TransformerModel:
+        """Instantiate the transformer this spec names."""
+        return TransformerModel(get_model_config(self.model))
+
+    def build_policy(self):
+        """Instantiate the default selector factory through the registry."""
+        return build_policy(self.policy)
+
+    def generation_config(self) -> GenerationConfig:
+        """The :class:`GenerationConfig` slice of this spec."""
+        return GenerationConfig(
+            budget=self.budget,
+            max_new_tokens=self.max_new_tokens,
+            num_full_layers=self.num_full_layers,
+            num_sink_tokens=self.num_sink_tokens,
+            greedy=self.greedy,
+            temperature=self.temperature,
+            seed=self.seed,
+        )
+
+    def scheduler_config(self) -> SchedulerConfig:
+        """The :class:`SchedulerConfig` slice of this spec."""
+        return SchedulerConfig(
+            max_batch_size=self.max_batch_size,
+            max_prefills_per_step=self.max_prefills_per_step,
+            kv_budget_bytes=self.kv_budget_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    # dict / JSON round-trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form; the policy is embedded as its flat dict."""
+        payload: dict[str, object] = {
+            spec_field.name: getattr(self, spec_field.name) for spec_field in fields(self)
+        }
+        payload["policy"] = self.policy.to_dict()  # type: ignore[union-attr]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "EngineSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        data = dict(payload)
+        policy = data.get("policy")
+        if isinstance(policy, Mapping):
+            data["policy"] = PolicySpec.from_dict(policy)
+        return cls(**data)
+
+    def to_json(self) -> str:
+        """JSON form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "EngineSpec":
+        """Rebuild a spec from :meth:`to_json` output."""
+        payload = json.loads(text)
+        if not isinstance(payload, dict):
+            raise ValueError("engine spec JSON must be an object")
+        return cls.from_dict(payload)

@@ -163,7 +163,15 @@ class KVSelectorFactory(abc.ABC):
         """Create the selector state of one layer."""
 
     def describe(self) -> dict[str, object]:
-        """Human-readable description of the method configuration."""
+        """Description of the method: identity plus its *full* configuration.
+
+        Subclasses with configuration must extend this with every config
+        field (keys matching their config class's constructor parameters):
+        the output is embedded in experiment reports and
+        :meth:`repro.serving.ServeReport.policy_descriptions` so that a
+        report alone can rebuild the policy via
+        :func:`repro.policies.policy_spec_from_description`.
+        """
         return {"name": self.name, "kv_residency": self.kv_residency.value}
 
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..memory import TierKind
+from ..policies.registry import register_policy
 from .base import KVSelectorFactory, LayerSelectorState
 
 __all__ = ["FullKVLayerState", "FullKVSelector"]
@@ -38,6 +39,7 @@ class FullKVLayerState(LayerSelectorState):
         return self._num_tokens
 
 
+@register_policy("full", summary="uncompressed baseline: attend to every cached token")
 class FullKVSelector(KVSelectorFactory):
     """Factory of the uncompressed baseline (paper's "Full KV")."""
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..memory import TierKind
+from ..policies.registry import register_policy
 from .base import (
     KVSelectorFactory,
     LayerSelectorState,
@@ -157,6 +158,11 @@ class H2OLayerState(LayerSelectorState):
         return self._num_tokens
 
 
+@register_policy(
+    "h2o",
+    config_cls=H2OConfig,
+    summary="non-recallable heavy-hitter eviction plus recent window",
+)
 class H2OSelector(KVSelectorFactory):
     """Factory of the H2O (non-recallable heavy hitter) baseline."""
 
@@ -175,3 +181,9 @@ class H2OSelector(KVSelectorFactory):
     ) -> H2OLayerState:
         """Create the H2O eviction state of one layer."""
         return H2OLayerState(layer_idx, n_kv_heads, head_dim, self.config, num_sink_tokens)
+
+    def describe(self) -> dict[str, object]:
+        """Method configuration: the budget split between hitters and window."""
+        description = super().describe()
+        description.update(recent_ratio=self.config.recent_ratio)
+        return description

@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..memory import TierKind
+from ..policies.registry import register_policy
 from .base import (
     KVSelectorFactory,
     LayerSelectorState,
@@ -201,6 +202,11 @@ class InfiniGenLayerState(LayerSelectorState):
         )
 
 
+@register_policy(
+    "infinigen",
+    config_cls=InfiniGenConfig,
+    summary="per-token speculation with SVD partial keys, KV offloaded to CPU",
+)
 class InfiniGenSelector(KVSelectorFactory):
     """Factory of the InfiniGen baseline (offloads KV to CPU memory)."""
 
@@ -221,7 +227,12 @@ class InfiniGenSelector(KVSelectorFactory):
         return InfiniGenLayerState(layer_idx, n_kv_heads, head_dim, self.config)
 
     def describe(self) -> dict[str, object]:
-        """Method configuration, including the partial-weight ratio."""
+        """Method configuration: the full partial-key and speculation settings."""
         description = super().describe()
-        description.update(partial_ratio=self.config.partial_ratio)
+        description.update(
+            partial_ratio=self.config.partial_ratio,
+            min_partial_dim=self.config.min_partial_dim,
+            speculation_noise=self.config.speculation_noise,
+            seed=self.config.seed,
+        )
         return description

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..memory import TierKind
+from ..policies.registry import register_policy
 from .base import (
     KVSelectorFactory,
     LayerSelectorState,
@@ -82,6 +83,7 @@ class OracleTopKLayerState(LayerSelectorState):
         return self._num_tokens
 
 
+@register_policy("oracle", summary="exact top-k selection by true attention scores")
 class OracleTopKSelector(KVSelectorFactory):
     """Factory of the exact top-k oracle."""
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..memory import TierKind
+from ..policies.registry import register_policy
 from .base import (
     KVSelectorFactory,
     LayerSelectorState,
@@ -159,6 +160,11 @@ class QuestLayerState(LayerSelectorState):
         return len(self._page_counts)
 
 
+@register_policy(
+    "quest",
+    config_cls=QuestConfig,
+    summary="page-level selection by per-page min/max score bounds",
+)
 class QuestSelector(KVSelectorFactory):
     """Factory of the Quest baseline."""
 
@@ -179,7 +185,10 @@ class QuestSelector(KVSelectorFactory):
         return QuestLayerState(layer_idx, n_kv_heads, head_dim, self.config)
 
     def describe(self) -> dict[str, object]:
-        """Method configuration, including the page size."""
+        """Method configuration: the full page-summary settings."""
         description = super().describe()
-        description.update(page_size=self.config.page_size)
+        description.update(
+            page_size=self.config.page_size,
+            include_last_page=self.config.include_last_page,
+        )
         return description

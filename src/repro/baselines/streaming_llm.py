@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..memory import TierKind
+from ..policies.registry import register_policy
 from .base import KVSelectorFactory, LayerSelectorState, clip_budget
 
 __all__ = ["StreamingLLMLayerState", "StreamingLLMSelector"]
@@ -60,6 +61,9 @@ class StreamingLLMLayerState(LayerSelectorState):
         return self._num_tokens
 
 
+@register_policy(
+    "streaming_llm", summary="fixed pattern: attention sinks plus a sliding window"
+)
 class StreamingLLMSelector(KVSelectorFactory):
     """Factory of the StreamingLLM (sink + sliding window) baseline."""
 

@@ -29,12 +29,45 @@ from . import experiments as exp
 __all__ = ["main", "build_parser"]
 
 
+def _parse_bench_policies(args: argparse.Namespace) -> "tuple | None":
+    """Collect ``--policy``/``--policy-json`` flags into policy specs."""
+    import json
+
+    from .policies import PolicySpec
+
+    specs: list[PolicySpec] = []
+    for text in args.policy or ():
+        specs.append(PolicySpec.parse(text))
+    if args.policy_json:
+        payload = json.loads(args.policy_json)
+        items = payload if isinstance(payload, list) else [payload]
+        for item in items:
+            if isinstance(item, str):
+                specs.append(PolicySpec.parse(item))
+            elif isinstance(item, dict):
+                specs.append(PolicySpec.from_dict(item))
+            else:
+                raise ValueError(
+                    "--policy-json entries must be policy objects like "
+                    '{"name": "quest", "page_size": 32} or name strings, '
+                    f"got {item!r}"
+                )
+    return tuple(specs) if specs else None
+
+
 def _run_serve_bench(args: argparse.Namespace) -> str:
-    from .serving import ServeBenchConfig, format_serve_bench, run_serve_bench
+    from .serving import (
+        ServeBenchConfig,
+        format_mixed_serve_bench,
+        format_serve_bench,
+        run_mixed_serve_bench,
+        run_serve_bench,
+    )
 
     config = ServeBenchConfig(
         model=args.model,
         methods=tuple(args.methods),
+        policies=_parse_bench_policies(args),
         num_requests=args.requests,
         max_batch_size=args.batch,
         prompt_len=args.prompt_len,
@@ -42,6 +75,8 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
         budget=args.budget,
         repeats=args.repeats,
     )
+    if args.mixed:
+        return format_mixed_serve_bench(run_mixed_serve_bench(config))
     return format_serve_bench(run_serve_bench(config))
 
 
@@ -120,6 +155,30 @@ _SERVING_COMMANDS = {
 }
 
 
+def _format_listing() -> str:
+    """The ``repro list`` output: every subcommand plus every policy.
+
+    Commands come from the experiment and serving command registries;
+    policies come from the policy registry, so third-party selectors that
+    registered themselves show up here automatically.
+    """
+    from .policies import available_policies
+
+    lines = ["commands:"]
+    commands = {
+        **_EXPERIMENTS,
+        **_SERVING_COMMANDS,
+        "list": ("list all subcommands and registered compression policies", None),
+    }
+    for name, (description, _) in commands.items():
+        lines.append(f"  {name:16s} {description}")
+    lines.append("")
+    lines.append("policies (use with --policy NAME[:KEY=VAL,...] or --methods NAME):")
+    for name, entry in available_policies().items():
+        lines.append(f"  {name:16s} {entry.summary}")
+    return "\n".join(lines)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser of the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
@@ -127,7 +186,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="ClusterKV reproduction: regenerate the paper's tables and figures.",
     )
     subparsers = parser.add_subparsers(dest="command")
-    subparsers.add_parser("list", help="list the available experiments")
+    subparsers.add_parser(
+        "list", help="list all subcommands and registered compression policies"
+    )
     for name, (description, _) in _EXPERIMENTS.items():
         sub = subparsers.add_parser(name, help=description)
         sub.add_argument(
@@ -154,6 +215,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=["clusterkv", "streaming_llm", "full"],
         help="KV selection methods to benchmark",
     )
+    serve.add_argument(
+        "--policy",
+        action="append",
+        metavar="NAME[:KEY=VAL,...]",
+        help="policy spec, repeatable (e.g. clusterkv:tokens_per_cluster=32); "
+        "overrides --methods. A bare name uses the same serving-tuned "
+        "config as --methods; a spec with any explicit key is used "
+        "verbatim (unspecified keys take the method's registered "
+        "defaults, not the serving-tuned base)",
+    )
+    serve.add_argument(
+        "--policy-json",
+        type=str,
+        default=None,
+        help="JSON policy spec or list of specs, e.g. "
+        '\'{"name": "quest", "page_size": 32}\'; overrides --methods',
+    )
+    serve.add_argument(
+        "--mixed",
+        action="store_true",
+        help="serve ONE batch mixing the policies across its requests "
+        "instead of benchmarking each policy separately",
+    )
     serve.add_argument("--requests", type=int, default=8, help="number of requests")
     serve.add_argument("--batch", type=int, default=8, help="max concurrent requests")
     serve.add_argument("--prompt-len", type=int, default=64, help="prompt tokens")
@@ -172,8 +256,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.print_help()
         return 2
     if args.command == "list":
-        for name, (description, _) in {**_EXPERIMENTS, **_SERVING_COMMANDS}.items():
-            print(f"{name:16s} {description}")
+        print(_format_listing())
         return 0
     _, runner = {**_EXPERIMENTS, **_SERVING_COMMANDS}[args.command]
     output = runner(args)

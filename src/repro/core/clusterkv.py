@@ -18,6 +18,8 @@ interface so the inference engine treats ClusterKV exactly like any baseline.
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
 from ..baselines.base import (
@@ -27,6 +29,7 @@ from ..baselines.base import (
     merge_group_queries,
 )
 from ..memory import TierKind
+from ..policies.registry import register_policy
 from .cache import ClusterCache
 from .clustering import clustering_flops, kmeans_cluster
 from .config import ClusterKVConfig
@@ -233,6 +236,11 @@ class ClusterKVLayerState(LayerSelectorState):
         self.stats.aux_bytes = sum(meta.metadata_nbytes() for meta in self.metadata)
 
 
+@register_policy(
+    "clusterkv",
+    config_cls=ClusterKVConfig,
+    summary="semantic-cluster recall (the paper's method), KV offloaded to CPU",
+)
 class ClusterKVSelector(KVSelectorFactory):
     """Factory creating :class:`ClusterKVLayerState` instances.
 
@@ -263,13 +271,7 @@ class ClusterKVSelector(KVSelectorFactory):
         )
 
     def describe(self) -> dict[str, object]:
-        """Method configuration, including the clustering constants."""
+        """Method configuration: every :class:`ClusterKVConfig` field."""
         description = super().describe()
-        description.update(
-            tokens_per_cluster=self.config.tokens_per_cluster,
-            decode_window=self.config.decode_window,
-            decode_clusters=self.config.decode_clusters,
-            distance_metric=self.config.distance_metric,
-            cache_history=self.config.cache_history,
-        )
+        description.update(dataclasses.asdict(self.config))
         return description

@@ -38,7 +38,12 @@ from .fig13_sota import (
     run_fig13_infinigen,
     run_fig13_quest,
 )
-from .methods import ACCURACY_METHODS, build_clusterkv_config, build_selector
+from .methods import (
+    ACCURACY_METHODS,
+    build_clusterkv_config,
+    build_selector,
+    build_selector_spec,
+)
 from .reporting import format_kv, format_series, format_table
 from .runner import EvaluationContext, evaluate_sample, score_prediction
 from .scale import DEFAULT_SCALE, ContextScale
@@ -57,6 +62,7 @@ __all__ = [
     "score_prediction",
     "ACCURACY_METHODS",
     "build_selector",
+    "build_selector_spec",
     "build_clusterkv_config",
     "format_table",
     "format_series",

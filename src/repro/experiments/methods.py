@@ -4,32 +4,38 @@ All accuracy experiments compare the same set of methods the paper does
 (Full KV, Quest, InfiniGen, ClusterKV); this module centralises how each
 method is instantiated at simulation scale so that every experiment uses
 identical configurations.
+
+Methods are resolved through the policy registry
+(:mod:`repro.policies`): :func:`build_selector` turns a method name into a
+:class:`~repro.policies.PolicySpec` carrying the experiment-scale
+configuration and builds it with :func:`repro.policies.build_policy`, so
+any selector registered by a third party is immediately usable in every
+experiment, and an unknown name fails with the full list of registered
+policies.
 """
 
 from __future__ import annotations
 
-from ..baselines import (
-    FullKVSelector,
-    H2OSelector,
-    InfiniGenSelector,
-    KVSelectorFactory,
-    OracleTopKSelector,
-    QuestSelector,
-    StreamingLLMSelector,
-)
-from ..baselines.infinigen import InfiniGenConfig
-from ..baselines.quest import QuestConfig
-from ..core import ClusterKVConfig, ClusterKVSelector
+import dataclasses
+
+from ..baselines import KVSelectorFactory
+from ..core import ClusterKVConfig
+from ..policies import PolicySpec, build_policy
 from .scale import ContextScale, DEFAULT_SCALE
 
 __all__ = [
     "ACCURACY_METHODS",
     "build_selector",
+    "build_selector_spec",
     "build_clusterkv_config",
 ]
 
 # Methods compared in the paper's accuracy experiments (Fig. 9, 10, 11a).
 ACCURACY_METHODS = ("full", "clusterkv", "quest", "infinigen")
+
+# Quest's page size is an algorithmic constant of the original work and is
+# not scaled with the context.
+_QUEST_PAGE_SIZE = 16
 
 
 def build_clusterkv_config(
@@ -56,25 +62,35 @@ def build_clusterkv_config(
     )
 
 
+def build_selector_spec(
+    name: str,
+    scale: ContextScale = DEFAULT_SCALE,
+    clusterkv_config: ClusterKVConfig | None = None,
+) -> PolicySpec:
+    """Declarative policy spec of a method at experiment scale.
+
+    ClusterKV carries the scale-dependent clustering constants of
+    :func:`build_clusterkv_config`; Quest pins its algorithmic page size;
+    every other method uses its registered defaults.
+    """
+    if name == "clusterkv":
+        config = clusterkv_config or build_clusterkv_config(scale)
+        return PolicySpec(name, dataclasses.asdict(config))
+    if name == "quest":
+        return PolicySpec(name, {"page_size": _QUEST_PAGE_SIZE})
+    return PolicySpec(name)
+
+
 def build_selector(
     name: str,
     scale: ContextScale = DEFAULT_SCALE,
     clusterkv_config: ClusterKVConfig | None = None,
 ) -> KVSelectorFactory:
-    """Instantiate a selector factory by method name."""
-    if name == "full":
-        return FullKVSelector()
-    if name == "clusterkv":
-        return ClusterKVSelector(clusterkv_config or build_clusterkv_config(scale))
-    if name == "quest":
-        # Page size 16 is Quest's algorithmic constant and is not scaled.
-        return QuestSelector(QuestConfig(page_size=16))
-    if name == "infinigen":
-        return InfiniGenSelector(InfiniGenConfig())
-    if name == "h2o":
-        return H2OSelector()
-    if name == "streaming_llm":
-        return StreamingLLMSelector()
-    if name == "oracle":
-        return OracleTopKSelector()
-    raise ValueError(f"unknown method {name!r}")
+    """Instantiate a selector factory by method name via the policy registry.
+
+    Raises
+    ------
+    repro.policies.UnknownPolicyError
+        For an unregistered name; the message lists all known methods.
+    """
+    return build_policy(build_selector_spec(name, scale, clusterkv_config))

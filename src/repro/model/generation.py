@@ -106,6 +106,7 @@ class GenerationResult:
     decode_steps: int = 0
     kv_cache_bytes: int = 0
     method: str = "full"
+    method_config: dict[str, object] = field(default_factory=dict)
 
     def mean_recall(self) -> float:
         """Average recall over all recorded (step, layer, head) triples."""
@@ -480,6 +481,9 @@ class EngineCore:
         result.selector_stats = merged
         result.ledger = seq.offload.ledger
         result.kv_cache_bytes = seq.kv_store.total_nbytes()
+        # Embed the full selector configuration so any report built from
+        # this result can reproduce the method exactly.
+        result.method_config = dict(seq.selector.describe())
         hit_rates = [
             state.cache_hit_rate()
             for _, state in states

@@ -1,0 +1,53 @@
+"""Public policy registry: declarative, pluggable KV compression methods.
+
+This package is the single place where KV compression methods are named:
+
+* :class:`PolicySpec` — a declarative ``(name, kwargs)`` description of a
+  method, round-trippable to/from dict, JSON and the compact CLI string
+  form ``"name:key=value,..."``.
+* :func:`register_policy` — class decorator with which every
+  :class:`~repro.baselines.base.KVSelectorFactory` (built-in or
+  third-party) self-registers by name.
+* :func:`build_policy` — resolve a spec or name into a configured factory;
+  unknown names raise :class:`UnknownPolicyError`, whose message lists all
+  registered names.
+* :func:`policy_spec_of` — recover the spec of a live factory from its
+  ``describe()`` output (the registry round-trip).
+
+The experiments, the serving engine, the CLI and :mod:`repro.api` all
+resolve methods through this registry, so registering a new selector makes
+it available everywhere at once — no core file needs to change.
+"""
+
+from .registry import (
+    RegisteredPolicy,
+    UnknownPolicyError,
+    available_policies,
+    build_policy,
+    policy_names,
+    policy_spec_from_description,
+    policy_spec_of,
+    register_policy,
+    resolve_policy_spec,
+)
+from .spec import PolicySpec, coerce_policy_value
+
+# Importing the built-in selector modules triggers their self-registration.
+# (``import repro`` does this anyway; these imports cover direct
+# ``import repro.policies`` uses and make the dependency explicit.)
+from .. import baselines as _baselines  # noqa: F401  (registration side-effect)
+from .. import core as _core  # noqa: F401  (registration side-effect)
+
+__all__ = [
+    "PolicySpec",
+    "RegisteredPolicy",
+    "UnknownPolicyError",
+    "available_policies",
+    "build_policy",
+    "coerce_policy_value",
+    "policy_names",
+    "policy_spec_from_description",
+    "policy_spec_of",
+    "register_policy",
+    "resolve_policy_spec",
+]

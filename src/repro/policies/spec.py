@@ -1,0 +1,180 @@
+"""Declarative description of a KV compression policy.
+
+A :class:`PolicySpec` is the serialisable counterpart of a
+:class:`~repro.baselines.base.KVSelectorFactory`: a method name plus the
+keyword arguments of that method's configuration class.  Specs round-trip
+to and from plain dictionaries and JSON without losing information, so a
+policy can travel through config files and HTTP payloads; the compact CLI
+string form ``"name:key=value,key=value"`` also round-trips for the
+scalar-valued configs every built-in uses (``to_cli`` refuses values the
+string form cannot represent faithfully).
+
+Specs are *declarative* — building the actual selector factory is the job
+of the registry (:func:`repro.policies.build_policy`), which is also where
+the name is validated against the set of registered methods.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+__all__ = ["PolicySpec", "coerce_policy_value"]
+
+
+def _rebuild(name: str, kwargs: dict[str, object]) -> "PolicySpec":
+    """Reconstruct a spec from plain data (pickle/copy support)."""
+    return PolicySpec(name, kwargs)
+
+
+def coerce_policy_value(text: str) -> object:
+    """Parse one CLI ``key=value`` value into int, float, bool, None or str.
+
+    The coercion order mirrors what the configuration classes expect:
+    ``"16"`` becomes an int, ``"0.25"`` a float, ``"true"``/``"false"``
+    a bool, ``"none"``/``"null"`` becomes ``None``, anything else stays a
+    string (e.g. ``distance_metric=cosine``).
+    """
+    lowered = text.strip().lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text.strip()
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """A KV compression policy by name plus configuration kwargs.
+
+    Attributes
+    ----------
+    name:
+        Registered method name (``"clusterkv"``, ``"quest"``, ...).
+    kwargs:
+        Keyword arguments of the method's configuration class; empty for
+        methods that take no configuration.  Stored read-only so a spec can
+        be shared between requests safely.
+    """
+
+    name: str
+    kwargs: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError("policy name must be a non-empty string")
+        object.__setattr__(self, "kwargs", MappingProxyType(dict(self.kwargs)))
+
+    def __hash__(self) -> int:
+        # The generated frozen-dataclass hash would hash the mappingproxy
+        # (TypeError); hash the canonical items instead so specs work as
+        # set members and dict keys.  Unhashable kwarg values (JSON lists,
+        # nested dicts) hash via their canonical JSON form so equal specs
+        # hash equal regardless of insertion order.
+        def canonical(value: object) -> object:
+            try:
+                hash(value)
+            except TypeError:
+                return json.dumps(value, sort_keys=True, default=repr)
+            return value
+
+        return hash(
+            (self.name, tuple(sorted((k, canonical(v)) for k, v in self.kwargs.items())))
+        )
+
+    def __reduce__(self):
+        # The mappingproxy kwargs cannot be pickled or deep-copied; rebuild
+        # from plain data instead (pickle and copy both honour __reduce__).
+        return (_rebuild, (self.name, dict(self.kwargs)))
+
+    # ------------------------------------------------------------------
+    # dict / JSON round-trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        """Flat dictionary form: ``{"name": ..., **kwargs}``."""
+        payload: dict[str, object] = {"name": self.name}
+        payload.update(self.kwargs)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "PolicySpec":
+        """Rebuild a spec from :meth:`to_dict` output (extra keys are kwargs)."""
+        data = dict(payload)
+        try:
+            name = data.pop("name")
+        except KeyError:
+            raise ValueError("policy dict must contain a 'name' key") from None
+        if not isinstance(name, str):
+            raise ValueError(f"policy name must be a string, got {name!r}")
+        return cls(name=name, kwargs=data)
+
+    def to_json(self) -> str:
+        """JSON form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PolicySpec":
+        """Rebuild a spec from :meth:`to_json` output."""
+        payload = json.loads(text)
+        if not isinstance(payload, dict):
+            raise ValueError("policy JSON must be an object")
+        return cls.from_dict(payload)
+
+    # ------------------------------------------------------------------
+    # CLI string round-trip
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "PolicySpec":
+        """Parse the compact CLI form ``"name"`` or ``"name:k=v,k=v"``.
+
+        Values are coerced with :func:`coerce_policy_value`, e.g.
+        ``"clusterkv:tokens_per_cluster=32,distance_metric=cosine"``.
+        """
+        text = text.strip()
+        if not text:
+            raise ValueError("policy string must not be empty")
+        name, _, rest = text.partition(":")
+        name = name.strip()
+        kwargs: dict[str, object] = {}
+        if rest.strip():
+            for item in rest.split(","):
+                key, sep, value = item.partition("=")
+                if not sep or not key.strip():
+                    raise ValueError(
+                        f"malformed policy argument {item!r} in {text!r}; "
+                        "expected key=value"
+                    )
+                kwargs[key.strip()] = coerce_policy_value(value)
+        return cls(name=name, kwargs=kwargs)
+
+    def to_cli(self) -> str:
+        """Render the compact CLI form parsed by :meth:`parse`.
+
+        The CLI form is less expressive than dict/JSON: values must
+        re-coerce to themselves and may not contain ``,`` or ``=``.  A
+        spec whose kwargs cannot survive the round trip (e.g. the string
+        ``"16"``, which would come back as the int 16) raises instead of
+        silently corrupting — use :meth:`to_json` for such specs.
+        """
+        if not self.kwargs:
+            return self.name
+        parts = []
+        for key, value in sorted(self.kwargs.items()):
+            rendered = f"{value}"
+            if "," in rendered or "=" in rendered or coerce_policy_value(rendered) != value:
+                raise ValueError(
+                    f"kwarg {key}={value!r} does not survive the CLI string "
+                    "form; serialise this spec with to_json() instead"
+                )
+            parts.append(f"{key}={rendered}")
+        return f"{self.name}:{','.join(parts)}"

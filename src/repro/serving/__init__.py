@@ -5,7 +5,11 @@ engine: a :class:`RequestQueue` of pending prompts, a
 :class:`ContinuousBatchingScheduler` that admits prefills under batch-slot
 and global KV-memory budgets, and a :class:`BatchedEngine` that interleaves
 per-step decodes across all active sequences, retiring requests as they
-finish.  All requests share one transformer, one
+finish.  Every request can carry its own compression policy (a
+:class:`~repro.policies.PolicySpec`, resolved through the policy registry
+at submission), so one engine serves heterogeneous traffic — each
+request's output is bit-identical to serving it under that policy alone.
+All requests share one transformer, one
 :class:`~repro.memory.OffloadManager` (so tier usage and transfer traffic
 are accounted globally) and one
 :class:`~repro.model.generation.EngineCore`, whose batched decode path is
@@ -15,8 +19,11 @@ also the single-sequence path — a batch of one is bit-identical to
 
 from .bench import (
     MethodThroughput,
+    MixedServeResult,
     ServeBenchConfig,
+    format_mixed_serve_bench,
     format_serve_bench,
+    run_mixed_serve_bench,
     run_serve_bench,
 )
 from .engine import BatchedEngine, ServeReport, serve_prompts
@@ -37,6 +44,9 @@ __all__ = [
     "SchedulerConfig",
     "ServeBenchConfig",
     "MethodThroughput",
+    "MixedServeResult",
     "run_serve_bench",
+    "run_mixed_serve_bench",
     "format_serve_bench",
+    "format_mixed_serve_bench",
 ]

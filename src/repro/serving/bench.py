@@ -9,6 +9,12 @@ continuous batching amortises: the per-token transformer matmuls that are
 shared across the batch, while KV selection and attention remain
 per-request.
 
+Methods are addressed declaratively through the policy registry: the
+benchmark accepts arbitrary :class:`~repro.policies.PolicySpec` entries
+(``--policy`` on the CLI), and :func:`run_mixed_serve_bench` serves one
+heterogeneous batch in which every request carries its own policy — the
+mixed-workload scenario a single-factory engine could not express.
+
 Used by the ``repro serve-bench`` CLI command and by
 ``benchmarks/test_bench_serving_throughput.py``.
 """
@@ -20,23 +26,27 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..baselines import FullKVSelector, KVSelectorFactory, StreamingLLMSelector
-from ..core import ClusterKVConfig, ClusterKVSelector
+from ..baselines import KVSelectorFactory
 from ..model import (
     GenerationConfig,
     InferenceEngine,
     TransformerModel,
     get_model_config,
 )
+from ..policies import PolicySpec, build_policy
 from .engine import BatchedEngine
 from .scheduler import SchedulerConfig
 
 __all__ = [
     "ServeBenchConfig",
     "MethodThroughput",
+    "MixedServeResult",
+    "serving_policy_spec",
     "build_serving_selector",
     "run_serve_bench",
+    "run_mixed_serve_bench",
     "format_serve_bench",
+    "format_mixed_serve_bench",
 ]
 
 # Methods exercised by the serving benchmark: the paper's method plus the
@@ -53,10 +63,16 @@ class ServeBenchConfig:
     ``serve-sim`` model: short prompts, long generations, a KV budget of 48
     tokens per head and a batch of eight concurrent requests — the regime
     where continuous batching amortises the per-token matmuls.
+
+    ``policies`` optionally replaces the ``methods`` name list with fully
+    configured :class:`~repro.policies.PolicySpec` entries (the CLI's
+    ``--policy``/``--policy-json`` path); when unset, each name in
+    ``methods`` resolves through :func:`serving_policy_spec`.
     """
 
     model: str = "serve-sim"
     methods: tuple[str, ...] = SERVE_BENCH_METHODS
+    policies: tuple[PolicySpec, ...] | None = None
     num_requests: int = 8
     max_batch_size: int = 8
     prompt_len: int = 64
@@ -74,6 +90,25 @@ class ServeBenchConfig:
             raise ValueError("prompt_len and max_new_tokens must be positive")
         if self.repeats <= 0:
             raise ValueError("repeats must be positive")
+        if self.policies is not None and not self.policies:
+            raise ValueError("policies must be non-empty when set (or None)")
+        if self.policies is None and not self.methods:
+            raise ValueError("methods must be non-empty")
+
+    def resolved_policies(self) -> tuple[PolicySpec, ...]:
+        """The policy specs this benchmark runs (explicit or from names).
+
+        Bare-name specs (no kwargs) resolve through
+        :func:`serving_policy_spec`, so ``--policy clusterkv`` benchmarks
+        the same serving-tuned configuration as ``--methods clusterkv``;
+        a spec with explicit kwargs is used verbatim.
+        """
+        if self.policies is not None:
+            return tuple(
+                spec if spec.kwargs else serving_policy_spec(spec.name, self)
+                for spec in self.policies
+            )
+        return tuple(serving_policy_spec(name, self) for name in self.methods)
 
 
 @dataclass
@@ -87,6 +122,7 @@ class MethodThroughput:
     sequential_seconds: float
     batched_seconds: float
     mean_occupancy: float = 0.0
+    policy: dict[str, object] = field(default_factory=dict)
     extra: dict[str, float] = field(default_factory=dict)
 
     @property
@@ -105,29 +141,68 @@ class MethodThroughput:
         return self.sequential_seconds / self.batched_seconds
 
 
-def build_serving_selector(name: str, config: ServeBenchConfig) -> KVSelectorFactory:
-    """Selector factory used by the serving benchmark for ``name``.
+@dataclass
+class MixedServeResult:
+    """Outcome of one heterogeneous batch with per-request policies.
+
+    ``per_request`` lists ``(request_id, policy_cli_string, tokens)`` in
+    retirement order; ``policy_descriptions`` embeds each request's full
+    selector configuration for reproducibility.
+    """
+
+    policies: tuple[PolicySpec, ...]
+    num_requests: int
+    total_tokens: int
+    wall_seconds: float
+    mean_occupancy: float
+    per_request: list[tuple[str, str, int]] = field(default_factory=list)
+    policy_descriptions: dict[str, dict[str, object]] = field(default_factory=dict)
+
+    @property
+    def tokens_per_second(self) -> float:
+        """Generated-token throughput of the mixed batch."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.total_tokens / self.wall_seconds
+
+
+def _spec_label(spec: PolicySpec) -> str:
+    """Display label of a spec; safe for kwargs the CLI form cannot carry."""
+    try:
+        return spec.to_cli()
+    except ValueError:
+        return f"{spec.name}:<non-CLI kwargs>"
+
+
+def serving_policy_spec(name: str, config: ServeBenchConfig) -> PolicySpec:
+    """Serving-tuned policy spec for a method name.
 
     ClusterKV uses a serving-tuned configuration (larger clusters and a
     longer re-clustering window than the accuracy experiments) so that the
-    per-step selection overhead matches a throughput-oriented deployment.
+    per-step selection overhead matches a throughput-oriented deployment;
+    every other method uses its registered defaults.
     """
     if name == "clusterkv":
-        return ClusterKVSelector(
-            ClusterKVConfig(
-                tokens_per_cluster=32,
-                decode_window=32,
-                decode_clusters=2,
-                num_sink_tokens=config.num_sink_tokens,
-            )
+        return PolicySpec(
+            name,
+            {
+                "tokens_per_cluster": 32,
+                "decode_window": 32,
+                "decode_clusters": 2,
+                "num_sink_tokens": config.num_sink_tokens,
+            },
         )
-    if name == "streaming_llm":
-        return StreamingLLMSelector()
-    if name == "full":
-        return FullKVSelector()
-    from ..experiments.methods import build_selector  # fallback: shared registry
+    return PolicySpec(name)
 
-    return build_selector(name)
+
+def build_serving_selector(name: str, config: ServeBenchConfig) -> KVSelectorFactory:
+    """Selector factory used by the serving benchmark for ``name``.
+
+    Resolves :func:`serving_policy_spec` through the policy registry, so
+    any registered method (including third-party ones) benchmarks without
+    code changes here.
+    """
+    return build_policy(serving_policy_spec(name, config))
 
 
 def _generation_config(name: str, config: ServeBenchConfig) -> GenerationConfig:
@@ -140,27 +215,47 @@ def _generation_config(name: str, config: ServeBenchConfig) -> GenerationConfig:
     )
 
 
-def run_serve_bench(config: ServeBenchConfig | None = None) -> list[MethodThroughput]:
-    """Measure sequential vs. batched throughput for every configured method.
+def _bench_prompts(config: ServeBenchConfig, model: TransformerModel) -> list[np.ndarray]:
+    rng = np.random.default_rng(config.seed)
+    return [
+        rng.integers(4, model.config.vocab_size, size=config.prompt_len).astype(np.int64)
+        for _ in range(config.num_requests)
+    ]
 
-    Each method is timed ``repeats`` times and the best (lowest-noise)
+
+def run_serve_bench(config: ServeBenchConfig | None = None) -> list[MethodThroughput]:
+    """Measure sequential vs. batched throughput for every configured policy.
+
+    Each policy is timed ``repeats`` times and the best (lowest-noise)
     timing of each mode is kept.  Sequential and batched runs serve the
     same prompts and produce the same number of tokens.
     """
     config = config or ServeBenchConfig()
     model = TransformerModel(get_model_config(config.model))
-    rng = np.random.default_rng(config.seed)
-    prompts = [
-        rng.integers(4, model.config.vocab_size, size=config.prompt_len).astype(np.int64)
-        for _ in range(config.num_requests)
-    ]
+    prompts = _bench_prompts(config, model)
+
+    specs = config.resolved_policies()
+    name_counts: dict[str, int] = {}
+    for spec in specs:
+        name_counts[spec.name] = name_counts.get(spec.name, 0) + 1
 
     results: list[MethodThroughput] = []
-    for name in config.methods:
-        gen = _generation_config(name, config)
+    labels_used: set[str] = set()
+    for idx, spec in enumerate(specs):
+        # Rows are labelled by bare name unless the run benchmarks several
+        # configurations of the same method — then the full spec string
+        # disambiguates them (and a positional suffix covers specs whose
+        # strings still collide, e.g. literally identical entries).
+        label = spec.name
+        if name_counts[spec.name] > 1:
+            label = _spec_label(spec)
+        if label in labels_used:
+            label = f"{label}#{idx}"
+        labels_used.add(label)
+        gen = _generation_config(spec.name, config)
         # One stateless factory per method, shared by both modes (per-request
         # selector states are created inside each engine, inside the timers).
-        selector = build_serving_selector(name, config)
+        selector = build_policy(spec)
         # Warm the BLAS/allocator before timing.
         InferenceEngine(model, selector, gen).generate(prompts[0])
         best_sequential = float("inf")
@@ -199,16 +294,84 @@ def run_serve_bench(config: ServeBenchConfig | None = None) -> list[MethodThroug
                 )
         results.append(
             MethodThroughput(
-                method=name,
+                method=label,
                 num_requests=config.num_requests,
                 batch_size=config.max_batch_size,
                 total_tokens=total_tokens,
                 sequential_seconds=best_sequential,
                 batched_seconds=best_batched,
                 mean_occupancy=occupancy,
+                policy=dict(selector.describe()),
             )
         )
     return results
+
+
+def run_mixed_serve_bench(config: ServeBenchConfig | None = None) -> MixedServeResult:
+    """Serve one batch mixing the configured policies across its requests.
+
+    Request ``i`` gets policy ``i mod len(policies)``, so every method is
+    exercised in the same continuous batch (the result's ``policies``
+    lists only the specs that actually served a request — with fewer
+    requests than policies, the tail specs are unused).  The KV budget
+    applies to every compressed request; ``full`` requests simply select
+    everything.  Like :func:`run_serve_bench`, the engine is warmed before
+    timing and the best of ``repeats`` timed runs is reported (outputs
+    are deterministic, so every repeat serves identical tokens).
+    """
+    config = config or ServeBenchConfig()
+    specs = config.resolved_policies()
+    model = TransformerModel(get_model_config(config.model))
+    prompts = _bench_prompts(config, model)
+    gen = GenerationConfig(
+        budget=config.budget,
+        max_new_tokens=config.max_new_tokens,
+        num_full_layers=config.num_full_layers,
+        num_sink_tokens=config.num_sink_tokens,
+    )
+    assignments = [specs[idx % len(specs)] for idx in range(len(prompts))]
+    # Warm the BLAS/allocator before timing, as in run_serve_bench.
+    InferenceEngine(model, build_policy(assignments[0]), gen).generate(prompts[0])
+
+    best_wall = float("inf")
+    report = None
+    for _ in range(config.repeats):
+        engine = BatchedEngine(
+            model,
+            generation_config=gen,
+            scheduler_config=SchedulerConfig(
+                max_batch_size=config.max_batch_size,
+                max_prefills_per_step=config.max_batch_size,
+            ),
+        )
+        for idx, prompt in enumerate(prompts):
+            engine.submit(prompt, request_id=f"mixed-{idx}", policy=assignments[idx])
+        start = time.perf_counter()
+        report = engine.run()
+        best_wall = min(best_wall, time.perf_counter() - start)
+
+    assignment_by_id = {
+        f"mixed-{idx}": spec for idx, spec in enumerate(assignments)
+    }
+    per_request = [
+        (
+            completed.request.request_id,
+            _spec_label(assignment_by_id[completed.request.request_id]),
+            len(completed.result.output_ids),
+        )
+        for completed in report.completed
+    ]
+    return MixedServeResult(
+        # Only the specs that actually served a request; with fewer
+        # requests than policies the round-robin never reaches the tail.
+        policies=tuple(dict.fromkeys(assignments)),
+        num_requests=config.num_requests,
+        total_tokens=report.total_generated_tokens,
+        wall_seconds=best_wall,
+        mean_occupancy=report.mean_batch_occupancy,
+        per_request=per_request,
+        policy_descriptions=report.policy_descriptions(),
+    )
 
 
 def format_serve_bench(results: list[MethodThroughput]) -> str:
@@ -225,4 +388,20 @@ def format_serve_bench(results: list[MethodThroughput]) -> str:
             f"{item.batched_tokens_per_second:12.1f} "
             f"{item.speedup:7.2f}x {item.mean_occupancy:10.1f}"
         )
+    return "\n".join(lines)
+
+
+def format_mixed_serve_bench(result: MixedServeResult) -> str:
+    """Human-readable summary of one mixed-policy batch."""
+    lines = [
+        "[serve-bench --mixed] one continuous batch, per-request policies",
+        f"policies: {', '.join(_spec_label(spec) for spec in result.policies)}",
+        f"requests: {result.num_requests}  tokens: {result.total_tokens}  "
+        f"throughput: {result.tokens_per_second:.1f} tok/s  "
+        f"occupancy: {result.mean_occupancy:.1f}",
+        f"{'request':12s} {'policy':40s} {'tokens':>7s}",
+    ]
+    for request_id, policy, tokens in result.per_request:
+        shown = policy if len(policy) <= 40 else policy[:37] + "..."
+        lines.append(f"{request_id:12s} {shown:40s} {tokens:7d}")
     return "\n".join(lines)

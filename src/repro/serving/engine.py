@@ -37,6 +37,7 @@ from ..memory import OffloadManager, TransferLedger
 from ..model.config import GenerationConfig
 from ..model.generation import EngineCore, GenerationResult, SequenceState
 from ..model.transformer import TransformerModel
+from ..policies import PolicySpec, build_policy, resolve_policy_spec
 from .queue import RequestQueue
 from .request import ActiveRequest, CompletedRequest, RequestStatus, ServeRequest
 from .scheduler import ContinuousBatchingScheduler, SchedulerConfig
@@ -95,6 +96,18 @@ class ServeReport:
         """Per-request results keyed by request id."""
         return {c.request.request_id: c.result for c in self.completed}
 
+    def policy_descriptions(self) -> dict[str, dict[str, object]]:
+        """Full selector configuration of every request, keyed by id.
+
+        Each value is the ``describe()`` output of the selector factory
+        that actually served the request (engine default or per-request
+        policy), embedded for reproducibility: the report alone suffices
+        to rebuild every request's policy —
+        ``build_policy(policy_spec_from_description(description))``
+        (both in :mod:`repro.policies`).
+        """
+        return {c.request.request_id: c.result.method_config for c in self.completed}
+
 
 class BatchedEngine:
     """Serves many generation requests concurrently over one model.
@@ -104,8 +117,11 @@ class BatchedEngine:
     model:
         The shared transformer (weights are read-only across requests).
     selector:
-        KV compression method factory; fresh per-layer selector states are
-        created for every request, so one factory serves all of them.
+        Default KV compression method: a factory instance, a
+        :class:`~repro.policies.PolicySpec` or a policy string resolved
+        through the registry.  Used for requests submitted without their
+        own ``policy``; fresh per-layer selector states are created for
+        every request, so one factory serves all of them.
     generation_config:
         Engine-wide decoding configuration.  ``max_new_tokens`` and ``seed``
         can be overridden per request at submission.
@@ -121,13 +137,18 @@ class BatchedEngine:
     def __init__(
         self,
         model: TransformerModel,
-        selector: KVSelectorFactory | None = None,
+        selector: KVSelectorFactory | PolicySpec | str | None = None,
         generation_config: GenerationConfig | None = None,
         scheduler_config: SchedulerConfig | None = None,
         offload: OffloadManager | None = None,
     ) -> None:
         self.model = model
-        self.selector = selector if selector is not None else FullKVSelector()
+        if selector is None:
+            self.selector: KVSelectorFactory = FullKVSelector()
+        elif isinstance(selector, KVSelectorFactory):
+            self.selector = selector
+        else:
+            self.selector = build_policy(selector)
         self.generation_config = generation_config or GenerationConfig()
         self.offload = offload if offload is not None else OffloadManager()
         self.scheduler = ContinuousBatchingScheduler(scheduler_config)
@@ -136,6 +157,9 @@ class BatchedEngine:
         self._active: list[ActiveRequest] = []
         self._reserved_bytes: dict[str, int] = {}
         self._submitted_at_step: dict[str, int] = {}
+        # Per-request selector factories, built (and validated) at submit
+        # time from each request's PolicySpec; popped at prefill.
+        self._request_selectors: dict[str, KVSelectorFactory] = {}
         self._engine_step = 0
         self._kv_bytes_per_token = model.config.kv_bytes_per_token()
 
@@ -148,18 +172,34 @@ class BatchedEngine:
         request_id: str | None = None,
         max_new_tokens: int | None = None,
         seed: int | None = None,
+        policy: PolicySpec | str | None = None,
     ) -> ServeRequest:
         """Enqueue a generation request; it runs at the next :meth:`step`.
+
+        ``policy`` gives the request its own KV compression method — a
+        :class:`~repro.policies.PolicySpec` or a policy string such as
+        ``"quest"`` or ``"clusterkv:tokens_per_cluster=32"`` — resolved
+        through the policy registry.  ``None`` uses the engine's default
+        selector.  One batch can mix policies freely; each request's
+        outputs are bit-identical to serving it under that policy alone.
 
         Raises
         ------
         ValueError
             If ``request_id`` was already submitted to this engine (the
             queue is the sole id issuer; ids key the shared KV buffers and
-            the report), or if the request's projected KV footprint exceeds
-            the scheduler's whole memory budget (such a request could never
-            be admitted).
+            the report), if ``policy`` names an unregistered method or has
+            invalid configuration keys, or if the request's projected KV
+            footprint exceeds the scheduler's whole memory budget (such a
+            request could never be admitted).
         """
+        # Resolve the policy eagerly so a typo fails at submission, not
+        # mid-batch at admission time.
+        policy_spec: PolicySpec | None = None
+        selector = self.selector
+        if policy is not None:
+            policy_spec = resolve_policy_spec(policy)
+            selector = build_policy(policy_spec)
         budget = self.scheduler.config.kv_budget_bytes
         if budget is not None:
             prompt_length = int(np.asarray(prompt_ids).shape[0])
@@ -178,9 +218,14 @@ class BatchedEngine:
                     f"more than the whole budget of {budget} bytes"
                 )
         request = self.queue.submit(
-            prompt_ids, request_id=request_id, max_new_tokens=max_new_tokens, seed=seed
+            prompt_ids,
+            request_id=request_id,
+            max_new_tokens=max_new_tokens,
+            seed=seed,
+            policy=policy_spec,
         )
         self._submitted_at_step[request.request_id] = self._engine_step
+        self._request_selectors[request.request_id] = selector
         return request
 
     @property
@@ -196,6 +241,19 @@ class BatchedEngine:
     def reserved_kv_bytes(self) -> int:
         """Projected KV bytes reserved by the in-flight requests."""
         return sum(self._reserved_bytes.values())
+
+    def in_flight_result(self, request_id: str) -> GenerationResult | None:
+        """Partial result of an in-flight request, ``None`` when not active.
+
+        The returned object is the live result under construction — its
+        ``output_ids``/``output_logprobs`` grow as the engine steps.  The
+        :meth:`repro.api.Session.stream` iterator reads it to emit tokens
+        as they are generated.
+        """
+        for active in self._active:
+            if active.request.request_id == request_id:
+                return active.sequence.result
+        return None
 
     # ------------------------------------------------------------------
     # stepping
@@ -257,9 +315,18 @@ class BatchedEngine:
     # ------------------------------------------------------------------
     def _prefill_request(self, request: ServeRequest) -> None:
         """Prefill an admitted request and sample its first token."""
+        selector = self._request_selectors.pop(request.request_id, None)
+        if selector is None:
+            # Requests enqueued directly on ``self.queue`` (bypassing
+            # submit) still resolve their policy here.
+            selector = (
+                build_policy(request.policy)
+                if request.policy is not None
+                else self.selector
+            )
         sequence = SequenceState(
             self.model,
-            self.selector,
+            selector,
             self.generation_config,
             self.offload,
             buffer_prefix=f"{request.request_id}/",
@@ -317,17 +384,25 @@ class BatchedEngine:
 def serve_prompts(
     model: TransformerModel,
     prompts: list[np.ndarray],
-    selector: KVSelectorFactory | None = None,
+    selector: KVSelectorFactory | PolicySpec | str | None = None,
     generation_config: GenerationConfig | None = None,
     scheduler_config: SchedulerConfig | None = None,
+    policies: list[PolicySpec | str | None] | None = None,
 ) -> ServeReport:
-    """Convenience wrapper: serve a list of prompts and drain the queue."""
+    """Convenience wrapper: serve a list of prompts and drain the queue.
+
+    ``policies`` optionally assigns each prompt its own KV compression
+    policy (one entry per prompt; ``None`` entries use ``selector``), so a
+    single call can serve a mixed-policy batch.
+    """
+    if policies is not None and len(policies) != len(prompts):
+        raise ValueError("policies must have one entry per prompt")
     engine = BatchedEngine(
         model,
         selector=selector,
         generation_config=generation_config,
         scheduler_config=scheduler_config,
     )
-    for prompt in prompts:
-        engine.submit(prompt)
+    for idx, prompt in enumerate(prompts):
+        engine.submit(prompt, policy=policies[idx] if policies else None)
     return engine.run()

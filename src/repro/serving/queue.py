@@ -12,6 +12,7 @@ from collections import deque
 
 import numpy as np
 
+from ..policies import PolicySpec
 from .request import ServeRequest
 
 __all__ = ["RequestQueue"]
@@ -38,6 +39,7 @@ class RequestQueue:
         request_id: str | None = None,
         max_new_tokens: int | None = None,
         seed: int | None = None,
+        policy: PolicySpec | None = None,
     ) -> ServeRequest:
         """Enqueue a new request and return it.
 
@@ -65,6 +67,7 @@ class RequestQueue:
             prompt_ids=np.asarray(prompt_ids, dtype=np.int64),
             max_new_tokens=max_new_tokens,
             seed=seed,
+            policy=policy,
             arrival_order=self._next_arrival,
         )
         self._next_arrival += 1

@@ -1,8 +1,11 @@
 """Request objects of the batched serving engine.
 
 A :class:`ServeRequest` is what a client submits: a prompt plus optional
-per-request overrides.  While a request is in flight the engine wraps it in
-an :class:`ActiveRequest` that carries the mutable decoding state (the
+per-request overrides — including its own KV compression policy as a
+declarative :class:`~repro.policies.PolicySpec`, so one engine can serve a
+batch mixing ClusterKV, Quest, StreamingLLM and full-KV traffic.  While a
+request is in flight the engine wraps it in an :class:`ActiveRequest` that
+carries the mutable decoding state (the
 :class:`~repro.model.generation.SequenceState`); once it retires the engine
 emits a :class:`CompletedRequest` pairing the original request with its
 :class:`~repro.model.generation.GenerationResult` and scheduling timeline.
@@ -16,6 +19,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..model.generation import GenerationResult, SequenceState
+from ..policies import PolicySpec
 
 __all__ = [
     "RequestStatus",
@@ -51,6 +55,14 @@ class ServeRequest:
     seed:
         Per-request sampling seed; ``None`` falls back to the engine
         configuration (only relevant for non-greedy decoding).
+    policy:
+        Per-request KV compression policy as a declarative
+        :class:`~repro.policies.PolicySpec`; ``None`` falls back to the
+        engine's default selector.  :meth:`repro.serving.BatchedEngine.
+        submit` resolves and validates the spec through the policy
+        registry eagerly (typos fail at submission); only requests
+        enqueued directly on the queue, bypassing ``submit``, are resolved
+        later, at prefill.
     arrival_order:
         Monotonically increasing submission index, assigned by the queue.
         The FCFS scheduler admits strictly in this order.
@@ -60,6 +72,7 @@ class ServeRequest:
     prompt_ids: np.ndarray
     max_new_tokens: int | None = None
     seed: int | None = None
+    policy: PolicySpec | None = None
     arrival_order: int = 0
 
     def __post_init__(self) -> None:

@@ -1,0 +1,214 @@
+"""Tests of the public session facade (``repro.api``).
+
+Load-bearing guarantees:
+
+* ``EngineSpec`` round-trips through dict and JSON, policy included;
+* ``Session.generate()`` matches the single-sequence ``InferenceEngine``
+  bit for bit (same model, policy and generation settings);
+* ``Session.stream()`` yields exactly the tokens ``generate()`` returns,
+  in order, with correct logprobs and a single final ``finished`` event;
+* string prompts are tokenized, and per-request policies mix freely
+  within one session.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.api import EngineSpec, Session, TokenEvent
+from repro.model import GenerationConfig, InferenceEngine, TransformerModel, get_model_config
+from repro.policies import PolicySpec, build_policy
+
+SPEC = EngineSpec(
+    model="serve-sim",
+    policy="clusterkv:tokens_per_cluster=16,decode_window=16,decode_clusters=2,num_sink_tokens=4",
+    budget=24,
+    max_new_tokens=6,
+    num_full_layers=1,
+    num_sink_tokens=4,
+)
+
+PROMPT = list(range(8, 40))
+
+
+class TestEngineSpec:
+    def test_policy_string_normalised_to_spec(self):
+        assert isinstance(SPEC.policy, PolicySpec)
+        assert SPEC.policy.name == "clusterkv"
+        assert SPEC.policy.kwargs["tokens_per_cluster"] == 16
+
+    def test_dict_and_json_round_trip(self):
+        assert EngineSpec.from_dict(SPEC.to_dict()) == SPEC
+        assert EngineSpec.from_json(SPEC.to_json()) == SPEC
+
+    def test_builders_produce_consistent_slices(self):
+        gen = SPEC.generation_config()
+        assert gen.budget == 24
+        assert gen.max_new_tokens == 6
+        sched = SPEC.scheduler_config()
+        assert sched.max_batch_size == 8
+        assert SPEC.build_model().config.name == "serve-sim"
+
+    def test_replace_reruns_policy_normalisation(self):
+        replaced = dataclasses.replace(SPEC, policy="quest:page_size=8")
+        assert isinstance(replaced.policy, PolicySpec)
+        assert replaced.policy.name == "quest"
+
+
+class TestSessionGenerate:
+    def test_matches_single_sequence_engine(self):
+        session = Session(SPEC)
+        result = session.generate(PROMPT, request_id="one")
+
+        model = TransformerModel(get_model_config(SPEC.model))
+        reference = InferenceEngine(
+            model, build_policy(SPEC.policy), SPEC.generation_config()
+        ).generate(np.asarray(PROMPT, dtype=np.int64))
+
+        assert result.output_ids == reference.output_ids
+        assert result.output_logprobs == reference.output_logprobs
+        assert result.method == "clusterkv"
+        assert result.method_config["tokens_per_cluster"] == 16
+
+    def test_kwarg_overrides_build_spec(self):
+        session = Session(model="serve-sim", policy="full", max_new_tokens=3)
+        assert session.spec.policy.name == "full"
+        result = session.generate(PROMPT)
+        assert len(result.output_ids) == 3
+
+    def test_string_prompt_is_tokenized(self):
+        session = Session(model="serve-sim", policy="full", max_new_tokens=2)
+        result = session.generate("alpha beta gamma delta")
+        assert len(result.output_ids) == 2
+        assert result.prompt_length == 4
+
+    def test_results_accumulate_across_calls(self):
+        session = Session(SPEC)
+        session.generate(PROMPT, request_id="a")
+        session.generate(PROMPT, request_id="b")
+        assert set(session.results()) == {"a", "b"}
+        assert [c.request.request_id for c in session.completed] == ["a", "b"]
+
+    def test_unstarted_abandoned_stream_releases_retention_hold(self):
+        """An iterator dropped before its first next() must not pin results."""
+        session = Session(model="serve-sim", policy="full", max_new_tokens=2)
+        iterator = session.stream(PROMPT, request_id="never")
+        del iterator  # abandoned before any step
+        session.run()  # the request is still served
+        session.clear_completed()
+        assert session.results() == {}  # nothing retained: hold was released
+
+    def test_clear_completed_preserves_live_stream(self):
+        """Clearing results must not break a stream pending on a finished request."""
+        session = Session(model="serve-sim", policy="full", max_new_tokens=3)
+        iterator = session.stream(PROMPT, request_id="r")
+        session.run()  # finishes "r" outside the iterator
+        session.clear_completed()
+        tokens = [e.token_id for e in iterator]  # must still replay all tokens
+        assert len(tokens) == 3
+        # Once the iterator is exhausted, the retention hold is released.
+        session.clear_completed()
+        assert session.results() == {}
+
+    def test_clear_completed_bounds_retention(self):
+        session = Session(SPEC)
+        session.generate(PROMPT, request_id="a")
+        session.clear_completed()
+        assert session.results() == {}
+        assert session.completed == []
+        # The session keeps serving normally afterwards.
+        session.generate(PROMPT, request_id="b")
+        assert set(session.results()) == {"b"}
+
+
+class TestSessionStream:
+    def test_stream_equals_generate_token_by_token(self):
+        streamed = list(Session(SPEC).stream(PROMPT, request_id="s"))
+        generated = Session(SPEC).generate(PROMPT, request_id="g")
+
+        assert [e.token_id for e in streamed] == generated.output_ids
+        assert [e.logprob for e in streamed] == generated.output_logprobs
+        assert [e.index for e in streamed] == list(range(len(generated.output_ids)))
+
+    def test_finished_flag_only_on_last_event(self):
+        events = list(Session(SPEC).stream(PROMPT))
+        assert [e.finished for e in events] == [False] * (len(events) - 1) + [True]
+        assert all(isinstance(e, TokenEvent) for e in events)
+
+    def test_stream_decodes_text(self):
+        session = Session(model="serve-sim", policy="full", max_new_tokens=4)
+        events = list(session.stream("alpha beta gamma delta"))
+        for event in events:
+            expected = session.tokenizer.decode([event.token_id])
+            assert event.text == expected
+
+    def test_stream_request_appears_in_session_results(self):
+        session = Session(SPEC)
+        list(session.stream(PROMPT, request_id="streamed"))
+        assert "streamed" in session.results()
+
+    def test_stream_submits_and_validates_eagerly(self):
+        """A bad policy fails at stream() itself, not at the first next()."""
+        session = Session(model="serve-sim", policy="full", max_new_tokens=2)
+        with pytest.raises(ValueError, match="registered policies"):
+            session.stream(PROMPT, policy="bogus")
+        # And a valid stream's request is queued before iteration starts.
+        iterator = session.stream(PROMPT, request_id="eager")
+        assert len(session.engine.queue) == 1
+        list(iterator)
+        assert "eager" in session.results()
+
+    def test_interleaved_streams_both_yield_their_tokens(self):
+        """Draining one stream must not break another stream's iterator."""
+        session = Session(model="serve-sim", policy="full", max_new_tokens=3)
+        first = session.stream(PROMPT, request_id="a")
+        second = session.stream(PROMPT, request_id="b")
+        tokens_a = [e.token_id for e in first]  # drains the engine, retires both
+        tokens_b = [e.token_id for e in second]  # must still replay b's tokens
+        assert tokens_a == session.results()["a"].output_ids
+        assert tokens_b == session.results()["b"].output_ids
+
+    def test_stream_after_run_still_yields(self):
+        session = Session(model="serve-sim", policy="full", max_new_tokens=2)
+        iterator = session.stream(PROMPT, request_id="r")
+        session.run()  # finishes the request outside the iterator
+        assert [e.token_id for e in iterator] == session.results()["r"].output_ids
+
+    def test_abandoned_stream_request_is_finished_by_later_activity(self):
+        session = Session(model="serve-sim", policy="full", max_new_tokens=2)
+        iterator = session.stream(PROMPT, request_id="abandoned")
+        next(iterator)
+        del iterator
+        # Documented behavior: subsequent session stepping finishes it.
+        session.generate(PROMPT, request_id="later")
+        assert set(session.results()) == {"abandoned", "later"}
+
+
+class TestSessionBatch:
+    def test_mixed_policies_in_one_session(self):
+        session = Session(model="serve-sim", policy="full", budget=24,
+                          max_new_tokens=4, num_full_layers=1, num_sink_tokens=4)
+        session.submit(PROMPT, request_id="q", policy="quest:page_size=8")
+        session.submit(PROMPT, request_id="s", policy="streaming_llm")
+        session.submit(PROMPT, request_id="f")
+        report = session.run()
+        descriptions = report.policy_descriptions()
+        assert descriptions["q"]["name"] == "quest"
+        assert descriptions["q"]["page_size"] == 8
+        assert descriptions["s"]["name"] == "streaming_llm"
+        assert descriptions["f"]["name"] == "full"
+
+    def test_step_returns_finished_requests(self):
+        session = Session(model="serve-sim", policy="full", max_new_tokens=2)
+        session.submit(PROMPT, request_id="r")
+        finished: list[str] = []
+        while session.engine.queue or session.engine.num_active:
+            finished.extend(c.request.request_id for c in session.step())
+        assert finished == ["r"]
+
+    def test_unknown_policy_fails_at_submit(self):
+        session = Session(model="serve-sim", policy="full", max_new_tokens=2)
+        with pytest.raises(ValueError, match="registered policies"):
+            session.submit(PROMPT, policy="nope")
+        assert len(session.engine.queue) == 0

@@ -29,6 +29,26 @@ class TestParser:
         assert args.requests == 6
         assert args.methods == ["full"]
 
+    def test_serve_bench_policy_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "serve-bench",
+                "--policy", "clusterkv:tokens_per_cluster=32",
+                "--policy", "quest:page_size=8",
+                "--mixed",
+            ]
+        )
+        assert args.policy == ["clusterkv:tokens_per_cluster=32", "quest:page_size=8"]
+        assert args.mixed is True
+
+    def test_serve_bench_policy_json_flag(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve-bench", "--policy-json", '{"name": "quest", "page_size": 32}']
+        )
+        assert args.policy_json == '{"name": "quest", "page_size": 32}'
+
 
 class TestMain:
     def test_no_command_prints_help(self, capsys):
@@ -39,6 +59,63 @@ class TestMain:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "fig12" in out and "cache-study" in out
+        # Every subcommand is enumerated, including serving and list itself.
+        assert "serve-bench" in out
+        assert "list" in out
+        # Registered policies are enumerated from the registry.
+        for policy in ("clusterkv", "quest", "infinigen", "streaming_llm", "full"):
+            assert policy in out
+
+    def test_mixed_serve_bench_runs(self, capsys):
+        assert (
+            main(
+                [
+                    "serve-bench",
+                    "--mixed",
+                    "--requests", "3",
+                    "--batch", "3",
+                    "--prompt-len", "12",
+                    "--new-tokens", "4",
+                    "--repeats", "1",
+                    "--policy", "streaming_llm",
+                    "--policy", "quest:page_size=8",
+                    "--policy", "full",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "per-request policies" in out
+        assert "quest:page_size=8" in out
+
+    def test_policy_json_serve_bench_runs(self, capsys):
+        assert (
+            main(
+                [
+                    "serve-bench",
+                    "--requests", "2",
+                    "--batch", "2",
+                    "--prompt-len", "12",
+                    "--new-tokens", "4",
+                    "--repeats", "1",
+                    # Object form and bare-string form mix in one list.
+                    "--policy-json", '[{"name": "streaming_llm"}, "full"]',
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "streaming_llm" in out and "full" in out
+
+    def test_policy_json_rejects_non_mapping_entries(self):
+        with pytest.raises(ValueError, match="policy objects"):
+            main(
+                [
+                    "serve-bench",
+                    "--repeats", "1",
+                    "--policy-json", "[42]",
+                ]
+            )
 
     def test_fig12_runs_and_prints_table(self, capsys):
         assert main(["fig12"]) == 0

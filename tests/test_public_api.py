@@ -1,0 +1,61 @@
+"""Tier-1 hook of the public-API surface check (``scripts/check_api.py``).
+
+The supported API is whatever ``scripts/api_surface.txt`` records: every
+``__all__`` export of the public modules with its call signature.  This
+test fails whenever the live surface drifts from the snapshot — a removed
+export, a renamed parameter, a changed default — so accidental breakage is
+caught in CI while intentional changes are one
+``python scripts/check_api.py --update`` away.
+"""
+
+import sys
+from pathlib import Path
+
+SCRIPTS_DIR = Path(__file__).resolve().parent.parent / "scripts"
+sys.path.insert(0, str(SCRIPTS_DIR))
+
+from check_api import (  # noqa: E402
+    SNAPSHOT_PATH,
+    api_surface,
+    load_snapshot,
+    surface_diff,
+)
+
+
+def test_snapshot_exists_and_is_nonempty():
+    """The committed snapshot is present and substantial."""
+    assert SNAPSHOT_PATH.exists(), (
+        f"missing {SNAPSHOT_PATH}; create it with: python scripts/check_api.py --update"
+    )
+    assert len(load_snapshot()) > 100
+
+
+def test_public_api_surface_matches_snapshot():
+    """Live exports and signatures equal the committed snapshot."""
+    missing, unexpected = surface_diff()
+    message = []
+    if missing:
+        message.append("removed/changed exports:")
+        message.extend(f"  - {line}" for line in missing)
+    if unexpected:
+        message.append("added/changed exports:")
+        message.extend(f"  + {line}" for line in unexpected)
+    assert not missing and not unexpected, (
+        "public API surface drifted from scripts/api_surface.txt\n"
+        + "\n".join(message)
+        + "\nintentional? run: python scripts/check_api.py --update"
+    )
+
+
+def test_core_entry_points_are_snapshotted():
+    """The redesigned entry points are part of the supported surface."""
+    surface = "\n".join(api_surface())
+    for needle in (
+        "repro.Session",
+        "repro.EngineSpec",
+        "repro.PolicySpec",
+        "repro.api.Session",
+        "repro.policies.build_policy",
+        "repro.policies.register_policy",
+    ):
+        assert needle in surface

@@ -15,6 +15,7 @@ import pytest
 from repro.baselines import FullKVSelector, QuestSelector, StreamingLLMSelector
 from repro.core import ClusterKVConfig, ClusterKVSelector
 from repro.model import GenerationConfig, InferenceEngine
+from repro.policies import PolicySpec, build_policy, policy_spec_from_description
 from repro.serving import (
     BatchedEngine,
     ContinuousBatchingScheduler,
@@ -342,6 +343,205 @@ class TestBatchedEngine:
         assert report.total_generated_tokens == 6
         assert report.mean_batch_occupancy > 0
         assert report.tokens_per_second > 0
+
+
+MIXED_POLICIES = (
+    "clusterkv:tokens_per_cluster=12,decode_window=8,decode_clusters=2,num_sink_tokens=4",
+    "quest",
+    "streaming_llm",
+    "full",
+)
+
+
+class TestMixedPolicyBatches:
+    """One engine serving requests that each carry their own policy."""
+
+    def _generation_config(self):
+        return GenerationConfig(
+            budget=24, max_new_tokens=5, num_full_layers=1, num_sink_tokens=4
+        )
+
+    def _prompts(self, tiny_model, rng, count):
+        return [
+            rng.integers(4, tiny_model.config.vocab_size, size=40 + 8 * i).astype(
+                np.int64
+            )
+            for i in range(count)
+        ]
+
+    def test_mixed_batch_bit_identical_to_homogeneous_runs(self, tiny_model, rng):
+        """Each request's output is unchanged by its batch neighbours' policies.
+
+        A single ``run()`` serves eight requests cycling through four
+        policies; every request must match (tokens *and* logprobs) both a
+        homogeneous batched run of that policy and the single-sequence
+        engine.
+        """
+        gen = self._generation_config()
+        prompts = self._prompts(tiny_model, rng, 8)
+        assignments = [MIXED_POLICIES[i % len(MIXED_POLICIES)] for i in range(8)]
+
+        mixed = BatchedEngine(
+            tiny_model,
+            selector="full",
+            generation_config=gen,
+            scheduler_config=SchedulerConfig(max_batch_size=8, max_prefills_per_step=8),
+        )
+        for i, (prompt, policy) in enumerate(zip(prompts, assignments)):
+            mixed.submit(prompt, request_id=f"r{i}", policy=policy)
+        mixed_results = mixed.run().results()
+        assert len(mixed_results) == 8
+
+        for policy in MIXED_POLICIES:
+            indices = [i for i, assigned in enumerate(assignments) if assigned == policy]
+            homogeneous = BatchedEngine(
+                tiny_model,
+                selector=policy,
+                generation_config=gen,
+                scheduler_config=SchedulerConfig(
+                    max_batch_size=8, max_prefills_per_step=8
+                ),
+            )
+            for i in indices:
+                homogeneous.submit(prompts[i], request_id=f"r{i}")
+            homogeneous_results = homogeneous.run().results()
+            for i in indices:
+                assert (
+                    mixed_results[f"r{i}"].output_ids
+                    == homogeneous_results[f"r{i}"].output_ids
+                )
+                assert (
+                    mixed_results[f"r{i}"].output_logprobs
+                    == homogeneous_results[f"r{i}"].output_logprobs
+                )
+                single = InferenceEngine(
+                    tiny_model, build_policy(policy), gen
+                ).generate(prompts[i])
+                assert mixed_results[f"r{i}"].output_ids == single.output_ids
+
+    def test_policy_descriptions_embedded_in_report(self, tiny_model, rng):
+        gen = self._generation_config()
+        engine = BatchedEngine(tiny_model, generation_config=gen)
+        engine.submit(self._prompts(tiny_model, rng, 1)[0], request_id="q",
+                      policy="quest:page_size=8")
+        report = engine.run()
+        description = report.policy_descriptions()["q"]
+        assert description["name"] == "quest"
+        assert description["page_size"] == 8
+        # The embedded description is enough to rebuild the policy.
+        rebuilt = build_policy(policy_spec_from_description(description))
+        assert rebuilt.config.page_size == 8
+
+    def test_serve_prompts_accepts_per_prompt_policies(self, tiny_model, rng):
+        gen = self._generation_config()
+        prompts = self._prompts(tiny_model, rng, 3)
+        report = serve_prompts(
+            tiny_model,
+            prompts,
+            generation_config=gen,
+            policies=["quest", None, "streaming_llm"],
+        )
+        names = [
+            report.policy_descriptions()[f"req-{i}"]["name"] for i in range(3)
+        ]
+        assert names == ["quest", "full", "streaming_llm"]
+
+    def test_serve_prompts_policy_length_mismatch(self, tiny_model, rng):
+        with pytest.raises(ValueError, match="one entry per prompt"):
+            serve_prompts(
+                tiny_model,
+                self._prompts(tiny_model, rng, 2),
+                policies=["quest"],
+            )
+
+    def test_engine_accepts_policy_string_as_default_selector(self, tiny_model, rng):
+        gen = self._generation_config()
+        engine = BatchedEngine(tiny_model, selector="streaming_llm", generation_config=gen)
+        engine.submit(self._prompts(tiny_model, rng, 1)[0], request_id="s")
+        report = engine.run()
+        assert report.policy_descriptions()["s"]["name"] == "streaming_llm"
+
+    def test_unknown_per_request_policy_rejected_at_submit(self, tiny_model, rng):
+        engine = BatchedEngine(tiny_model, generation_config=self._generation_config())
+        with pytest.raises(ValueError, match="registered policies"):
+            engine.submit(self._prompts(tiny_model, rng, 1)[0], policy="bogus")
+        assert len(engine.queue) == 0
+
+
+class TestServeBenchConfigPolicies:
+    def test_bare_name_policy_gets_serving_tuned_config(self):
+        """--policy clusterkv benchmarks the same config as --methods clusterkv."""
+        from repro.serving.bench import ServeBenchConfig, serving_policy_spec
+
+        config = ServeBenchConfig(policies=(PolicySpec("clusterkv"),))
+        (resolved,) = config.resolved_policies()
+        assert resolved == serving_policy_spec("clusterkv", config)
+        assert resolved.kwargs["tokens_per_cluster"] == 32
+
+    def test_explicit_kwargs_policy_used_verbatim(self):
+        from repro.serving.bench import ServeBenchConfig
+
+        spec = PolicySpec("clusterkv", {"tokens_per_cluster": 64})
+        config = ServeBenchConfig(policies=(spec,))
+        assert config.resolved_policies() == (spec,)
+
+    def test_mixed_bench_reports_only_exercised_policies(self):
+        from repro.serving.bench import ServeBenchConfig, run_mixed_serve_bench
+
+        config = ServeBenchConfig(
+            policies=(
+                PolicySpec("streaming_llm"),
+                PolicySpec("full"),
+                PolicySpec("quest"),
+            ),
+            num_requests=2,  # round-robin never reaches quest
+            max_batch_size=2,
+            prompt_len=12,
+            max_new_tokens=4,
+            repeats=1,
+        )
+        result = run_mixed_serve_bench(config)
+        assert [spec.name for spec in result.policies] == ["streaming_llm", "full"]
+
+    def test_duplicate_method_names_get_distinct_row_labels(self):
+        from repro.serving.bench import ServeBenchConfig, run_serve_bench
+
+        config = ServeBenchConfig(
+            policies=(
+                PolicySpec("quest", {"page_size": 8}),
+                PolicySpec("quest", {"page_size": 32}),
+            ),
+            num_requests=2,
+            max_batch_size=2,
+            prompt_len=12,
+            max_new_tokens=4,
+            repeats=1,
+        )
+        labels = [row.method for row in run_serve_bench(config)]
+        assert len(set(labels)) == 2
+        assert "page_size=8" in labels[0] and "page_size=32" in labels[1]
+
+    def test_identical_duplicate_specs_still_get_distinct_labels(self):
+        from repro.serving.bench import ServeBenchConfig, run_serve_bench
+
+        config = ServeBenchConfig(
+            policies=(PolicySpec("quest"), PolicySpec("quest")),
+            num_requests=2,
+            max_batch_size=2,
+            prompt_len=12,
+            max_new_tokens=4,
+            repeats=1,
+        )
+        labels = [row.method for row in run_serve_bench(config)]
+        assert len(set(labels)) == 2
+
+    def test_empty_policies_and_methods_rejected(self):
+        from repro.serving.bench import ServeBenchConfig
+
+        with pytest.raises(ValueError, match="non-empty"):
+            ServeBenchConfig(policies=())
+        with pytest.raises(ValueError, match="non-empty"):
+            ServeBenchConfig(methods=())
 
 
 class TestServeBenchFormatting:
