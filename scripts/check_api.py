@@ -37,6 +37,7 @@ PUBLIC_MODULES = (
     "repro.memory",
     "repro.metrics",
     "repro.serving",
+    "repro.traffic",
     "repro.experiments",
     "repro.perfmodel",
     "repro.workloads",

@@ -22,6 +22,9 @@ Top-level convenience re-exports; see the subpackages for the full API:
 * :mod:`repro.experiments` — one module per paper table/figure.
 * :mod:`repro.serving` — batched multi-request serving with continuous
   scheduling over any of the above compression methods.
+* :mod:`repro.traffic` — trace-driven open-loop traffic simulation:
+  seeded arrival processes, multi-replica routing and TTFT/TPOT/goodput
+  SLO metrics on a virtual perfmodel clock.
 """
 
 from .baselines import (
@@ -60,6 +63,7 @@ from .serving import (
     serve_prompts,
 )
 from .api import EngineSpec, Session, TokenEvent
+from .traffic import SLOSpec, TrafficConfig, TrafficReport, simulate
 
 __version__ = "0.1.0"
 
@@ -68,6 +72,10 @@ __all__ = [
     "Session",
     "EngineSpec",
     "TokenEvent",
+    "simulate",
+    "TrafficConfig",
+    "TrafficReport",
+    "SLOSpec",
     "PolicySpec",
     "UnknownPolicyError",
     "register_policy",

@@ -9,6 +9,11 @@
   keyword arguments); exposes ``generate()`` for one-shot calls,
   ``submit()``/``step()``/``run()`` for batched serving, and ``stream()``
   yielding per-token :class:`TokenEvent` objects.
+* :func:`simulate` — open-loop traffic simulation: a workload from
+  :mod:`repro.traffic` served over one or more replicas (each described
+  by an ``EngineSpec``) on a virtual clock, returning a
+  :class:`~repro.traffic.TrafficReport` of TTFT/TPOT percentiles and
+  SLO goodput.
 
 Compression methods are referred to declaratively through
 :mod:`repro.policies`; every request can carry its own policy, so a single
@@ -18,4 +23,18 @@ session serves heterogeneous traffic.
 from .session import Session, TokenEvent
 from .spec import EngineSpec
 
-__all__ = ["EngineSpec", "Session", "TokenEvent"]
+__all__ = ["EngineSpec", "Session", "TokenEvent", "simulate"]
+
+
+def simulate(requests, config=None, router=None, clock=None):
+    """Run one open-loop traffic simulation (see :func:`repro.traffic.simulate`).
+
+    Thin forwarding wrapper so applications can drive the whole stack —
+    sessions for closed-loop calls, ``simulate`` for latency-under-load
+    experiments — from :mod:`repro.api` alone.  Imported lazily because
+    :mod:`repro.traffic` builds its replicas from this module's
+    :class:`EngineSpec`.
+    """
+    from ..traffic import simulate as _simulate
+
+    return _simulate(requests, config, router=router, clock=clock)

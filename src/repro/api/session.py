@@ -112,11 +112,14 @@ class Session:
         max_new_tokens: int | None = None,
         seed: int | None = None,
         policy: PolicySpec | str | None = None,
+        arrival_time_s: float = 0.0,
     ) -> ServeRequest:
         """Enqueue a request; string prompts are tokenized by the session.
 
         ``policy`` overrides the session's default compression policy for
         this request only, so one session serves mixed-policy traffic.
+        ``arrival_time_s`` stamps the request's arrival instant for the
+        latency metrics surfaced by ``ServeReport.request_timings()``.
         """
         return self.engine.submit(
             self._encode(prompt),
@@ -124,6 +127,7 @@ class Session:
             max_new_tokens=max_new_tokens,
             seed=seed,
             policy=policy,
+            arrival_time_s=arrival_time_s,
         )
 
     def step(self) -> list[CompletedRequest]:

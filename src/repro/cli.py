@@ -80,6 +80,47 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
     return format_serve_bench(run_serve_bench(config))
 
 
+def _run_traffic_bench(args: argparse.Namespace) -> str:
+    from .policies import PolicySpec
+    from .traffic import (
+        SLOSpec,
+        TrafficBenchConfig,
+        format_traffic_report,
+        run_traffic_bench,
+    )
+
+    policies = tuple(PolicySpec.parse(text) for text in args.policy or ()) or (
+        "clusterkv",
+    )
+    config = TrafficBenchConfig(
+        model=args.model,
+        policies=policies,
+        rate=args.rate,
+        arrivals=args.arrivals,
+        burstiness=args.burstiness,
+        num_requests=args.requests,
+        num_replicas=args.replicas,
+        router=args.router,
+        clock=args.clock,
+        arch=args.arch,
+        context_scale=args.context_scale,
+        prompt_len_min=args.prompt_len_min,
+        prompt_len_max=args.prompt_len_max,
+        max_new_tokens=args.new_tokens,
+        budget=args.budget,
+        slo=SLOSpec(
+            ttft_s=None if args.slo_ttft <= 0 else args.slo_ttft,
+            tpot_s=None if args.slo_tpot <= 0 else args.slo_tpot,
+        ),
+        seed=args.seed,
+        trace=args.trace,
+    )
+    report = run_traffic_bench(config)
+    if args.json:
+        return report.to_json()
+    return format_traffic_report(report)
+
+
 def _run_fig3(args: argparse.Namespace) -> str:
     result = exp.run_fig3(exp.Fig3Config(scale=exp.ContextScale(args.scale)))
     return exp.format_fig3(result)
@@ -152,6 +193,10 @@ _SERVING_COMMANDS = {
         "continuous-batching serving throughput vs. sequential runs",
         _run_serve_bench,
     ),
+    "traffic-bench": (
+        "open-loop traffic simulation: routing, replicas, SLO latency metrics",
+        _run_traffic_bench,
+    ),
 }
 
 
@@ -176,6 +221,13 @@ def _format_listing() -> str:
     lines.append("policies (use with --policy NAME[:KEY=VAL,...] or --methods NAME):")
     for name, entry in available_policies().items():
         lines.append(f"  {name:16s} {entry.summary}")
+    from .traffic import arrival_names, router_names
+
+    lines.append("")
+    lines.append("traffic routers (use with traffic-bench --router NAME):")
+    lines.append("  " + ", ".join(router_names()))
+    lines.append("arrival processes (traffic-bench --arrivals NAME):")
+    lines.append("  " + ", ".join(arrival_names()))
     return "\n".join(lines)
 
 
@@ -245,6 +297,78 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--budget", type=int, default=48, help="KV budget per head")
     serve.add_argument("--repeats", type=int, default=2, help="timing repeats")
     serve.add_argument("--out", type=str, default=None, help="write output to a file")
+
+    traffic = subparsers.add_parser(
+        "traffic-bench", help=_SERVING_COMMANDS["traffic-bench"][0]
+    )
+    traffic.add_argument(
+        "--model", type=str, default="serve-sim", help="model config (default serve-sim)"
+    )
+    traffic.add_argument(
+        "--policy",
+        action="append",
+        metavar="NAME[:KEY=VAL,...]",
+        help="per-request policy spec, repeatable; several specs are mixed "
+        "across the workload by an equal-weight seeded draw "
+        "(default: serving-tuned clusterkv)",
+    )
+    traffic.add_argument(
+        "--rate", type=float, default=0.5,
+        help="mean arrival rate in requests per second of simulated time",
+    )
+    traffic.add_argument(
+        "--arrivals", type=str, default="poisson",
+        help="arrival process name, resolved through the registry — see "
+        "`repro list` (use --trace to replay a JSONL trace instead)",
+    )
+    traffic.add_argument(
+        "--burstiness", type=float, default=4.0,
+        help="peak-to-mean rate ratio of the onoff process",
+    )
+    traffic.add_argument(
+        "--trace", type=str, default=None,
+        help="replay arrivals/shapes from a JSONL trace file",
+    )
+    traffic.add_argument("--requests", type=int, default=16, help="number of requests")
+    traffic.add_argument("--replicas", type=int, default=2, help="engine replicas")
+    traffic.add_argument(
+        "--router", type=str, default="jsq",
+        help="routing strategy (see `repro list` for registered routers)",
+    )
+    traffic.add_argument(
+        "--clock", type=str, default="perfmodel", choices=("perfmodel", "wall"),
+        help="step clock: perfmodel (virtual, bit-reproducible) or wall",
+    )
+    traffic.add_argument(
+        "--arch", type=str, default="llama-3.1-8b",
+        help="reference architecture priced by the perfmodel clock",
+    )
+    traffic.add_argument(
+        "--context-scale", type=int, default=64,
+        help="factor mapping simulated token counts to paper scale",
+    )
+    traffic.add_argument(
+        "--prompt-len-min", type=int, default=48, help="minimum prompt tokens"
+    )
+    traffic.add_argument(
+        "--prompt-len-max", type=int, default=96, help="maximum prompt tokens"
+    )
+    traffic.add_argument("--new-tokens", type=int, default=48, help="decode tokens")
+    traffic.add_argument("--budget", type=int, default=48, help="KV budget per head")
+    traffic.add_argument(
+        "--slo-ttft", type=float, default=2.5,
+        help="TTFT deadline in seconds (<= 0 disables)",
+    )
+    traffic.add_argument(
+        "--slo-tpot", type=float, default=0.15,
+        help="TPOT deadline in seconds (<= 0 disables)",
+    )
+    traffic.add_argument("--seed", type=int, default=0, help="workload seed")
+    traffic.add_argument(
+        "--json", action="store_true",
+        help="print the TrafficReport as canonical JSON instead of a table",
+    )
+    traffic.add_argument("--out", type=str, default=None, help="write output to a file")
     return parser
 
 

@@ -15,6 +15,7 @@ from .costs import (
 )
 from .hardware import ADA_6000, HardwareConfig, get_hardware, list_hardware
 from .latency import LatencyModel, LatencyReport, MethodLatencyParams
+from .serving import StepCostModel
 
 __all__ = [
     "OpCost",
@@ -30,4 +31,5 @@ __all__ = [
     "LatencyModel",
     "LatencyReport",
     "MethodLatencyParams",
+    "StepCostModel",
 ]

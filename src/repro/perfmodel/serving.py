@@ -1,0 +1,215 @@
+"""Step-cost adapter: pricing serving-engine steps on the roofline model.
+
+:class:`StepCostModel` converts the per-step trace of the batched serving
+engine (which requests were prefilled at which prompt lengths, which
+requests decoded at which context lengths under which policy) into seconds
+on the analytical :class:`~repro.perfmodel.latency.LatencyModel`.  It is
+the bridge between the *functional* simulation — tiny NumPy models with
+down-scaled contexts — and the *performance* model, which prices every
+operation at the paper's true scale:
+
+* the dense projections of one decoding step are charged **once per
+  batch** (weight streaming is amortised across the batched requests —
+  the effect continuous batching exists to exploit), while attention,
+  selection and KV transfer are charged **per request** at that request's
+  context length and policy;
+* ``context_scale`` maps simulated token counts to paper-scale ones (the
+  inverse of :class:`repro.experiments.ContextScale`): a simulation run at
+  1/64th context charges costs as if contexts were 64x longer, which puts
+  the virtual clock in the regime where compressed and dense methods
+  genuinely diverge;
+* ClusterKV's KV-fetch cost honours the **live** cluster-cache hit rate
+  measured by the simulation (carried in the step trace), tying the
+  virtual clock's byte-savings to the actual
+  :class:`~repro.core.cache.ClusterCache` accounting.
+
+Policies the latency model knows (``full``, ``clusterkv``, ``quest``,
+``infinigen``) are priced with their full selection/transfer overheads;
+any other registered policy (``streaming_llm``, ``h2o``, ``oracle``,
+third-party selectors) is priced as generic sparse attention over its
+budget with no selection overhead — a lower bound that keeps the adapter
+total over the whole policy registry.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol
+
+from ..model.model_zoo import ReferenceArchitecture, get_reference_architecture
+from .costs import attention_decode_cost, linear_layers_cost, roofline_time
+from .hardware import ADA_6000, HardwareConfig
+from .latency import SUPPORTED_METHODS, LatencyModel, MethodLatencyParams
+
+__all__ = ["StepCostModel"]
+
+
+class _StepEntry(Protocol):
+    """Shape of one per-request step-trace entry (duck-typed).
+
+    Matches :class:`repro.serving.StepRequestTrace` without importing it —
+    the serving layer stays free of perfmodel dependencies and vice versa.
+    """
+
+    policy_name: str
+    context_length: int
+    budget: int | None
+    cache_hit_rate: float | None
+
+
+class StepCostModel:
+    """Prices batched-engine steps on the analytical latency model.
+
+    Parameters
+    ----------
+    arch:
+        Reference architecture (or its registry name) whose shapes the
+        costs are computed for; defaults to Llama-3.1-8B, the paper's
+        efficiency-experiment model.
+    hardware:
+        Hardware configuration of the priced GPU.
+    params:
+        Method-level latency parameters (cluster sizes, overlap fractions).
+    context_scale:
+        Multiplier mapping simulated token counts (prompt, context, budget)
+        to paper-scale ones before pricing.  A simulation down-scaled by
+        :class:`repro.experiments.ContextScale` factor ``k`` should be
+        priced with ``context_scale=k``.
+    """
+
+    def __init__(
+        self,
+        arch: ReferenceArchitecture | str = "llama-3.1-8b",
+        hardware: HardwareConfig = ADA_6000,
+        params: MethodLatencyParams | None = None,
+        context_scale: int = 1,
+    ) -> None:
+        if isinstance(arch, str):
+            arch = get_reference_architecture(arch)
+        if context_scale < 1:
+            raise ValueError("context_scale must be at least 1")
+        self.arch = arch
+        self.hardware = hardware
+        self.params = params or MethodLatencyParams()
+        self.context_scale = context_scale
+        self.latency = LatencyModel(arch, hardware, self.params)
+
+    def describe(self) -> dict[str, object]:
+        """Identifying configuration of this cost model (for reports)."""
+        return {
+            "arch": self.arch.name,
+            "hardware": self.hardware.name,
+            "context_scale": self.context_scale,
+        }
+
+    # ------------------------------------------------------------------
+    # per-operation costs
+    # ------------------------------------------------------------------
+    def _method_for(self, policy_name: str, budget: int | None) -> str:
+        """Latency-model method a policy prices as (``"generic"`` fallback)."""
+        if budget is None:
+            return "full"
+        if policy_name in SUPPORTED_METHODS:
+            return policy_name
+        return "generic"
+
+    def prefill_seconds(
+        self, policy_name: str, prompt_length: int, budget: int | None = 0
+    ) -> float:
+        """Cost of prefilling one request, including method build work.
+
+        ``budget`` decides whether the request will actually compress:
+        ``None`` (no budget — the request decodes with full attention)
+        prices a plain prefill with no offload or build work regardless of
+        the policy name, matching how the decode side degenerates to the
+        ``full`` method.  The default of 0 keeps the named method's build
+        costs for callers pricing a compressed deployment directly.
+        """
+        scaled = prompt_length * self.context_scale
+        method = self._method_for(policy_name, budget)
+        offload = method in ("clusterkv", "infinigen")
+        seconds = self.latency.prefill_seconds(scaled, offload_kv=offload)
+        if method == "clusterkv":
+            seconds += self.latency.clustering_build_seconds(scaled)
+        elif method == "infinigen":
+            seconds += self.latency.infinigen_build_seconds(scaled)
+        return seconds
+
+    def dense_seconds(self, batch_size: int) -> float:
+        """Cost of the batched dense projections of one decode step.
+
+        Weights are streamed once for the whole batch; FLOPs scale with the
+        batch size.  This is the term continuous batching amortises.
+        """
+        if batch_size <= 0:
+            return 0.0
+        return roofline_time(linear_layers_cost(self.arch, batch_size), self.hardware)
+
+    def attend_seconds(
+        self,
+        policy_name: str,
+        context_length: int,
+        budget: int | None,
+        cache_hit_rate: float | None = None,
+    ) -> float:
+        """Per-request attention + selection + transfer cost of one step.
+
+        Excludes the dense projections (charged once per batch by
+        :meth:`dense_seconds`).
+        """
+        context = context_length * self.context_scale
+        scaled_budget = None if budget is None else budget * self.context_scale
+        method = self._method_for(policy_name, budget)
+        if method == "generic":
+            assert scaled_budget is not None
+            if scaled_budget >= context:
+                method = "full"
+            else:
+                params = self.params
+                compressed = self.arch.n_layers - params.num_full_layers
+                full_attn = roofline_time(
+                    attention_decode_cost(
+                        self.arch, context, num_layers=params.num_full_layers
+                    ),
+                    self.hardware,
+                )
+                attended = min(scaled_budget, context)
+                sparse_attn = roofline_time(
+                    attention_decode_cost(self.arch, attended, num_layers=compressed),
+                    self.hardware,
+                )
+                return full_attn + sparse_attn
+        breakdown = self.latency.decode_step(
+            method, context, scaled_budget, cache_hit_rate=cache_hit_rate
+        )
+        return breakdown["total"] - breakdown["dense"]
+
+    # ------------------------------------------------------------------
+    # whole steps
+    # ------------------------------------------------------------------
+    def step_seconds(
+        self, prefills: Iterable[_StepEntry], decodes: Iterable[_StepEntry]
+    ) -> float:
+        """Duration of one engine step given its per-request trace entries.
+
+        ``prefills``/``decodes`` are the entries of one
+        :class:`repro.serving.StepTrace` (any objects with the same
+        attributes work).  Prefills are charged sequentially at full cost;
+        the decode batch is charged one shared dense pass plus per-request
+        attention/selection/transfer.
+        """
+        seconds = 0.0
+        for entry in prefills:
+            seconds += self.prefill_seconds(
+                entry.policy_name, entry.context_length, entry.budget
+            )
+        decode_entries = list(decodes)
+        if decode_entries:
+            seconds += self.dense_seconds(len(decode_entries))
+            for entry in decode_entries:
+                seconds += self.attend_seconds(
+                    entry.policy_name,
+                    entry.context_length,
+                    entry.budget,
+                    entry.cache_hit_rate,
+                )
+        return seconds

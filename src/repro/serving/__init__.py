@@ -26,7 +26,13 @@ from .bench import (
     run_mixed_serve_bench,
     run_serve_bench,
 )
-from .engine import BatchedEngine, ServeReport, serve_prompts
+from .engine import (
+    BatchedEngine,
+    ServeReport,
+    StepRequestTrace,
+    StepTrace,
+    serve_prompts,
+)
 from .queue import RequestQueue
 from .request import ActiveRequest, CompletedRequest, RequestStatus, ServeRequest
 from .scheduler import ContinuousBatchingScheduler, SchedulerConfig
@@ -34,6 +40,8 @@ from .scheduler import ContinuousBatchingScheduler, SchedulerConfig
 __all__ = [
     "BatchedEngine",
     "ServeReport",
+    "StepTrace",
+    "StepRequestTrace",
     "serve_prompts",
     "RequestQueue",
     "ServeRequest",

@@ -42,7 +42,64 @@ from .queue import RequestQueue
 from .request import ActiveRequest, CompletedRequest, RequestStatus, ServeRequest
 from .scheduler import ContinuousBatchingScheduler, SchedulerConfig
 
-__all__ = ["ServeReport", "BatchedEngine", "serve_prompts"]
+__all__ = [
+    "StepRequestTrace",
+    "StepTrace",
+    "ServeReport",
+    "BatchedEngine",
+    "serve_prompts",
+]
+
+
+@dataclass(frozen=True)
+class StepRequestTrace:
+    """Per-request slice of one engine step, for step-cost accounting.
+
+    Attributes
+    ----------
+    request_id:
+        The request this entry belongs to.
+    policy_name:
+        Name of the selector factory actually serving the request
+        (``"clusterkv"``, ``"full"``, ...), which is what a cost model
+        needs to charge the right selection/transfer overheads.
+    context_length:
+        For a prefill entry, the prompt length; for a decode entry, the KV
+        context length attended at this step (after appending the new
+        token).
+    budget:
+        The KV budget the request decodes under (``None`` when the request
+        attends the full context — either the engine has no budget or the
+        request's policy is ``full``).
+    cache_hit_rate:
+        Live token-level hit rate of the request's cluster caches
+        (``None`` for selectors without a cache), so step costs can charge
+        only the cache-missed KV transfer bytes.
+    """
+
+    request_id: str
+    policy_name: str
+    context_length: int
+    budget: int | None
+    cache_hit_rate: float | None
+
+
+@dataclass
+class StepTrace:
+    """What happened during one :meth:`BatchedEngine.step` call.
+
+    The trace is the engine's per-step timing hook: it carries enough
+    information — who was prefilled at which prompt length, who decoded at
+    which context length under which policy — for an external clock (the
+    :mod:`repro.traffic` virtual-clock simulator charging
+    :class:`repro.perfmodel.StepCostModel` costs, or a wall-clock fallback)
+    to assign the step a duration without re-deriving engine state.
+    """
+
+    engine_step: int
+    prefills: list[StepRequestTrace] = field(default_factory=list)
+    decodes: list[StepRequestTrace] = field(default_factory=list)
+    wall_seconds: float = 0.0
 
 
 @dataclass
@@ -95,6 +152,32 @@ class ServeReport:
     def results(self) -> dict[str, GenerationResult]:
         """Per-request results keyed by request id."""
         return {c.request.request_id: c.result for c in self.completed}
+
+    def queue_waits(self) -> dict[str, int]:
+        """Per-request queue wait in engine steps, keyed by request id."""
+        return {c.request.request_id: c.queue_delay_steps for c in self.completed}
+
+    def request_timings(self) -> dict[str, dict[str, float]]:
+        """Per-request timing points, keyed by request id.
+
+        Each entry carries the request's ``arrival_time_s`` (seconds, as
+        stamped at submission) and its step-resolution lifecycle points:
+        ``submitted_step``, ``admitted_step``, ``first_token_step``,
+        ``finish_step`` and the derived ``queue_wait_steps``.  The traffic
+        simulator converts these step indices into seconds on its virtual
+        clock; callers of plain ``serve-bench`` read them as step counts.
+        """
+        return {
+            c.request.request_id: {
+                "arrival_time_s": c.request.arrival_time_s,
+                "submitted_step": float(c.submitted_at_step),
+                "admitted_step": float(c.admitted_at_step),
+                "first_token_step": float(c.first_token_step),
+                "finish_step": float(c.finished_at_step),
+                "queue_wait_steps": float(c.queue_delay_steps),
+            }
+            for c in self.completed
+        }
 
     def policy_descriptions(self) -> dict[str, dict[str, object]]:
         """Full selector configuration of every request, keyed by id.
@@ -161,6 +244,10 @@ class BatchedEngine:
         # time from each request's PolicySpec; popped at prefill.
         self._request_selectors: dict[str, KVSelectorFactory] = {}
         self._engine_step = 0
+        self._last_occupancy = 0
+        # Per-step timing hook: refreshed by every step() call, consumed by
+        # external clocks (repro.traffic simulator, wall-clock fallback).
+        self.last_step_trace: StepTrace | None = None
         self._kv_bytes_per_token = model.config.kv_bytes_per_token()
 
     # ------------------------------------------------------------------
@@ -173,6 +260,7 @@ class BatchedEngine:
         max_new_tokens: int | None = None,
         seed: int | None = None,
         policy: PolicySpec | str | None = None,
+        arrival_time_s: float = 0.0,
     ) -> ServeRequest:
         """Enqueue a generation request; it runs at the next :meth:`step`.
 
@@ -182,6 +270,10 @@ class BatchedEngine:
         through the policy registry.  ``None`` uses the engine's default
         selector.  One batch can mix policies freely; each request's
         outputs are bit-identical to serving it under that policy alone.
+
+        ``arrival_time_s`` stamps the request with its arrival instant on
+        the caller's clock (virtual or wall); the engine carries it through
+        to the report so latency metrics can be computed against it.
 
         Raises
         ------
@@ -223,6 +315,7 @@ class BatchedEngine:
             max_new_tokens=max_new_tokens,
             seed=seed,
             policy=policy_spec,
+            arrival_time_s=arrival_time_s,
         )
         self._submitted_at_step[request.request_id] = self._engine_step
         self._request_selectors[request.request_id] = selector
@@ -241,6 +334,21 @@ class BatchedEngine:
     def reserved_kv_bytes(self) -> int:
         """Projected KV bytes reserved by the in-flight requests."""
         return sum(self._reserved_bytes.values())
+
+    def queued_kv_bytes(self) -> int:
+        """Projected KV bytes of the queued (not yet admitted) requests.
+
+        Uses the same projection formula as admission, so
+        ``reserved_kv_bytes() + queued_kv_bytes()`` is the engine's total
+        committed-plus-pending KV demand — what a size-aware router needs
+        to compare replicas while a burst is still sitting in the queues.
+        """
+        return sum(
+            self.scheduler.projected_bytes(
+                request, self._kv_bytes_per_token, self.generation_config.max_new_tokens
+            )
+            for request in self.queue.pending()
+        )
 
     def in_flight_result(self, request_id: str) -> GenerationResult | None:
         """Partial result of an in-flight request, ``None`` when not active.
@@ -261,8 +369,13 @@ class BatchedEngine:
     def step(self) -> list[CompletedRequest]:
         """Run one engine step: admit, prefill, batched decode, retire.
 
-        Returns the requests that retired during this step.
+        Returns the requests that retired during this step.  Also refreshes
+        :attr:`last_step_trace` with what the step did (prefilled prompts,
+        decode batch composition, wall time), the hook external clocks use
+        to assign the step a duration.
         """
+        step_start = time.perf_counter()
+        trace = StepTrace(engine_step=self._engine_step)
         admitted = self.scheduler.admit(
             self.queue,
             num_active=len(self._active),
@@ -272,6 +385,9 @@ class BatchedEngine:
         )
         for request in admitted:
             self._prefill_request(request)
+            trace.prefills.append(
+                self._trace_entry(self._active[-1], request.prompt_length())
+            )
 
         batch = [a for a in self._active if not a.is_finished]
         if batch:
@@ -286,11 +402,40 @@ class BatchedEngine:
                 active.sequence.result.decode_steps += 1
                 active.current_token = token
                 active.decode_step += 1
+            for active in batch:
+                # sequence.position was advanced by the decode step and now
+                # equals the KV context length attended at this step.
+                trace.decodes.append(
+                    self._trace_entry(active, active.sequence.position)
+                )
         self._last_occupancy = len(batch)
 
         completed = self._retire_finished()
         self._engine_step += 1
+        trace.wall_seconds = time.perf_counter() - step_start
+        self.last_step_trace = trace
         return completed
+
+    def _trace_entry(
+        self, active: ActiveRequest, context_length: int
+    ) -> StepRequestTrace:
+        """Build the :class:`StepRequestTrace` of one request at this step."""
+        selector_name = active.sequence.selector.name
+        budget = self.generation_config.budget
+        if selector_name == "full":
+            budget = None
+        hit_rates = [
+            state.cache_hit_rate()
+            for state in active.sequence.layer_states
+            if state is not None and hasattr(state, "cache_hit_rate")
+        ]
+        return StepRequestTrace(
+            request_id=active.request.request_id,
+            policy_name=selector_name,
+            context_length=context_length,
+            budget=budget,
+            cache_hit_rate=float(np.mean(hit_rates)) if hit_rates else None,
+        )
 
     def run(self) -> ServeReport:
         """Drain the queue: step until no request is queued or in flight."""
@@ -351,6 +496,7 @@ class BatchedEngine:
         token = self.core.pick_token(sequence, distribution)
         self.core.record_output(sequence, token, distribution)
         active.current_token = token
+        active.first_token_step = self._engine_step
         active.status = RequestStatus.DECODING
         self._active.append(active)
 
@@ -375,6 +521,7 @@ class BatchedEngine:
                     submitted_at_step=self._submitted_at_step.pop(
                         active.request.request_id, 0
                     ),
+                    first_token_step=active.first_token_step,
                 )
             )
         self._active = still_active

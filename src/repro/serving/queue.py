@@ -40,6 +40,7 @@ class RequestQueue:
         max_new_tokens: int | None = None,
         seed: int | None = None,
         policy: PolicySpec | None = None,
+        arrival_time_s: float = 0.0,
     ) -> ServeRequest:
         """Enqueue a new request and return it.
 
@@ -69,6 +70,7 @@ class RequestQueue:
             seed=seed,
             policy=policy,
             arrival_order=self._next_arrival,
+            arrival_time_s=arrival_time_s,
         )
         self._next_arrival += 1
         self._pending.append(request)

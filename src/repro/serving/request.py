@@ -66,6 +66,13 @@ class ServeRequest:
     arrival_order:
         Monotonically increasing submission index, assigned by the queue.
         The FCFS scheduler admits strictly in this order.
+    arrival_time_s:
+        Arrival timestamp in seconds on the caller's clock (the virtual
+        clock of the :mod:`repro.traffic` simulator, or wall time).  The
+        engine never reads it; it flows through to
+        :class:`CompletedRequest` so latency metrics (TTFT, queue wait)
+        can be computed against the arrival instant.  Defaults to 0.0 for
+        closed-loop callers that do not track time.
     """
 
     request_id: str
@@ -74,6 +81,7 @@ class ServeRequest:
     seed: int | None = None
     policy: PolicySpec | None = None
     arrival_order: int = 0
+    arrival_time_s: float = 0.0
 
     def __post_init__(self) -> None:
         prompt = np.asarray(self.prompt_ids, dtype=np.int64)
@@ -107,6 +115,11 @@ class ActiveRequest:
         admitted at different engine steps sit at different decode steps).
     admitted_at_step:
         Engine step at which the request was admitted (prefilled).
+    first_token_step:
+        Engine step at which the first token was sampled.  Prefill samples
+        the first token in the admission step, so this equals
+        ``admitted_at_step``; it is recorded separately so the timing
+        surface stays correct if prefill is ever split across steps.
     status:
         Current lifecycle stage.
     """
@@ -117,6 +130,7 @@ class ActiveRequest:
     current_token: int = -1
     decode_step: int = 0
     admitted_at_step: int = 0
+    first_token_step: int = -1
     status: RequestStatus = RequestStatus.PREFILLING
 
     @property
@@ -136,6 +150,8 @@ class CompletedRequest:
 
     ``queue_delay_steps`` counts engine steps between submission and
     admission — the head-of-line latency the fairness tests assert on.
+    ``first_token_step`` and ``finish_step`` are the step-resolution timing
+    points the traffic layer converts into TTFT/TPOT seconds.
     """
 
     request: ServeRequest
@@ -143,9 +159,20 @@ class CompletedRequest:
     admitted_at_step: int
     finished_at_step: int
     submitted_at_step: int = 0
+    first_token_step: int = 0
     extra: dict[str, float] = field(default_factory=dict)
 
     @property
     def queue_delay_steps(self) -> int:
         """Engine steps the request spent waiting in the queue."""
         return self.admitted_at_step - self.submitted_at_step
+
+    @property
+    def finish_step(self) -> int:
+        """Engine step at which the request retired (= ``finished_at_step``)."""
+        return self.finished_at_step
+
+    @property
+    def arrival_time_s(self) -> float:
+        """Arrival timestamp of the originating request (seconds)."""
+        return self.request.arrival_time_s

@@ -1,0 +1,198 @@
+"""Traffic benchmark: latency-under-load for the ``repro traffic-bench`` CLI.
+
+Builds a seeded open-loop workload (arrival process x request-shape mix,
+or a replayed JSONL trace), simulates it over a router-fronted replica
+fleet on the virtual perfmodel clock, and formats the resulting
+:class:`~repro.traffic.report.TrafficReport` as a table.  With the
+default clock the whole benchmark is arithmetic on seeded inputs, so a
+given ``(config, seed)`` prints byte-identical numbers on any machine —
+the property the reproducibility tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..api import EngineSpec
+from ..model import get_model_config
+from ..policies import PolicySpec
+from ..serving.bench import serving_policy_spec
+from .arrivals import build_arrivals
+from .report import SLOSpec, TrafficReport
+from .simulator import TrafficConfig, simulate
+from .trace import load_trace
+from .workload import RequestShape, TrafficRequest, generate_traffic
+
+__all__ = [
+    "TrafficBenchConfig",
+    "build_bench_requests",
+    "run_traffic_bench",
+    "format_traffic_report",
+]
+
+
+@dataclass(frozen=True)
+class TrafficBenchConfig:
+    """Workload and fleet shape of the traffic benchmark.
+
+    The defaults describe a bursty chat-style workload: Poisson arrivals
+    at ``rate`` requests/s (on the perfmodel clock's paper-scale seconds)
+    over two replicas behind join-shortest-queue routing, each request
+    decoding under the serving-tuned ClusterKV policy.
+
+    With several ``policies`` entries the workload mixes them across
+    requests through an equal-weight seeded draw (one
+    :class:`~repro.traffic.workload.RequestShape` per policy, chosen per
+    request by the workload generator — proportions are equal in
+    expectation, not exactly balanced); bare names resolve through the
+    same serving-tuned configuration as ``serve-bench``
+    (:func:`repro.serving.bench.serving_policy_spec`).
+    ``trace`` replays a JSONL trace instead of generating arrivals
+    (``rate``/``arrivals`` are then ignored; ``num_requests`` caps how
+    many records are replayed).
+    """
+
+    model: str = "serve-sim"
+    policies: tuple[PolicySpec | str, ...] = ("clusterkv",)
+    rate: float = 0.5
+    arrivals: str = "poisson"
+    burstiness: float = 4.0
+    num_requests: int = 16
+    num_replicas: int = 2
+    router: str = "jsq"
+    clock: str = "perfmodel"
+    arch: str = "llama-3.1-8b"
+    context_scale: int = 64
+    prompt_len_min: int = 48
+    prompt_len_max: int = 96
+    max_new_tokens: int = 48
+    budget: int = 48
+    num_full_layers: int = 1
+    num_sink_tokens: int = 8
+    max_batch_size: int = 8
+    slo: SLOSpec = field(default_factory=SLOSpec)
+    seed: int = 0
+    trace: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.policies:
+            raise ValueError("policies must be non-empty")
+        if self.num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        resolved = tuple(
+            spec
+            if isinstance(spec, PolicySpec) and spec.kwargs
+            else serving_policy_spec(
+                spec.name if isinstance(spec, PolicySpec) else str(spec).strip(),
+                self.num_sink_tokens,
+            )
+            for spec in self.policies
+        )
+        object.__setattr__(self, "policies", resolved)
+
+    def engine_spec(self) -> EngineSpec:
+        """Replica engine description of this benchmark."""
+        return EngineSpec(
+            model=self.model,
+            policy=self.policies[0],
+            budget=self.budget,
+            max_new_tokens=self.max_new_tokens,
+            num_full_layers=self.num_full_layers,
+            num_sink_tokens=self.num_sink_tokens,
+            max_batch_size=self.max_batch_size,
+            max_prefills_per_step=self.max_batch_size,
+        )
+
+    def traffic_config(self) -> TrafficConfig:
+        """Simulation configuration of this benchmark."""
+        return TrafficConfig(
+            engine=self.engine_spec(),
+            num_replicas=self.num_replicas,
+            router=self.router,
+            clock=self.clock,
+            arch=self.arch,
+            context_scale=self.context_scale,
+            slo=self.slo,
+        )
+
+
+def build_bench_requests(config: TrafficBenchConfig) -> list[TrafficRequest]:
+    """The benchmark's workload: generated from seeds or replayed from disk.
+
+    With ``trace`` set, at most ``num_requests`` records are replayed (so
+    ``--requests`` bounds the run length against a large trace file);
+    otherwise ``num_requests`` arrivals are drawn from the named process.
+    """
+    vocab_size = get_model_config(config.model).vocab_size
+    if config.trace is not None:
+        return load_trace(
+            config.trace,
+            vocab_size=vocab_size,
+            seed=config.seed,
+            limit=config.num_requests,
+        )
+    if config.arrivals == "trace":
+        raise ValueError(
+            "the 'trace' arrival process replays a file: pass --trace PATH "
+            "instead of --arrivals trace"
+        )
+    if config.arrivals == "onoff":
+        process = build_arrivals(
+            "onoff", rate=config.rate, burstiness=config.burstiness
+        )
+    else:
+        process = build_arrivals(config.arrivals, rate=config.rate)
+    times = process.times(config.num_requests, seed=config.seed)
+    shapes = [
+        RequestShape(
+            prompt_len_range=(config.prompt_len_min, config.prompt_len_max),
+            max_new_tokens=config.max_new_tokens,
+            policy=spec,
+        )
+        for spec in config.policies
+    ]
+    return generate_traffic(shapes, times, vocab_size=vocab_size, seed=config.seed)
+
+
+def run_traffic_bench(config: TrafficBenchConfig | None = None) -> TrafficReport:
+    """Simulate the benchmark workload and return its report."""
+    config = config or TrafficBenchConfig()
+    return simulate(build_bench_requests(config), config.traffic_config())
+
+
+def format_traffic_report(report: TrafficReport) -> str:
+    """Human-readable table of one traffic-simulation report."""
+    slo_parts = []
+    if report.slo.ttft_s is not None:
+        slo_parts.append(f"TTFT<={report.slo.ttft_s:g}s")
+    if report.slo.tpot_s is not None:
+        slo_parts.append(f"TPOT<={report.slo.tpot_s:g}s")
+    slo_label = " ".join(slo_parts) or "none"
+    router = report.router.get("name", "?")
+    clock = report.clock.get("name", "?")
+    lines = [
+        f"[traffic-bench] open-loop traffic over {report.num_replicas} replica(s), "
+        f"router={router}, clock={clock}",
+        f"requests: {report.num_requests}  tokens: {report.total_output_tokens}  "
+        f"duration: {report.duration_s:.2f}s  steps: {report.engine_steps}  "
+        f"occupancy: {report.mean_occupancy:.2f}",
+        f"throughput: {report.throughput_tokens_per_s:.2f} tok/s  "
+        f"goodput: {report.goodput_tokens_per_s:.2f} tok/s  "
+        f"SLO attainment: {report.slo_attainment * 100.0:.1f}% ({slo_label})",
+        f"{'metric':12s} {'p50':>9s} {'p95':>9s} {'p99':>9s}",
+    ]
+    for metric, row in report.latency_summary().items():
+        lines.append(
+            f"{metric:12s} {row['p50']:9.3f} {row['p95']:9.3f} {row['p99']:9.3f}"
+        )
+    per_replica: dict[int, int] = {}
+    for item in report.requests:
+        per_replica[item.replica] = per_replica.get(item.replica, 0) + 1
+    if per_replica:
+        spread = "  ".join(
+            f"replica {index}: {count}" for index, count in sorted(per_replica.items())
+        )
+        lines.append(f"requests per replica: {spread}")
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Step clocks: assigning a duration to every engine step.
+
+The simulator charges time per engine step through a pluggable clock:
+
+* :class:`PerfModelClock` — the default.  Prices each step's trace on the
+  analytical :class:`~repro.perfmodel.StepCostModel` (paper-scale
+  architecture and hardware, simulated contexts scaled up by
+  ``context_scale``).  Purely arithmetic, so simulation results are
+  machine-independent and bit-reproducible.
+* :class:`WallClock` — charges the measured wall time of each step
+  (``StepTrace.wall_seconds``).  Useful for profiling the NumPy substrate
+  itself; results depend on the host and are not reproducible.
+"""
+
+from __future__ import annotations
+
+from ..perfmodel import ADA_6000, HardwareConfig, MethodLatencyParams, StepCostModel
+from ..serving import StepTrace
+
+__all__ = ["StepClock", "PerfModelClock", "WallClock", "build_clock"]
+
+
+class StepClock:
+    """Base class: maps one :class:`~repro.serving.StepTrace` to seconds."""
+
+    name = "abstract"
+
+    def step_seconds(self, trace: StepTrace) -> float:
+        """Duration of the traced engine step, in simulation seconds."""
+        raise NotImplementedError
+
+    def describe(self) -> dict[str, object]:
+        """Identifying configuration of this clock (for reports)."""
+        return {"name": self.name}
+
+
+class PerfModelClock(StepClock):
+    """Virtual clock charging roofline-model costs at paper scale."""
+
+    name = "perfmodel"
+
+    def __init__(
+        self,
+        arch: str = "llama-3.1-8b",
+        hardware: HardwareConfig = ADA_6000,
+        params: MethodLatencyParams | None = None,
+        context_scale: int = 64,
+    ) -> None:
+        self.cost_model = StepCostModel(
+            arch=arch,
+            hardware=hardware,
+            params=params,
+            context_scale=context_scale,
+        )
+
+    def step_seconds(self, trace: StepTrace) -> float:
+        """Roofline-model price of the traced step (prefills + decode batch)."""
+        return self.cost_model.step_seconds(trace.prefills, trace.decodes)
+
+    def describe(self) -> dict[str, object]:
+        """Clock name plus the priced architecture/hardware/scale."""
+        return {"name": self.name, **self.cost_model.describe()}
+
+
+class WallClock(StepClock):
+    """Fallback clock charging measured wall time (not reproducible)."""
+
+    name = "wall"
+
+    def step_seconds(self, trace: StepTrace) -> float:
+        """Measured wall time of the traced step."""
+        return trace.wall_seconds
+
+    def describe(self) -> dict[str, object]:
+        """Clock name (wall time carries no configuration)."""
+        return {"name": self.name}
+
+
+def build_clock(
+    name: str, arch: str = "llama-3.1-8b", context_scale: int = 64
+) -> StepClock:
+    """Build a step clock from its CLI name (``perfmodel`` or ``wall``)."""
+    if name == "perfmodel":
+        return PerfModelClock(arch=arch, context_scale=context_scale)
+    if name == "wall":
+        return WallClock()
+    raise ValueError(f"unknown clock {name!r}; available: perfmodel, wall")

@@ -1,0 +1,244 @@
+"""SLO metrics of one traffic-simulation run.
+
+Per request the simulator records the four latency quantities serving
+systems are judged on — queue wait, TTFT (time to first token), TPOT
+(time per output token after the first) and end-to-end latency — all
+measured against the request's arrival instant on the simulation clock.
+:class:`TrafficReport` aggregates them into p50/p95/p99 summaries and
+deadline *goodput*: the token throughput contributed by requests that met
+their TTFT/TPOT deadlines (:class:`SLOSpec`), which is the quantity that
+separates a system that is fast on average from one that is fast at the
+tail.
+
+Reports are plain data: :meth:`TrafficReport.to_dict` /
+:meth:`~TrafficReport.to_json` emit a deterministic JSON document (no
+wall-clock fields when simulated on the virtual perfmodel clock), so two
+runs with equal seeds produce byte-identical reports — the
+reproducibility contract the tests assert.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+__all__ = ["SLOSpec", "RequestMetrics", "TrafficReport", "percentile"]
+
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Deterministic linear-interpolation percentile (0 for no samples)."""
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """Latency deadlines a request must meet to count toward goodput.
+
+    ``None`` disables a deadline.  The defaults (2.5 s TTFT, 150 ms TPOT)
+    are interactive targets for long-context traffic at the perfmodel's
+    paper scale, where the exact prefill of a ~4k-token prompt alone
+    costs about a second — an unloaded request meets them comfortably, a
+    queued or compression-free one does not.
+    """
+
+    ttft_s: float | None = 2.5
+    tpot_s: float | None = 0.15
+
+    def __post_init__(self) -> None:
+        if self.ttft_s is not None and self.ttft_s <= 0:
+            raise ValueError("ttft_s must be positive when set")
+        if self.tpot_s is not None and self.tpot_s <= 0:
+            raise ValueError("tpot_s must be positive when set")
+
+    def is_met(self, ttft_s: float, tpot_s: float) -> bool:
+        """Whether a request with these latencies meets the deadlines."""
+        if self.ttft_s is not None and ttft_s > self.ttft_s:
+            return False
+        if self.tpot_s is not None and tpot_s > self.tpot_s:
+            return False
+        return True
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form (JSON-ready)."""
+        return {"ttft_s": self.ttft_s, "tpot_s": self.tpot_s}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "SLOSpec":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            ttft_s=payload.get("ttft_s"),  # type: ignore[arg-type]
+            tpot_s=payload.get("tpot_s"),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class RequestMetrics:
+    """Latency record of one served request on the simulation clock.
+
+    Attributes
+    ----------
+    request_id / replica / policy:
+        Identity: which request, served where, under which compression
+        policy.
+    arrival_time_s:
+        Arrival instant.
+    queue_wait_s:
+        Arrival to admission (start of the engine step that prefilled the
+        request).
+    ttft_s:
+        Arrival to first token (end of the prefilling step).
+    tpot_s:
+        Mean seconds per output token after the first (0 for one-token
+        requests).
+    e2e_s:
+        Arrival to retirement.
+    prompt_tokens / output_tokens:
+        Sizes of the request.
+    slo_met:
+        Whether the run's :class:`SLOSpec` deadlines were met.
+    """
+
+    request_id: str
+    replica: int
+    policy: str
+    arrival_time_s: float
+    queue_wait_s: float
+    ttft_s: float
+    tpot_s: float
+    e2e_s: float
+    prompt_tokens: int
+    output_tokens: int
+    slo_met: bool
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form (JSON-ready), keys in declaration order."""
+        return {
+            "request_id": self.request_id,
+            "replica": self.replica,
+            "policy": self.policy,
+            "arrival_time_s": self.arrival_time_s,
+            "queue_wait_s": self.queue_wait_s,
+            "ttft_s": self.ttft_s,
+            "tpot_s": self.tpot_s,
+            "e2e_s": self.e2e_s,
+            "prompt_tokens": self.prompt_tokens,
+            "output_tokens": self.output_tokens,
+            "slo_met": self.slo_met,
+        }
+
+
+@dataclass
+class TrafficReport:
+    """Aggregate outcome of one traffic-simulation run.
+
+    Attributes
+    ----------
+    requests:
+        Per-request latency records in retirement order.
+    slo:
+        The deadlines goodput was evaluated under.
+    num_replicas / router / clock:
+        Run configuration (router and clock as ``describe()`` dicts).
+    duration_s:
+        Last retirement instant on the simulation clock (arrivals start
+        near 0, so this is the run's makespan).
+    engine_steps:
+        Engine steps summed over replicas.
+    mean_occupancy:
+        Mean decode-batch size over all replica steps.
+    """
+
+    requests: list[RequestMetrics] = field(default_factory=list)
+    slo: SLOSpec = field(default_factory=SLOSpec)
+    num_replicas: int = 1
+    router: dict[str, object] = field(default_factory=dict)
+    clock: dict[str, object] = field(default_factory=dict)
+    duration_s: float = 0.0
+    engine_steps: int = 0
+    mean_occupancy: float = 0.0
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+    @property
+    def num_requests(self) -> int:
+        """Number of requests served."""
+        return len(self.requests)
+
+    @property
+    def total_output_tokens(self) -> int:
+        """Generated tokens summed over all requests."""
+        return sum(m.output_tokens for m in self.requests)
+
+    @property
+    def throughput_tokens_per_s(self) -> float:
+        """Generated-token throughput over the run's makespan."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.total_output_tokens / self.duration_s
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of requests that met the SLO deadlines."""
+        if not self.requests:
+            return 0.0
+        return sum(1 for m in self.requests if m.slo_met) / len(self.requests)
+
+    @property
+    def goodput_tokens_per_s(self) -> float:
+        """Token throughput contributed by SLO-conforming requests only."""
+        if self.duration_s <= 0:
+            return 0.0
+        good = sum(m.output_tokens for m in self.requests if m.slo_met)
+        return good / self.duration_s
+
+    def latency_summary(self) -> dict[str, dict[str, float]]:
+        """p50/p95/p99 of TTFT, TPOT, queue wait and end-to-end latency."""
+        series = {
+            "ttft_s": [m.ttft_s for m in self.requests],
+            "tpot_s": [m.tpot_s for m in self.requests],
+            "queue_wait_s": [m.queue_wait_s for m in self.requests],
+            "e2e_s": [m.e2e_s for m in self.requests],
+        }
+        return {
+            name: {f"p{q:g}": percentile(values, q) for q in PERCENTILES}
+            for name, values in series.items()
+        }
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        """Deterministic plain-dict form of the whole report.
+
+        Contains only simulation-clock quantities — never wall time — so
+        two runs with equal configuration and seeds serialise to identical
+        documents (the bit-reproducibility contract).
+        """
+        return {
+            "num_replicas": self.num_replicas,
+            "router": self.router,
+            "clock": self.clock,
+            "slo": self.slo.to_dict(),
+            "num_requests": self.num_requests,
+            "duration_s": self.duration_s,
+            "engine_steps": self.engine_steps,
+            "mean_occupancy": self.mean_occupancy,
+            "total_output_tokens": self.total_output_tokens,
+            "throughput_tokens_per_s": self.throughput_tokens_per_s,
+            "goodput_tokens_per_s": self.goodput_tokens_per_s,
+            "slo_attainment": self.slo_attainment,
+            "latency": self.latency_summary(),
+            "requests": [m.to_dict() for m in self.requests],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON form of :meth:`to_dict` (sorted keys)."""
+        return json.dumps(self.to_dict(), sort_keys=True)

@@ -1,0 +1,158 @@
+"""Pluggable request routing across serving replicas.
+
+A :class:`Router` picks, for every arriving request, the replica that will
+serve it.  Routers see lightweight :class:`ReplicaView` snapshots — queue
+depth, active decodes, reserved KV bytes, the replica clock — and must be
+deterministic: ties break toward the lowest replica index, so a simulation
+is bit-reproducible regardless of the routing strategy.
+
+Strategies self-register in a name registry mirroring
+:mod:`repro.policies`: ``@register_router("name")`` makes a strategy
+available to :func:`build_router`, the ``repro traffic-bench --router``
+flag and `repro list` at once.  Built-ins:
+
+* ``round_robin`` — cycle replicas in arrival order, load-blind;
+* ``jsq`` — join the shortest queue (queued + active requests), the
+  classic latency-optimal policy for homogeneous replicas;
+* ``least_kv`` — join the replica with the fewest reserved KV bytes,
+  which accounts for request *size* (long prompts and long decodes
+  reserve more) rather than request *count*.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, Sequence
+
+from .workload import TrafficRequest
+
+__all__ = [
+    "ReplicaView",
+    "Router",
+    "RoundRobinRouter",
+    "JoinShortestQueueRouter",
+    "LeastKVBytesRouter",
+    "register_router",
+    "build_router",
+    "router_names",
+]
+
+
+class ReplicaView(Protocol):
+    """The slice of replica state a routing decision may read."""
+
+    index: int
+    clock_s: float
+
+    @property
+    def queued(self) -> int:
+        """Requests waiting in the replica's admission queue."""
+        ...
+
+    @property
+    def active(self) -> int:
+        """Requests currently decoding on the replica."""
+        ...
+
+    @property
+    def reserved_kv_bytes(self) -> int:
+        """Projected KV bytes reserved by the replica's in-flight requests."""
+        ...
+
+
+class Router:
+    """Base class of routing strategies (stateful per simulation run)."""
+
+    name = "abstract"
+
+    def choose(self, replicas: Sequence[ReplicaView], request: TrafficRequest) -> int:
+        """Index of the replica that serves ``request``."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear per-run cursor state (called at the start of every run)."""
+
+    def describe(self) -> dict[str, object]:
+        """Identifying configuration of this router (for reports)."""
+        return {"name": self.name}
+
+
+_ROUTERS: dict[str, type] = {}
+
+
+def register_router(name: str) -> Callable[[type], type]:
+    """Class decorator registering a :class:`Router` under ``name``."""
+
+    def decorator(cls: type) -> type:
+        existing = _ROUTERS.get(name)
+        if existing is not None and existing is not cls:
+            raise ValueError(f"router name {name!r} is already registered")
+        _ROUTERS[name] = cls
+        cls.name = name
+        return cls
+
+    return decorator
+
+
+def router_names() -> tuple[str, ...]:
+    """Sorted names of all registered routing strategies."""
+    return tuple(sorted(_ROUTERS))
+
+
+def build_router(name: str, **kwargs: object) -> Router:
+    """Instantiate a registered router from its name and kwargs."""
+    cls = _ROUTERS.get(name)
+    if cls is None:
+        known = ", ".join(router_names()) or "<none registered>"
+        raise ValueError(f"unknown router {name!r}; registered: {known}")
+    return cls(**kwargs)
+
+
+@register_router("round_robin")
+class RoundRobinRouter(Router):
+    """Cycle through replicas in arrival order, ignoring load."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(self, replicas: Sequence[ReplicaView], request: TrafficRequest) -> int:
+        """The next replica in cyclic order."""
+        index = self._next % len(replicas)
+        self._next += 1
+        return index
+
+    def reset(self) -> None:
+        """Restart the cycle at replica 0."""
+        self._next = 0
+
+
+@register_router("jsq")
+class JoinShortestQueueRouter(Router):
+    """Join the replica with the fewest in-system requests.
+
+    The load of a replica is ``queued + active``; ties break toward the
+    lowest replica index.
+    """
+
+    def choose(self, replicas: Sequence[ReplicaView], request: TrafficRequest) -> int:
+        """The replica with the fewest queued plus active requests."""
+        return min(
+            range(len(replicas)),
+            key=lambda i: (replicas[i].queued + replicas[i].active, i),
+        )
+
+
+@register_router("least_kv")
+class LeastKVBytesRouter(Router):
+    """Join the replica with the fewest reserved KV bytes.
+
+    Unlike ``jsq`` this weighs requests by their projected KV footprint,
+    so one replica holding a few very long requests is considered more
+    loaded than one holding many short ones.
+    """
+
+    def choose(self, replicas: Sequence[ReplicaView], request: TrafficRequest) -> int:
+        """The replica with the smallest reserved KV footprint."""
+        return min(
+            range(len(replicas)),
+            key=lambda i: (replicas[i].reserved_kv_bytes, i),
+        )

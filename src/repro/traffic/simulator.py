@@ -1,0 +1,292 @@
+"""Virtual-clock, multi-replica, open-loop traffic simulation.
+
+The simulator drives one or more :class:`~repro.serving.BatchedEngine`
+replicas open-loop: requests arrive at externally given instants (an
+:class:`~repro.traffic.arrivals.ArrivalProcess` or a replayed trace), a
+:class:`~repro.traffic.router.Router` picks the replica, and every engine
+step is charged simulation time through a
+:class:`~repro.traffic.clock.StepClock`.  Event order is fully
+deterministic:
+
+* an arrival is delivered before any replica steps past it (arrivals at
+  exactly a step boundary are enqueued first);
+* among replicas with work, the one with the smallest clock steps next
+  (ties break toward the lowest index);
+* routing sees replica state *at the arrival instant*, so
+  join-shortest-queue reacts to the queues as they were when the request
+  arrived.
+
+Requests decode on the real NumPy engines — outputs are exactly what the
+serving engine produces (a single replica at batch capacity 1 reproduces
+``BatchedEngine.run()`` token for token) — while time is virtual: with the
+default :class:`~repro.traffic.clock.PerfModelClock` the whole run is
+machine-independent and two runs with equal seeds emit byte-identical
+:class:`~repro.traffic.report.TrafficReport` JSON.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..api import EngineSpec
+from ..serving import BatchedEngine, CompletedRequest
+from .clock import StepClock, build_clock
+from .report import RequestMetrics, SLOSpec, TrafficReport
+from .router import Router, build_router
+from .workload import TrafficRequest
+
+__all__ = ["TrafficConfig", "Replica", "TrafficSimulator", "simulate"]
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Configuration of one traffic simulation.
+
+    Attributes
+    ----------
+    engine:
+        Replica engine description (model, default policy, budget,
+        decoding and scheduler knobs); every replica is built from this
+        one spec.
+    num_replicas:
+        Number of identical replicas behind the router.
+    router:
+        Routing strategy name (see :func:`repro.traffic.build_router`).
+    clock:
+        ``"perfmodel"`` (virtual, reproducible — the default) or
+        ``"wall"`` (measured host time).
+    arch / context_scale:
+        Perfmodel-clock parameters: reference architecture priced, and
+        the factor mapping simulated token counts to paper scale (matches
+        :class:`repro.experiments.ContextScale` down-scaling).
+    slo:
+        TTFT/TPOT deadlines goodput is evaluated under.
+    """
+
+    engine: EngineSpec = field(default_factory=EngineSpec)
+    num_replicas: int = 1
+    router: str = "round_robin"
+    clock: str = "perfmodel"
+    arch: str = "llama-3.1-8b"
+    context_scale: int = 64
+    slo: SLOSpec = field(default_factory=SLOSpec)
+
+    def __post_init__(self) -> None:
+        if self.num_replicas <= 0:
+            raise ValueError("num_replicas must be positive")
+
+
+class Replica:
+    """One serving engine plus its position on the simulation clock."""
+
+    def __init__(self, index: int, engine: BatchedEngine) -> None:
+        self.index = index
+        self.engine = engine
+        self.clock_s = 0.0
+        self.steps = 0
+        self.occupancy: list[int] = []
+
+    @property
+    def queued(self) -> int:
+        """Requests waiting in this replica's admission queue."""
+        return len(self.engine.queue)
+
+    @property
+    def active(self) -> int:
+        """Requests currently decoding on this replica."""
+        return self.engine.num_active
+
+    @property
+    def reserved_kv_bytes(self) -> int:
+        """Projected KV bytes of this replica's in-flight *and queued* requests.
+
+        Queued requests count too: during a burst, arrivals are routed
+        before any replica steps, so a size-aware router must see the KV
+        demand already committed to each queue, not just what has been
+        admitted.
+        """
+        return self.engine.reserved_kv_bytes() + self.engine.queued_kv_bytes()
+
+    def has_work(self) -> bool:
+        """Whether the replica has queued or in-flight requests."""
+        return bool(self.engine.queue) or self.engine.num_active > 0
+
+
+class TrafficSimulator:
+    """Open-loop simulation of routed traffic over engine replicas.
+
+    Parameters
+    ----------
+    config:
+        The simulation description; replicas, router and clock are built
+        from it (a :class:`~repro.traffic.router.Router` or
+        :class:`~repro.traffic.clock.StepClock` instance can be injected
+        through ``router``/``clock`` for custom strategies).
+    """
+
+    def __init__(
+        self,
+        config: TrafficConfig | None = None,
+        router: Router | None = None,
+        clock: StepClock | None = None,
+    ) -> None:
+        self.config = config or TrafficConfig()
+        self.model = self.config.engine.build_model()
+        # The fleet is built fresh at the start of every run(); between
+        # runs this holds the replicas of the last one (for inspection).
+        self.replicas: list[Replica] = []
+        self.router = router if router is not None else build_router(self.config.router)
+        self.clock = (
+            clock
+            if clock is not None
+            else build_clock(
+                self.config.clock,
+                arch=self.config.arch,
+                context_scale=self.config.context_scale,
+            )
+        )
+        # Retained outcomes of the last run() call.
+        self.completed: dict[str, CompletedRequest] = {}
+
+    def _build_replicas(self) -> list[Replica]:
+        """Fresh replicas from the engine spec (the model is shared)."""
+        spec = self.config.engine
+        return [
+            Replica(
+                index,
+                BatchedEngine(
+                    self.model,
+                    selector=spec.build_policy(),
+                    generation_config=spec.generation_config(),
+                    scheduler_config=spec.scheduler_config(),
+                ),
+            )
+            for index in range(self.config.num_replicas)
+        ]
+
+    # ------------------------------------------------------------------
+    # event loop
+    # ------------------------------------------------------------------
+    def run(self, requests: Sequence[TrafficRequest]) -> TrafficReport:
+        """Simulate the given open-loop workload to completion.
+
+        Each call starts from a cold fleet: replicas (engines, clocks,
+        occupancy records) are rebuilt and the router's cursor state is
+        reset, so repeated ``run()`` calls on one simulator are
+        independent — the same workload yields the same report twice.
+        """
+        pending = deque(
+            sorted(enumerate(requests), key=lambda item: (item[1].arrival_time_s, item[0]))
+        )
+        self.replicas = self._build_replicas()
+        self.router.reset()
+        self.completed = {}
+        replica_of: dict[str, int] = {}
+        admitted_at_s: dict[str, float] = {}
+        first_token_at_s: dict[str, float] = {}
+        metrics: list[RequestMetrics] = []
+        duration_s = 0.0
+
+        while pending or any(replica.has_work() for replica in self.replicas):
+            working = [replica for replica in self.replicas if replica.has_work()]
+            next_step_s = min((replica.clock_s for replica in working), default=None)
+            if pending and (next_step_s is None or pending[0][1].arrival_time_s <= next_step_s):
+                _, request = pending.popleft()
+                target = int(self.router.choose(self.replicas, request))
+                if not 0 <= target < len(self.replicas):
+                    raise ValueError(
+                        f"router {self.router.name!r} chose replica {target}, "
+                        f"but only {len(self.replicas)} exist"
+                    )
+                replica = self.replicas[target]
+                # An idle replica fast-forwards to the arrival instant; a
+                # working one already sits at or past it (the arrival gate
+                # above guarantees arrival <= every working clock).
+                replica.clock_s = max(replica.clock_s, request.arrival_time_s)
+                replica.engine.submit(
+                    request.prompt_ids,
+                    request_id=request.request_id,
+                    max_new_tokens=request.max_new_tokens,
+                    policy=request.policy,
+                    arrival_time_s=request.arrival_time_s,
+                )
+                replica_of[request.request_id] = target
+                continue
+
+            replica = min(working, key=lambda r: (r.clock_s, r.index))
+            step_start_s = replica.clock_s
+            finished = replica.engine.step()
+            trace = replica.engine.last_step_trace
+            assert trace is not None
+            step_end_s = step_start_s + self.clock.step_seconds(trace)
+            replica.clock_s = step_end_s
+            replica.steps += 1
+            replica.occupancy.append(len(trace.decodes))
+            for entry in trace.prefills:
+                admitted_at_s[entry.request_id] = step_start_s
+                first_token_at_s[entry.request_id] = step_end_s
+            for item in finished:
+                metrics.append(
+                    self._metrics_of(item, replica_of, admitted_at_s, first_token_at_s, step_end_s)
+                )
+                self.completed[item.request.request_id] = item
+                duration_s = max(duration_s, step_end_s)
+
+        occupancy = [o for replica in self.replicas for o in replica.occupancy]
+        return TrafficReport(
+            requests=metrics,
+            slo=self.config.slo,
+            num_replicas=len(self.replicas),
+            router=self.router.describe(),
+            clock=self.clock.describe(),
+            duration_s=duration_s,
+            engine_steps=sum(replica.steps for replica in self.replicas),
+            mean_occupancy=(sum(occupancy) / len(occupancy)) if occupancy else 0.0,
+        )
+
+    def _metrics_of(
+        self,
+        item: CompletedRequest,
+        replica_of: dict[str, int],
+        admitted_at_s: dict[str, float],
+        first_token_at_s: dict[str, float],
+        finish_s: float,
+    ) -> RequestMetrics:
+        """Convert one retirement into its :class:`RequestMetrics` record."""
+        request_id = item.request.request_id
+        arrival = item.request.arrival_time_s
+        first_token = first_token_at_s[request_id]
+        tokens = len(item.result.output_ids)
+        ttft = first_token - arrival
+        tpot = (finish_s - first_token) / (tokens - 1) if tokens > 1 else 0.0
+        return RequestMetrics(
+            request_id=request_id,
+            replica=replica_of[request_id],
+            policy=item.result.method,
+            arrival_time_s=arrival,
+            queue_wait_s=admitted_at_s[request_id] - arrival,
+            ttft_s=ttft,
+            tpot_s=tpot,
+            e2e_s=finish_s - arrival,
+            prompt_tokens=item.request.prompt_length(),
+            output_tokens=tokens,
+            slo_met=self.config.slo.is_met(ttft, tpot),
+        )
+
+
+def simulate(
+    requests: Sequence[TrafficRequest],
+    config: TrafficConfig | None = None,
+    router: Router | None = None,
+    clock: StepClock | None = None,
+) -> TrafficReport:
+    """Run one traffic simulation and return its :class:`TrafficReport`.
+
+    The one-call entry point the :mod:`repro.api` layer re-exports:
+    build a workload (:func:`repro.traffic.generate_traffic` or
+    :func:`repro.traffic.load_trace`), describe the fleet in a
+    :class:`TrafficConfig`, and simulate.
+    """
+    return TrafficSimulator(config, router=router, clock=clock).run(requests)

@@ -49,6 +49,27 @@ class TestParser:
         )
         assert args.policy_json == '{"name": "quest", "page_size": 32}'
 
+    def test_traffic_bench_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "traffic-bench",
+                "--rate", "0.7",
+                "--replicas", "2",
+                "--router", "jsq",
+                "--arrivals", "onoff",
+                "--slo-ttft", "3.0",
+                "--seed", "5",
+            ]
+        )
+        assert args.command == "traffic-bench"
+        assert args.rate == 0.7
+        assert args.replicas == 2
+        assert args.router == "jsq"
+        assert args.arrivals == "onoff"
+        assert args.slo_ttft == 3.0
+        assert args.seed == 5
+
 
 class TestMain:
     def test_no_command_prints_help(self, capsys):
@@ -116,6 +137,61 @@ class TestMain:
                     "--policy-json", "[42]",
                 ]
             )
+
+    def test_traffic_bench_runs_and_is_bit_reproducible(self, capsys):
+        argv = [
+            "traffic-bench",
+            "--model", "tiny",
+            "--requests", "4",
+            "--rate", "0.8",
+            "--replicas", "2",
+            "--router", "jsq",
+            "--prompt-len-min", "16",
+            "--prompt-len-max", "24",
+            "--new-tokens", "4",
+            "--budget", "16",
+            "--seed", "3",
+            "--json",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        # The acceptance contract: identical TrafficReport JSON run-to-run.
+        assert first == second
+        assert '"num_replicas": 2' in first
+
+    def test_traffic_bench_table_output(self, capsys):
+        assert (
+            main(
+                [
+                    "traffic-bench",
+                    "--model", "tiny",
+                    "--requests", "3",
+                    "--rate", "1.0",
+                    "--replicas", "1",
+                    "--router", "round_robin",
+                    "--prompt-len-min", "16",
+                    "--prompt-len-max", "24",
+                    "--new-tokens", "4",
+                    "--budget", "16",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "[traffic-bench]" in out
+        assert "goodput" in out
+        assert "ttft_s" in out
+
+    def test_list_includes_traffic_registries(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "traffic-bench" in out
+        for router in ("round_robin", "jsq", "least_kv"):
+            assert router in out
+        for process in ("poisson", "onoff", "constant"):
+            assert process in out
 
     def test_fig12_runs_and_prints_table(self, capsys):
         assert main(["fig12"]) == 0

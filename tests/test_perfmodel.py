@@ -179,3 +179,102 @@ class TestPaperShapes:
             tweaked.decode_step("clusterkv", 32768, 1024)["transfer"]
             > default.decode_step("clusterkv", 32768, 1024)["transfer"]
         )
+
+
+class TestStepCostModel:
+    """The serving step-cost adapter charging engine steps."""
+
+    class _Entry:
+        def __init__(self, policy_name, context_length, budget, cache_hit_rate=None):
+            self.policy_name = policy_name
+            self.context_length = context_length
+            self.budget = budget
+            self.cache_hit_rate = cache_hit_rate
+
+    @pytest.fixture(scope="class")
+    def cost(self):
+        from repro.perfmodel import StepCostModel
+
+        return StepCostModel(context_scale=64)
+
+    def test_resolves_arch_by_name_and_validates_scale(self):
+        from repro.perfmodel import StepCostModel
+
+        model = StepCostModel("glm4-9b")
+        assert model.arch.name == "glm4-9b"
+        assert model.describe()["context_scale"] == 1
+        with pytest.raises(ValueError, match="context_scale"):
+            StepCostModel(context_scale=0)
+        with pytest.raises(KeyError):
+            StepCostModel("not-a-model")
+
+    def test_dense_cost_is_batched_not_per_request(self, cost):
+        one = cost.dense_seconds(1)
+        eight = cost.dense_seconds(8)
+        # Weight streaming is shared: 8 requests cost far less than 8x.
+        assert one < eight < 4 * one
+        assert cost.dense_seconds(0) == 0.0
+
+    def test_full_attention_grows_with_context(self, cost):
+        small = cost.attend_seconds("full", 64, None)
+        large = cost.attend_seconds("full", 256, None)
+        assert large > small * 3
+
+    def test_clusterkv_cheaper_than_full_at_long_context(self, cost):
+        full = cost.attend_seconds("full", 256, None)
+        clusterkv = cost.attend_seconds("clusterkv", 256, 32, cache_hit_rate=0.6)
+        assert clusterkv < full
+
+    def test_higher_hit_rate_lowers_transfer_cost(self, cost):
+        cold = cost.attend_seconds("clusterkv", 256, 32, cache_hit_rate=0.0)
+        warm = cost.attend_seconds("clusterkv", 256, 32, cache_hit_rate=0.9)
+        assert warm < cold
+
+    def test_generic_policy_priced_as_sparse_attention(self, cost):
+        generic = cost.attend_seconds("streaming_llm", 256, 32)
+        full = cost.attend_seconds("full", 256, None)
+        clusterkv = cost.attend_seconds("clusterkv", 256, 32, cache_hit_rate=0.0)
+        # No selection or transfer overhead: cheaper than ClusterKV's cold
+        # cache, and far cheaper than full attention.
+        assert generic < clusterkv
+        assert generic < full
+        # A budget at or above the context degenerates to full attention.
+        assert cost.attend_seconds("streaming_llm", 64, 64) == cost.attend_seconds(
+            "full", 64, None
+        )
+
+    def test_prefill_offload_methods_cost_more(self, cost):
+        full = cost.prefill_seconds("full", 64)
+        clusterkv = cost.prefill_seconds("clusterkv", 64)
+        assert clusterkv > full  # clustering build on top of the same prefill
+
+    def test_prefill_without_budget_prices_as_plain_full(self, cost):
+        # A clusterkv-named policy serving with no budget never compresses:
+        # its prefill must not be charged offload or clustering build work.
+        assert cost.prefill_seconds("clusterkv", 64, None) == cost.prefill_seconds(
+            "full", 64, None
+        )
+        assert cost.prefill_seconds("clusterkv", 64, 32) > cost.prefill_seconds(
+            "clusterkv", 64, None
+        )
+
+    def test_step_seconds_composes_prefills_and_decodes(self, cost):
+        prefill = self._Entry("full", 64, None)
+        decodes = [self._Entry("full", 128, None) for _ in range(4)]
+        combined = cost.step_seconds([prefill], decodes)
+        assert combined == pytest.approx(
+            cost.prefill_seconds("full", 64)
+            + cost.dense_seconds(4)
+            + 4 * cost.attend_seconds("full", 128, None)
+        )
+        assert cost.step_seconds([], []) == 0.0
+
+    def test_context_scale_amplifies_costs(self):
+        from repro.perfmodel import StepCostModel
+
+        unscaled = StepCostModel(context_scale=1)
+        scaled = StepCostModel(context_scale=64)
+        assert scaled.attend_seconds("full", 128, None) > unscaled.attend_seconds(
+            "full", 128, None
+        )
+        assert scaled.prefill_seconds("full", 128) > unscaled.prefill_seconds("full", 128)

@@ -330,6 +330,48 @@ class TestBatchedEngine:
         assert engine._reserved_bytes == {}
         assert engine.num_active == 0
 
+    def test_request_timings_surfaced_in_report(self, tiny_model, short_prompt):
+        gen = GenerationConfig(budget=None, max_new_tokens=4)
+        engine = BatchedEngine(
+            tiny_model, FullKVSelector(), gen, SchedulerConfig(max_batch_size=1)
+        )
+        engine.submit(short_prompt, request_id="first", arrival_time_s=1.5)
+        engine.submit(short_prompt, request_id="second", arrival_time_s=2.5)
+        report = engine.run()
+        timings = report.request_timings()
+        assert set(timings) == {"first", "second"}
+        first = timings["first"]
+        assert first["arrival_time_s"] == 1.5
+        # Prefill samples the first token in the admission step.
+        assert first["first_token_step"] == first["admitted_step"]
+        assert first["finish_step"] >= first["first_token_step"]
+        assert first["queue_wait_steps"] == 0.0
+        # Batch capacity 1: the second request waits out the first.
+        second = timings["second"]
+        assert second["queue_wait_steps"] > 0
+        assert report.queue_waits()["second"] == second["queue_wait_steps"]
+        done = {c.request.request_id: c for c in report.completed}
+        assert done["second"].arrival_time_s == 2.5
+        assert done["first"].finish_step == done["first"].finished_at_step
+
+    def test_step_trace_describes_each_step(self, tiny_model, short_prompt):
+        gen = GenerationConfig(budget=None, max_new_tokens=3)
+        engine = BatchedEngine(tiny_model, FullKVSelector(), gen)
+        assert engine.last_step_trace is None
+        engine.submit(short_prompt, request_id="only")
+        engine.step()
+        trace = engine.last_step_trace
+        assert trace.engine_step == 0
+        assert [e.request_id for e in trace.prefills] == ["only"]
+        assert trace.prefills[0].context_length == short_prompt.shape[0]
+        assert [e.request_id for e in trace.decodes] == ["only"]
+        # Decode context: prompt plus the token appended this step.
+        assert trace.decodes[0].context_length == short_prompt.shape[0] + 1
+        assert trace.wall_seconds > 0.0
+        engine.step()
+        assert engine.last_step_trace.engine_step == 1
+        assert engine.last_step_trace.prefills == []
+
     def test_serve_prompts_convenience(self, tiny_model, rng):
         prompts = [
             rng.integers(4, tiny_model.config.vocab_size, size=24).astype(np.int64)
@@ -475,7 +517,7 @@ class TestServeBenchConfigPolicies:
 
         config = ServeBenchConfig(policies=(PolicySpec("clusterkv"),))
         (resolved,) = config.resolved_policies()
-        assert resolved == serving_policy_spec("clusterkv", config)
+        assert resolved == serving_policy_spec("clusterkv", config.num_sink_tokens)
         assert resolved.kwargs["tokens_per_cluster"] == 32
 
     def test_explicit_kwargs_policy_used_verbatim(self):
