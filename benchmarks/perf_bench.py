@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Regenerate ``BENCH_hotpaths.json``: the persistent hot-path benchmark.
+
+Runs :func:`repro.perf.run_perf_bench` — prefill, decode stepping,
+batched k-means and end-to-end serving throughput on pinned
+configurations — prints the human-readable table and writes the JSON
+payload (wall-clock timings, deterministic op counters, and the speedup
+over the recorded pre-overhaul baseline) to the repository root.
+
+    python benchmarks/perf_bench.py               # write BENCH_hotpaths.json
+    python benchmarks/perf_bench.py --out FILE    # write elsewhere
+    python benchmarks/perf_bench.py --counters-only   # skip timings
+
+Equivalent to ``repro perf-bench --write BENCH_hotpaths.json``.  The
+``deterministic`` section of the written file is the baseline enforced by
+``scripts/check_perf.py`` / ``tests/test_perf_guard.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SOURCE_ROOT = REPO_ROOT / "src"
+if str(SOURCE_ROOT) not in sys.path:
+    sys.path.insert(0, str(SOURCE_ROOT))
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the benchmark and write the payload; returns an exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        type=str,
+        default=str(REPO_ROOT / "BENCH_hotpaths.json"),
+        help="output path of the JSON payload",
+    )
+    parser.add_argument(
+        "--counters-only",
+        action="store_true",
+        help="skip wall-clock timings; only the deterministic counters",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.perf import format_perf_bench, run_perf_bench, write_bench_file
+
+    payload = run_perf_bench(include_wall=not args.counters_only)
+    write_bench_file(args.out, payload)
+    print(format_perf_bench(payload))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

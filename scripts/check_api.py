@@ -36,6 +36,7 @@ PUBLIC_MODULES = (
     "repro.model",
     "repro.memory",
     "repro.metrics",
+    "repro.perf",
     "repro.serving",
     "repro.traffic",
     "repro.experiments",

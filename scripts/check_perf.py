@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Hot-path performance regression guard.
+
+Recomputes the *deterministic* counters of the hot-path benchmark —
+engine steps, GEMM-launch counts (via :mod:`repro.perf.counters`) and
+k-means iteration counts on pinned configurations — and compares them
+against the ``deterministic`` section of the checked-in
+``BENCH_hotpaths.json``.  The counters are pure functions of
+configuration and control flow, so the comparison is exact and
+machine-independent: a vectorisation regression (say, attention falling
+back to one GEMM per head) multiplies the counts and fails tier-1
+(``tests/test_perf_guard.py``) even though every output token is
+unchanged.  Wall-clock numbers in the bench file are informational and
+are not compared.
+
+    python scripts/check_perf.py            # verify against the baseline
+    python scripts/check_perf.py --update   # re-run the full benchmark and
+                                            # rewrite BENCH_hotpaths.json
+
+Run with ``src`` on ``sys.path`` (the script inserts it itself when
+needed), in the style of ``scripts/check_docs.py`` / ``check_api.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_hotpaths.json"
+SOURCE_ROOT = REPO_ROOT / "src"
+
+if str(SOURCE_ROOT) not in sys.path:
+    sys.path.insert(0, str(SOURCE_ROOT))
+
+
+def load_baseline() -> dict:
+    """The checked-in ``BENCH_hotpaths.json`` payload."""
+    return json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+
+
+def current_deterministic() -> dict:
+    """Freshly computed deterministic counters on the pinned configs."""
+    from repro.perf import deterministic_counters
+
+    return deterministic_counters()
+
+
+def _flatten(prefix: str, value: object, into: dict) -> None:
+    if isinstance(value, dict):
+        for key in sorted(value):
+            _flatten(f"{prefix}.{key}" if prefix else str(key), value[key], into)
+    else:
+        into[prefix] = value
+
+
+def counter_diff() -> list[str]:
+    """Mismatch lines between the baseline and the live counters (empty = ok)."""
+    baseline: dict = {}
+    live: dict = {}
+    _flatten("", load_baseline().get("deterministic", {}), baseline)
+    _flatten("", current_deterministic(), live)
+    lines = []
+    for key in sorted(set(baseline) | set(live)):
+        if baseline.get(key) != live.get(key):
+            lines.append(
+                f"{key}: baseline={baseline.get(key)!r} current={live.get(key)!r}"
+            )
+    return lines
+
+
+def update() -> None:
+    """Re-run the full benchmark (timings included) and rewrite the file."""
+    from repro.perf import run_perf_bench, write_bench_file
+
+    write_bench_file(str(BENCH_PATH), run_perf_bench())
+    print(f"wrote {BENCH_PATH}")
+
+
+def main(argv: list[str]) -> int:
+    """CLI entry point; returns a process exit code."""
+    if "--update" in argv:
+        update()
+        return 0
+    if not BENCH_PATH.exists():
+        print(f"missing {BENCH_PATH}; create it with: python scripts/check_perf.py --update")
+        return 1
+    mismatches = counter_diff()
+    if mismatches:
+        print("deterministic hot-path counters drifted from BENCH_hotpaths.json:")
+        for line in mismatches:
+            print(f"  {line}")
+        print("intentional? run: python scripts/check_perf.py --update")
+        return 1
+    print("hot-path counters match BENCH_hotpaths.json")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

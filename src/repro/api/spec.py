@@ -43,9 +43,11 @@ class EngineSpec:
     temperature / seed:
         Decoding configuration, see
         :class:`~repro.model.config.GenerationConfig`.
-    max_batch_size / max_prefills_per_step / kv_budget_bytes:
+    max_batch_size / max_prefills_per_step / kv_budget_bytes /
+    prefill_chunk_tokens:
         Scheduler configuration, see
-        :class:`~repro.serving.SchedulerConfig`.
+        :class:`~repro.serving.SchedulerConfig`; ``prefill_chunk_tokens``
+        enables chunked prefill (per-step prompt-token budget).
     """
 
     model: str = "serve-sim"
@@ -60,6 +62,7 @@ class EngineSpec:
     max_batch_size: int = 8
     max_prefills_per_step: int = 2
     kv_budget_bytes: int | None = None
+    prefill_chunk_tokens: int | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "policy", resolve_policy_spec(self.policy))
@@ -93,6 +96,7 @@ class EngineSpec:
             max_batch_size=self.max_batch_size,
             max_prefills_per_step=self.max_prefills_per_step,
             kv_budget_bytes=self.kv_budget_bytes,
+            prefill_chunk_tokens=self.prefill_chunk_tokens,
         )
 
     # ------------------------------------------------------------------

@@ -108,6 +108,7 @@ def _run_traffic_bench(args: argparse.Namespace) -> str:
         prompt_len_max=args.prompt_len_max,
         max_new_tokens=args.new_tokens,
         budget=args.budget,
+        prefill_chunk=None if args.prefill_chunk <= 0 else args.prefill_chunk,
         slo=SLOSpec(
             ttft_s=None if args.slo_ttft <= 0 else args.slo_ttft,
             tpot_s=None if args.slo_tpot <= 0 else args.slo_tpot,
@@ -119,6 +120,15 @@ def _run_traffic_bench(args: argparse.Namespace) -> str:
     if args.json:
         return report.to_json()
     return format_traffic_report(report)
+
+
+def _run_perf_bench(args: argparse.Namespace) -> str:
+    from .perf import format_perf_bench, run_perf_bench, write_bench_file
+
+    payload = run_perf_bench(include_wall=not args.counters_only)
+    if args.write:
+        write_bench_file(args.write, payload)
+    return format_perf_bench(payload)
 
 
 def _run_fig3(args: argparse.Namespace) -> str:
@@ -196,6 +206,11 @@ _SERVING_COMMANDS = {
     "traffic-bench": (
         "open-loop traffic simulation: routing, replicas, SLO latency metrics",
         _run_traffic_bench,
+    ),
+    "perf-bench": (
+        "hot-path benchmark: prefill/decode/clustering/serving timings + "
+        "deterministic op counters (BENCH_hotpaths.json)",
+        _run_perf_bench,
     ),
 }
 
@@ -356,6 +371,11 @@ def build_parser() -> argparse.ArgumentParser:
     traffic.add_argument("--new-tokens", type=int, default=48, help="decode tokens")
     traffic.add_argument("--budget", type=int, default=48, help="KV budget per head")
     traffic.add_argument(
+        "--prefill-chunk", type=int, default=0,
+        help="chunked-prefill token budget per engine step (<= 0 keeps "
+        "monolithic prefill)",
+    )
+    traffic.add_argument(
         "--slo-ttft", type=float, default=2.5,
         help="TTFT deadline in seconds (<= 0 disables)",
     )
@@ -369,6 +389,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the TrafficReport as canonical JSON instead of a table",
     )
     traffic.add_argument("--out", type=str, default=None, help="write output to a file")
+
+    perf = subparsers.add_parser("perf-bench", help=_SERVING_COMMANDS["perf-bench"][0])
+    perf.add_argument(
+        "--write", type=str, default=None,
+        help="write the full JSON payload (e.g. BENCH_hotpaths.json)",
+    )
+    perf.add_argument(
+        "--counters-only", action="store_true",
+        help="skip wall-clock timings; only the deterministic counters",
+    )
+    perf.add_argument("--out", type=str, default=None, help="write output to a file")
     return parser
 
 

@@ -8,7 +8,12 @@ support the Fig. 11b ablation.
 
 The clustering is performed independently per attention (kv) head — the
 batched helper :func:`cluster_heads` mirrors the batched GPU kernels of the
-paper's implementation (Sec. IV-B) at the functional level.
+paper's implementation (Sec. IV-B) at the functional level.  Since this
+PR's hot-path overhaul it does so *literally*: :func:`kmeans_cluster_batch`
+runs the assignment step of every head in one broadcast GEMM + argmax over
+a ``(n_kv_heads, L, C)`` score tensor (heads that converge early are frozen
+and skipped), producing labels and centroids bit-identical to the per-head
+:func:`kmeans_cluster` loop — pinned by ``tests/test_hotpath_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -17,10 +22,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..perf import counters
+
 __all__ = [
     "ClusteringResult",
     "pairwise_scores",
     "kmeans_cluster",
+    "kmeans_cluster_batch",
     "cluster_heads",
 ]
 
@@ -64,7 +72,10 @@ def _normalise(vectors: np.ndarray) -> np.ndarray:
 
 
 def pairwise_scores(
-    keys: np.ndarray, centroids: np.ndarray, metric: str
+    keys: np.ndarray,
+    centroids: np.ndarray,
+    metric: str,
+    centroid_norms: np.ndarray | None = None,
 ) -> np.ndarray:
     """Similarity of every key to every centroid; larger is closer.
 
@@ -76,6 +87,12 @@ def pairwise_scores(
         ``(C, d)`` centroids.
     metric:
         ``"cosine"``, ``"l2"`` or ``"ip"``.
+    centroid_norms:
+        Optional precomputed ``(C,)`` L2 norms of ``centroids`` for the
+        cosine metric.  Scoring against *static* centroids (the prefill
+        clusters queried at every decode step) should pass the cached norms
+        from :attr:`repro.core.ClusterMetadata.centroid_norms` instead of
+        renormalising the same centroids on every call.
 
     Returns
     -------
@@ -87,7 +104,12 @@ def pairwise_scores(
     keys = np.asarray(keys, dtype=np.float64)
     centroids = np.asarray(centroids, dtype=np.float64)
     if metric == "cosine":
-        return _normalise(keys) @ _normalise(centroids).T
+        if centroid_norms is None:
+            normed_centroids = _normalise(centroids)
+        else:
+            safe = np.where(centroid_norms == 0.0, 1.0, centroid_norms)
+            normed_centroids = centroids / safe[:, None]
+        return _normalise(keys) @ normed_centroids.T
     if metric == "ip":
         return keys @ centroids.T
     if metric == "l2":
@@ -216,6 +238,140 @@ def kmeans_cluster(
     )
 
 
+def _batched_assignment_scores(
+    keys: np.ndarray,
+    centroids: np.ndarray,
+    metric: str,
+    normed_keys: np.ndarray | None,
+    sq_keys: np.ndarray | None,
+) -> np.ndarray:
+    """Scores of every key against its head's centroids, all heads at once.
+
+    ``keys``/``centroids`` are ``(H, L, d)``/``(H, C, d)``; the result is
+    ``(H, L, C)``.  ``normed_keys``/``sq_keys`` are the loop-invariant key
+    terms, precomputed once per clustering run instead of per iteration.
+    Each head's slice equals :func:`pairwise_scores` of that head bit for
+    bit (a broadcast ``matmul`` runs the same BLAS kernel per slice).
+    """
+    if metric == "cosine":
+        assert normed_keys is not None
+        return np.matmul(normed_keys, np.swapaxes(_normalise(centroids), 1, 2))
+    if metric == "ip":
+        return np.matmul(keys, np.swapaxes(centroids, 1, 2))
+    if metric == "l2":
+        assert sq_keys is not None
+        sq_centroids = np.sum(centroids**2, axis=2)[:, None, :]
+        cross = np.matmul(keys, np.swapaxes(centroids, 1, 2))
+        return -(sq_keys - 2.0 * cross + sq_centroids)
+    raise ValueError(f"unknown clustering metric {metric!r}")
+
+
+def kmeans_cluster_batch(
+    keys: np.ndarray,
+    n_clusters: int,
+    metric: str = "cosine",
+    max_iters: int = 20,
+    seed: int = 0,
+) -> list[ClusteringResult]:
+    """K-means over every kv head of a layer, assignment step batched.
+
+    ``keys`` has shape ``(n_kv_heads, L, d)``; head ``h`` is clustered with
+    seed ``seed + h`` exactly like a :func:`kmeans_cluster` call on that
+    head alone.  The O(L·C·d) assignment scoring of all still-running heads
+    is fused into one broadcast GEMM + argmax per iteration; the cheap
+    update/repair steps reuse the per-head helpers unchanged, and heads
+    that converge early are frozen (their labels, centroids and iteration
+    counts match the solo runs).  Returns one :class:`ClusteringResult` per
+    head, bit-identical to the per-head loop.
+    """
+    keys = np.asarray(keys, dtype=np.float64)
+    if keys.ndim != 3:
+        raise ValueError(f"expected (n_kv_heads, L, d) keys, got shape {keys.shape}")
+    n_heads, num_keys, dim = keys.shape
+    if n_clusters <= 0:
+        raise ValueError(f"n_clusters must be positive, got {n_clusters}")
+    if num_keys == 0 or n_heads == 0:
+        return [
+            ClusteringResult(
+                labels=np.zeros(0, dtype=np.int64),
+                centroids=np.zeros((0, dim)),
+                n_iters=0,
+                converged=True,
+            )
+            for _ in range(n_heads)
+        ]
+    n_clusters = min(n_clusters, num_keys)
+
+    # Loop-invariant key terms, computed once instead of per iteration.
+    normed_keys = _normalise(keys) if metric == "cosine" else None
+    sq_keys = (
+        np.sum(keys**2, axis=2, keepdims=True) if metric == "l2" else None
+    )
+
+    centroids = np.empty((n_heads, n_clusters, dim))
+    for head in range(n_heads):
+        rng = np.random.default_rng(seed + head)
+        centroids[head] = _init_centroids(keys[head], n_clusters, rng)
+    labels = np.full((n_heads, num_keys), -1, dtype=np.int64)
+    converged = np.zeros(n_heads, dtype=bool)
+    n_iters = np.zeros(n_heads, dtype=np.int64)
+
+    for iteration in range(1, max_iters + 1):
+        active = np.flatnonzero(~converged)
+        if active.size == 0:
+            break
+        whole = active.size == n_heads
+        scores = _batched_assignment_scores(
+            keys if whole else keys[active],
+            centroids if whole else centroids[active],
+            metric,
+            normed_keys if whole or normed_keys is None else normed_keys[active],
+            sq_keys if whole or sq_keys is None else sq_keys[active],
+        )
+        counters.record("gemm.kmeans_assign", 1)
+        new_labels = np.argmax(scores, axis=2).astype(np.int64)
+        n_iters[active] = iteration
+        unchanged = (new_labels == labels[active]).all(axis=1)
+        converged[active[unchanged]] = True
+        live = active[~unchanged]
+        if live.size == 0:
+            continue
+        live_labels = new_labels[~unchanged]
+        labels[live] = live_labels
+
+        # Batched update step: one np.add.at / bincount over all still-
+        # moving heads (per-(head, cluster) accumulation order equals the
+        # per-head _update_centroids call, so centroids are bit-identical).
+        offsets = np.arange(live.size, dtype=np.int64)[:, None] * n_clusters
+        flat = (live_labels + offsets).ravel()
+        sums = np.zeros((live.size * n_clusters, dim))
+        np.add.at(sums, flat, keys[live].reshape(-1, dim))
+        counts = np.bincount(flat, minlength=live.size * n_clusters).reshape(
+            live.size, n_clusters
+        )
+        sums = sums.reshape(live.size, n_clusters, dim)
+        non_empty = counts > 0
+        for slot, head in enumerate(live):
+            updated = centroids[head]
+            mask = non_empty[slot]
+            updated[mask] = sums[slot][mask] / counts[slot][mask, None].astype(
+                np.float64
+            )
+            if not mask.all():
+                labels[head], centroids[head] = _repair_empty_clusters(
+                    keys[head], labels[head], updated, metric
+                )
+    return [
+        ClusteringResult(
+            labels=labels[head].copy(),
+            centroids=centroids[head].copy(),
+            n_iters=int(n_iters[head]),
+            converged=bool(converged[head]),
+        )
+        for head in range(n_heads)
+    ]
+
+
 def cluster_heads(
     keys: np.ndarray,
     n_clusters: int,
@@ -227,23 +383,16 @@ def cluster_heads(
 
     ``keys`` has shape ``(n_kv_heads, L, d)``.  Heads are processed with
     distinct seeds derived from ``seed`` so that centroid initialisation does
-    not accidentally correlate across heads.
+    not accidentally correlate across heads.  Delegates to
+    :func:`kmeans_cluster_batch`, whose per-head results are bit-identical
+    to calling :func:`kmeans_cluster` head by head.
     """
     keys = np.asarray(keys, dtype=np.float64)
     if keys.ndim != 3:
         raise ValueError(f"expected (n_kv_heads, L, d) keys, got shape {keys.shape}")
-    results = []
-    for head_idx in range(keys.shape[0]):
-        results.append(
-            kmeans_cluster(
-                keys[head_idx],
-                n_clusters,
-                metric=metric,
-                max_iters=max_iters,
-                seed=seed + head_idx,
-            )
-        )
-    return results
+    return kmeans_cluster_batch(
+        keys, n_clusters, metric=metric, max_iters=max_iters, seed=seed
+    )
 
 
 def clustering_flops(

@@ -29,12 +29,13 @@ from ..baselines.base import (
     merge_group_queries,
 )
 from ..memory import TierKind
+from ..perf import counters
 from ..policies.registry import register_policy
 from .cache import ClusterCache
-from .clustering import clustering_flops, kmeans_cluster
+from .clustering import clustering_flops, kmeans_cluster_batch
 from .config import ClusterKVConfig
 from .metadata import ClusterMetadata
-from .selection import select_clusters
+from .selection import ClusterSelection, select_clusters, selection_from_order
 
 __all__ = ["ClusterKVLayerState", "ClusterKVSelector"]
 
@@ -57,10 +58,20 @@ class ClusterKVLayerState(LayerSelectorState):
         )
         self.metadata = [ClusterMetadata(head_dim) for _ in range(n_kv_heads)]
         self.caches = [ClusterCache(config.cache_history) for _ in range(n_kv_heads)]
+        # Stacked (n_kv_heads, C, d) centroid tensor + norms + cluster
+        # sizes, rebuilt lazily after clustering appends; lets select()
+        # score, sort and prefix-sum every head's clusters in batched NumPy
+        # calls instead of per-head loops.
+        self._stacked_centroids: np.ndarray | None = None
+        self._stacked_norms: np.ndarray | None = None
+        self._stacked_sizes: np.ndarray | None = None
+        self._sink_indices = np.zeros(0, dtype=np.int64)
         # Full per-head key history; needed for decode-window clustering and
-        # the "centroid" trim policy.  Kept as a list of blocks, concatenated
-        # lazily.
-        self._key_blocks: list[np.ndarray] = []
+        # the "centroid" trim policy.  Kept in one growable (n_kv_heads,
+        # capacity, head_dim) buffer with doubling growth so the decode path
+        # appends by slice assignment instead of re-concatenating blocks.
+        self._key_buffer: np.ndarray | None = None
+        self._key_capacity = 0
         self._num_tokens = 0
         self._num_sinks_held = 0
         self._pending_start = 0  # absolute index of the first unclustered decode token
@@ -75,26 +86,29 @@ class ClusterKVLayerState(LayerSelectorState):
         if self._prefilled:
             raise RuntimeError("observe_prefill called twice")
         length = keys.shape[1]
-        self._key_blocks.append(keys)
-        self._num_tokens = length
+        self._append_keys(keys)
         self._prefilled = True
 
         self._num_sinks_held = min(self.num_sink_tokens, length)
+        self._sink_indices = np.arange(self._num_sinks_held, dtype=np.int64)
         clusterable = length - self._num_sinks_held
         n_clusters = self.config.num_prefill_clusters(clusterable)
         if n_clusters > 0:
-            for head in range(self.n_kv_heads):
-                result = kmeans_cluster(
-                    keys[head, self._num_sinks_held :, :],
-                    n_clusters,
-                    metric=self.config.distance_metric,
-                    max_iters=self.config.max_kmeans_iters,
-                    seed=self.config.kmeans_seed + self.layer_idx * 131 + head,
-                )
+            # All heads in one batched k-means; head h runs under seed
+            # base + h, matching the historical per-head calls bit for bit.
+            results = kmeans_cluster_batch(
+                keys[:, self._num_sinks_held :, :],
+                n_clusters,
+                metric=self.config.distance_metric,
+                max_iters=self.config.max_kmeans_iters,
+                seed=self.config.kmeans_seed + self.layer_idx * 131,
+            )
+            for head, result in enumerate(results):
                 self.metadata[head].append_clustering(result, self._num_sinks_held)
                 self.stats.build_flops += clustering_flops(
                     clusterable, n_clusters, self.head_dim, result.n_iters
                 )
+            self._stacked_centroids = None
         self._pending_start = length
         self._refresh_aux_bytes()
 
@@ -103,8 +117,7 @@ class ClusterKVLayerState(LayerSelectorState):
         keys = self._validate_keys(keys)
         if not self._prefilled:
             raise RuntimeError("observe_decode called before observe_prefill")
-        self._key_blocks.append(keys)
-        self._num_tokens += keys.shape[1]
+        self._append_keys(keys)
         if self._num_tokens - self._pending_start >= self.config.decode_window:
             self._cluster_pending_window()
 
@@ -117,18 +130,19 @@ class ClusterKVLayerState(LayerSelectorState):
             return
         all_keys = self._all_keys()
         n_clusters = min(self.config.decode_clusters, window)
-        for head in range(self.n_kv_heads):
-            result = kmeans_cluster(
-                all_keys[head, start:end, :],
-                n_clusters,
-                metric=self.config.distance_metric,
-                max_iters=self.config.max_kmeans_iters,
-                seed=self.config.kmeans_seed + self.layer_idx * 131 + head + 7919 * end,
-            )
+        results = kmeans_cluster_batch(
+            all_keys[:, start:end, :],
+            n_clusters,
+            metric=self.config.distance_metric,
+            max_iters=self.config.max_kmeans_iters,
+            seed=self.config.kmeans_seed + self.layer_idx * 131 + 7919 * end,
+        )
+        for head, result in enumerate(results):
             self.metadata[head].append_clustering(result, start)
             self.stats.build_flops += clustering_flops(
                 window, n_clusters, self.head_dim, result.n_iters
             )
+        self._stacked_centroids = None
         self._pending_start = end
         self._refresh_aux_bytes()
 
@@ -152,23 +166,23 @@ class ClusterKVLayerState(LayerSelectorState):
 
         # Tokens that are always attended: the attention sinks and the decode
         # tokens that have not been clustered yet (they still live on the GPU).
-        sinks = np.arange(self._num_sinks_held, dtype=np.int64)
+        sinks = self._sink_indices
         pending = np.arange(self._pending_start, self._num_tokens, dtype=np.int64)
         cluster_budget = max(0, budget - sinks.shape[0] - pending.shape[0])
 
+        outcomes = self._select_all_heads(merged, cluster_budget, all_keys)
         selections: list[np.ndarray] = []
-        for head in range(self.n_kv_heads):
-            outcome = select_clusters(
-                merged[head],
-                self.metadata[head],
-                cluster_budget,
-                score_metric=self.config.score_metric,
-                trim_policy=self.config.trim_policy,
-                keys=all_keys[head] if all_keys is not None else None,
+        score_flops = 0
+        selected_tokens = 0
+        hit_tokens = 0
+        miss_tokens = 0
+        for head, outcome in enumerate(outcomes):
+            sizes = outcome.selected_sizes
+            if sizes is None:
+                sizes = list(self._selected_tokens_per_label(head, outcome).values())
+            hits, misses = self.caches[head].access_counts(
+                outcome.selected_labels, sizes
             )
-            tokens_per_label = self._selected_tokens_per_label(head, outcome)
-            lookup = self.caches[head].lookup(outcome.selected_labels, tokens_per_label)
-            self.caches[head].update(outcome.selected_labels)
 
             # Clusters only ever cover [num_sinks_held, pending_start) and
             # cluster token lists are disjoint and sorted, so the three
@@ -177,13 +191,175 @@ class ClusterKVLayerState(LayerSelectorState):
             indices = np.concatenate([sinks, outcome.token_indices, pending])
             selections.append(indices)
 
-            self.stats.score_flops += outcome.score_flops
-            self.stats.selected_tokens += int(indices.shape[0])
-            self.stats.cache_hit_tokens += lookup.hit_tokens
-            self.stats.cache_miss_tokens += lookup.miss_tokens
-            self.stats.fetched_tokens += lookup.miss_tokens
-        self.stats.num_selections += 1
+            score_flops += outcome.score_flops
+            selected_tokens += indices.shape[0]
+            hit_tokens += hits
+            miss_tokens += misses
+        stats = self.stats
+        stats.score_flops += score_flops
+        stats.selected_tokens += int(selected_tokens)
+        stats.cache_hit_tokens += hit_tokens
+        stats.cache_miss_tokens += miss_tokens
+        stats.fetched_tokens += miss_tokens
+        stats.num_selections += 1
         return selections
+
+    def _centroid_stack(self) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+        """Stacked ``(n_kv_heads, C, d)`` centroids, norms and cluster sizes.
+
+        Every clustering run appends the same number of clusters to every
+        head, so the per-head centroid tensors always stack; the stack is
+        rebuilt lazily after appends.  Returns ``None`` in the (defensive)
+        case of per-head cluster counts diverging.
+        """
+        if self._stacked_centroids is None:
+            # Clustering appends null the cache, so a non-None stack is
+            # current; the uniformity check runs only on rebuild.
+            counts = {meta.num_clusters for meta in self.metadata}
+            if len(counts) != 1 or 0 in counts:
+                return None
+            self._stacked_centroids = np.stack(
+                [meta.centroids for meta in self.metadata]
+            )
+            self._stacked_norms = np.stack(
+                [meta.centroid_norms for meta in self.metadata]
+            )
+            self._stacked_sizes = np.stack(
+                [meta.cluster_sizes for meta in self.metadata]
+            )
+        assert self._stacked_norms is not None and self._stacked_sizes is not None
+        return self._stacked_centroids, self._stacked_norms, self._stacked_sizes
+
+    def _score_all_heads(
+        self, merged: np.ndarray, centroids: np.ndarray, norms: np.ndarray
+    ) -> np.ndarray | None:
+        """Centroid scores of every kv head in one batched GEMM.
+
+        ``merged`` is the ``(n_kv_heads, d)`` group-merged query.  The
+        returned ``(n_kv_heads, C)`` rows equal the per-head
+        :func:`~repro.core.selection.score_centroids` results; cosine reads
+        the cached :attr:`~repro.core.ClusterMetadata.centroid_norms`
+        instead of renormalising static centroids every step.
+        """
+        scores = np.matmul(centroids, merged[:, :, None])[..., 0]
+        counters.record("gemm.selection_score", 1)
+        if self.config.score_metric == "ip":
+            return scores
+        if self.config.score_metric == "cosine":
+            q_norms = np.linalg.norm(merged, axis=1)
+            safe = np.where(norms == 0.0, 1.0, norms) * np.where(
+                q_norms == 0.0, 1.0, q_norms
+            )[:, None]
+            return scores / safe
+        # Unknown metric: let select_clusters raise its usual error.
+        return None
+
+    def _select_all_heads(
+        self,
+        merged: np.ndarray,
+        cluster_budget: int,
+        all_keys: np.ndarray | None,
+    ) -> list[ClusterSelection]:
+        """Cluster selection of every kv head, front half batched.
+
+        Scoring (one batched GEMM), the descending stable sort and the
+        size prefix sums run for all heads in single NumPy calls; each
+        head's row is then assembled by
+        :func:`~repro.core.selection.selection_from_order`.  Outcomes are
+        identical to per-head :func:`~repro.core.selection.select_clusters`
+        calls (the trivial/edge cases fall back to exactly those).
+        """
+        stack = self._centroid_stack() if cluster_budget > 0 else None
+        batched_scores = (
+            self._score_all_heads(merged, stack[0], stack[1])
+            if stack is not None
+            else None
+        )
+        if batched_scores is None:
+            return [
+                select_clusters(
+                    merged[head],
+                    self.metadata[head],
+                    cluster_budget,
+                    score_metric=self.config.score_metric,
+                    trim_policy=self.config.trim_policy,
+                    keys=all_keys[head] if all_keys is not None else None,
+                )
+                for head in range(self.n_kv_heads)
+            ]
+        assert stack is not None
+        sizes = stack[2]
+        num_clusters = sizes.shape[1]
+        score_flops = int(2 * num_clusters * self.head_dim)
+        order = np.argsort(-batched_scores, axis=1, kind="stable")
+        ordered_sizes = sizes[
+            np.arange(sizes.shape[0])[:, None], order
+        ]  # take_along_axis without its shape machinery
+        cumulative = np.cumsum(ordered_sizes, axis=1)
+        # Per-head np.searchsorted(cumulative, budget, "left"), vectorised:
+        # the count of prefix sums strictly below the budget.
+        cutoffs = (cumulative < cluster_budget).sum(axis=1)
+        if self.config.trim_policy != "order":
+            return [
+                selection_from_order(
+                    self.metadata[head],
+                    order[head],
+                    cumulative[head],
+                    int(cutoffs[head]),
+                    cluster_budget,
+                    self.config.trim_policy,
+                    all_keys[head] if all_keys is not None else None,
+                    score_flops,
+                )
+                for head in range(self.n_kv_heads)
+            ]
+        # Inline assembly for the default "order" trim policy: identical to
+        # selection_from_order (the general path above and the equivalence
+        # tests pin it), with the per-head token segments sliced directly
+        # out of the metadata index arrays.
+        outcomes: list[ClusterSelection] = []
+        for head in range(self.n_kv_heads):
+            meta = self.metadata[head]
+            sorted_indices = meta.sorted_indices
+            prefix = meta.prefix_sum
+            head_sizes = sizes[head]
+            cutoff = int(cutoffs[head])
+            if cutoff >= num_clusters:
+                labels = order[head]
+                overshoot = 0
+            else:
+                labels = order[head, : cutoff + 1]
+                overshoot = int(cumulative[head, cutoff] - cluster_budget)
+            pieces: list[np.ndarray] = []
+            selected_sizes: list[int] = []
+            trimmed_label: int | None = None
+            last = len(labels) - 1
+            for rank, label in enumerate(labels.tolist()):
+                start = prefix[label]
+                size = int(head_sizes[label])
+                if rank == last and overshoot > 0:
+                    size = max(0, size - overshoot)
+                    trimmed_label = label
+                tokens = sorted_indices[start : start + size]
+                pieces.append(tokens)
+                selected_sizes.append(size)
+            if not pieces:
+                token_indices = np.zeros(0, dtype=np.int64)
+            elif len(pieces) == 1:
+                token_indices = pieces[0]
+            else:
+                token_indices = np.sort(np.concatenate(pieces))
+            outcomes.append(
+                ClusterSelection(
+                    token_indices=token_indices,
+                    selected_labels=labels,
+                    trimmed_label=trimmed_label,
+                    num_trimmed=overshoot if trimmed_label is not None else 0,
+                    score_flops=score_flops,
+                    selected_sizes=selected_sizes,
+                )
+            )
+        return outcomes
 
     def _selected_tokens_per_label(self, head: int, outcome) -> dict[int, int]:
         sizes = self.metadata[head].cluster_sizes
@@ -215,8 +391,12 @@ class ClusterKVLayerState(LayerSelectorState):
 
     def cache_hit_rate(self) -> float:
         """Token-level cluster-cache hit rate averaged over heads."""
+        # Plain-Python mean: this is read per request per engine step by the
+        # serving trace, so the numpy dispatch overhead is avoided (summing
+        # a handful of floats left to right matches np.mean bit for bit
+        # below the pairwise-summation threshold).
         rates = [cache.hit_rate for cache in self.caches]
-        return float(np.mean(rates)) if rates else 0.0
+        return sum(rates) / len(rates) if rates else 0.0
 
     def _validate_keys(self, keys: np.ndarray) -> np.ndarray:
         keys = np.asarray(keys, dtype=np.float64)
@@ -227,10 +407,29 @@ class ClusterKVLayerState(LayerSelectorState):
             )
         return keys
 
+    def _append_keys(self, keys: np.ndarray) -> None:
+        """Append a validated key block to the growable history buffer."""
+        t = keys.shape[1]
+        needed = self._num_tokens + t
+        if needed > self._key_capacity:
+            capacity = max(64, self._key_capacity)
+            while capacity < needed:
+                capacity *= 2
+            grown = np.zeros((self.n_kv_heads, capacity, self.head_dim))
+            if self._key_buffer is not None and self._num_tokens:
+                grown[:, : self._num_tokens, :] = self._key_buffer[
+                    :, : self._num_tokens, :
+                ]
+            self._key_buffer = grown
+            self._key_capacity = capacity
+        assert self._key_buffer is not None
+        self._key_buffer[:, self._num_tokens : needed, :] = keys
+        self._num_tokens = needed
+
     def _all_keys(self) -> np.ndarray:
-        if len(self._key_blocks) > 1:
-            self._key_blocks = [np.concatenate(self._key_blocks, axis=1)]
-        return self._key_blocks[0]
+        if self._key_buffer is None:
+            return np.zeros((self.n_kv_heads, 0, self.head_dim))
+        return self._key_buffer[:, : self._num_tokens, :]
 
     def _refresh_aux_bytes(self) -> None:
         self.stats.aux_bytes = sum(meta.metadata_nbytes() for meta in self.metadata)

@@ -31,6 +31,7 @@ class ClusterMetadata:
     def __init__(self, head_dim: int) -> None:
         self.head_dim = head_dim
         self.centroids = np.zeros((0, head_dim))
+        self._centroid_norms = np.zeros(0)
         self._cluster_sizes = np.zeros(0, dtype=np.int64)
         # Token indices grouped by cluster; cluster ``c`` occupies
         # ``sorted_indices[prefix_sum[c] : prefix_sum[c] + cluster_sizes[c]]``.
@@ -74,6 +75,13 @@ class ClusterMetadata:
         sorted_global = order.astype(np.int64) + token_offset
 
         self.centroids = np.concatenate([self.centroids, result.centroids], axis=0)
+        # Norms are maintained incrementally: centroids are immutable once
+        # appended, so cosine scoring at decode time reads this cache instead
+        # of renormalising the same (mostly prefill-static) centroids at
+        # every step.
+        self._centroid_norms = np.concatenate(
+            [self._centroid_norms, np.linalg.norm(result.centroids, axis=1)]
+        )
         self._cluster_sizes = np.concatenate(
             [self._cluster_sizes, local_sizes.astype(np.int64)]
         )
@@ -96,6 +104,17 @@ class ClusterMetadata:
     def num_tokens(self) -> int:
         """Total number of clustered tokens."""
         return self._num_tokens
+
+    @property
+    def centroid_norms(self) -> np.ndarray:
+        """Cached L2 norms of all centroids, shape ``(num_clusters,)``.
+
+        Maintained incrementally by :meth:`append_clustering`; cosine
+        scoring (:func:`repro.core.selection.score_centroids`,
+        :func:`repro.core.clustering.pairwise_scores`) passes this cache so
+        static prefill centroids are not renormalised every decode step.
+        """
+        return self._centroid_norms
 
     @property
     def cluster_sizes(self) -> np.ndarray:
@@ -141,7 +160,11 @@ class ClusterMetadata:
 
     def metadata_nbytes(self, bytes_per_element: int = 2) -> int:
         """Approximate GPU footprint of centroids plus indexing metadata."""
-        centroid_bytes = self.centroids.size * bytes_per_element
+        # Centroid norms are device-resident alongside the centroids (the
+        # cosine scoring fast path reads them every step), so they count.
+        centroid_bytes = (
+            self.centroids.size + self._centroid_norms.size
+        ) * bytes_per_element
         index_bytes = (
             self._cluster_sizes.size + self._prefix_sum.size + self._sorted_indices.size
         ) * 4  # int32 on device

@@ -23,7 +23,12 @@ import numpy as np
 
 from .metadata import ClusterMetadata
 
-__all__ = ["ClusterSelection", "select_clusters", "score_centroids"]
+__all__ = [
+    "ClusterSelection",
+    "select_clusters",
+    "selection_from_order",
+    "score_centroids",
+]
 
 
 @dataclass
@@ -42,6 +47,9 @@ class ClusterSelection:
         Number of tokens dropped from the trimmed cluster.
     score_flops:
         FLOPs spent scoring centroids (``2 * C * d``).
+    selected_sizes:
+        Post-trim token count contributed by each selected label, aligned
+        with ``selected_labels`` (what the cluster cache charges per label).
     """
 
     token_indices: np.ndarray
@@ -49,16 +57,22 @@ class ClusterSelection:
     trimmed_label: int | None
     num_trimmed: int
     score_flops: int
+    selected_sizes: list[int] | None = None
 
 
 def score_centroids(
-    query: np.ndarray, centroids: np.ndarray, metric: str = "ip"
+    query: np.ndarray,
+    centroids: np.ndarray,
+    metric: str = "ip",
+    centroid_norms: np.ndarray | None = None,
 ) -> np.ndarray:
     """Score cluster centroids against the query.
 
     The paper scores with the inner product ``q·mu`` because it aligns with
     attention-weight computation (Sec. III-C); cosine scoring is available
-    for ablations.
+    for ablations.  ``centroid_norms`` optionally supplies precomputed L2
+    norms for the cosine metric (``ClusterMetadata.centroid_norms``), so
+    static prefill centroids are not renormalised on every decode step.
     """
     query = np.asarray(query, dtype=np.float64)
     centroids = np.asarray(centroids, dtype=np.float64)
@@ -68,7 +82,11 @@ def score_centroids(
         return centroids @ query
     if metric == "cosine":
         q_norm = np.linalg.norm(query)
-        c_norms = np.linalg.norm(centroids, axis=1)
+        c_norms = (
+            np.linalg.norm(centroids, axis=1)
+            if centroid_norms is None
+            else np.asarray(centroid_norms, dtype=np.float64)
+        )
         safe = np.where(c_norms == 0.0, 1.0, c_norms) * (q_norm if q_norm else 1.0)
         return (centroids @ query) / safe
     raise ValueError(f"unknown score metric {metric!r}")
@@ -101,6 +119,7 @@ def select_clusters(
     score_metric: str = "ip",
     trim_policy: str = "order",
     keys: np.ndarray | None = None,
+    scores: np.ndarray | None = None,
 ) -> ClusterSelection:
     """Select clusters for one head until the token budget is met.
 
@@ -120,6 +139,12 @@ def select_clusters(
     keys:
         Full ``(L, d)`` key array of this head; only required by the
         ``"centroid"`` trim policy.
+    scores:
+        Optional precomputed centroid scores of shape ``(num_clusters,)``.
+        The ClusterKV layer state scores all kv heads in one batched GEMM
+        and hands each head its slice here, skipping the per-head
+        :func:`score_centroids` call (the charged ``score_flops`` are
+        identical — the same products are computed either way).
 
     Returns
     -------
@@ -137,16 +162,42 @@ def select_clusters(
             score_flops=0,
         )
 
-    scores = score_centroids(query, metadata.centroids, score_metric)
+    if scores is None:
+        scores = score_centroids(
+            query, metadata.centroids, score_metric, metadata.centroid_norms
+        )
     score_flops = int(2 * num_clusters * metadata.head_dim)
 
     # Sort clusters from the closest to the farthest (descending score).
     order = np.argsort(-scores, kind="stable")
     ordered_sizes = metadata.cluster_sizes[order]
     cumulative = np.cumsum(ordered_sizes)
-
     # Number of clusters needed to reach the budget.
     cutoff = int(np.searchsorted(cumulative, budget, side="left"))
+    return selection_from_order(
+        metadata, order, cumulative, cutoff, budget, trim_policy, keys, score_flops
+    )
+
+
+def selection_from_order(
+    metadata: ClusterMetadata,
+    order: np.ndarray,
+    cumulative: np.ndarray,
+    cutoff: int,
+    budget: int,
+    trim_policy: str,
+    keys: np.ndarray | None,
+    score_flops: int,
+) -> ClusterSelection:
+    """Assemble a :class:`ClusterSelection` from a precomputed cluster order.
+
+    The tail of :func:`select_clusters`, split out so the ClusterKV layer
+    state can run the scoring/sorting/prefix-sum front half for *all* kv
+    heads in batched NumPy calls and hand each head's ``order``/
+    ``cumulative`` row here — the outputs are identical to per-head
+    :func:`select_clusters` calls by construction.
+    """
+    num_clusters = order.shape[0]
     if cutoff >= num_clusters:
         selected_order = order
         overshoot = 0
@@ -155,13 +206,14 @@ def select_clusters(
         overshoot = int(cumulative[cutoff] - budget)
 
     selected_labels = selected_order.astype(np.int64)
+    num_selected = len(selected_labels)
     pieces: list[np.ndarray] = []
+    selected_sizes: list[int] = []
     trimmed_label: int | None = None
     num_trimmed = 0
     for rank, label in enumerate(selected_labels):
         tokens = metadata.cluster_tokens(int(label))
-        is_last = rank == len(selected_labels) - 1
-        if is_last and overshoot > 0:
+        if rank == num_selected - 1 and overshoot > 0:
             keep = tokens.shape[0] - overshoot
             tokens = _trim_cluster(
                 tokens, keep, metadata.centroids[int(label)], keys, trim_policy
@@ -169,14 +221,22 @@ def select_clusters(
             trimmed_label = int(label)
             num_trimmed = overshoot
         pieces.append(tokens)
+        selected_sizes.append(tokens.shape[0])
 
-    token_indices = (
-        np.sort(np.concatenate(pieces)) if pieces else np.zeros(0, dtype=np.int64)
-    )
+    if not pieces:
+        token_indices = np.zeros(0, dtype=np.int64)
+    elif len(pieces) == 1:
+        # A cluster's token list is already sorted (append order within the
+        # block is preserved by the stable label sort), so a single-cluster
+        # selection needs neither the concatenate nor the sort.
+        token_indices = pieces[0]
+    else:
+        token_indices = np.sort(np.concatenate(pieces))
     return ClusterSelection(
         token_indices=token_indices,
         selected_labels=selected_labels,
         trimmed_label=trimmed_label,
         num_trimmed=num_trimmed,
         score_flops=score_flops,
+        selected_sizes=selected_sizes,
     )

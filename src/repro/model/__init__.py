@@ -7,7 +7,12 @@ inference engine whose decoding loop delegates token selection to a
 pluggable KV compression method.
 """
 
-from .attention import AttentionOutput, full_causal_attention, selected_attention
+from .attention import (
+    AttentionOutput,
+    full_causal_attention,
+    selected_attention,
+    selected_attention_batch,
+)
 from .config import GenerationConfig, ModelConfig
 from .generation import (
     EngineCore,
@@ -51,6 +56,7 @@ __all__ = [
     "AttentionOutput",
     "full_causal_attention",
     "selected_attention",
+    "selected_attention_batch",
     "greedy_sample",
     "temperature_sample",
     "mix_distributions",

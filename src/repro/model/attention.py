@@ -10,6 +10,19 @@ Two entry points are provided:
 
 Grouped-query attention is supported: ``n_heads`` query heads share
 ``n_kv_heads`` key/value heads in contiguous groups.
+
+Both entry points are vectorised across heads: all kv-head groups go
+through one broadcast ``np.matmul`` (a batched GEMM) for the scores and one
+for the weighted sum, instead of one GEMM per head.  Per-slice results of a
+broadcast matmul are computed by the same BLAS kernel as the equivalent
+2-D products, so the head-batched paths reproduce the historical per-head
+loops bit for bit — pinned by ``tests/test_hotpath_equivalence.py``.  Long
+prefills additionally process queries in cache-sized row blocks; blocking
+changes GEMM kernel selection and with it last-bit rounding (suite-
+verified, like the fused projection GEMMs).
+:func:`selected_attention_batch` is the decode hot path: it takes the
+per-kv-head selections as one stacked (optionally padded) tensor so that a
+whole layer's attention is two GEMM launches regardless of head count.
 """
 
 from __future__ import annotations
@@ -18,9 +31,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..perf import counters
 from .tensor_ops import causal_mask, masked_fill, softmax
 
-__all__ = ["AttentionOutput", "full_causal_attention", "selected_attention"]
+__all__ = [
+    "AttentionOutput",
+    "full_causal_attention",
+    "selected_attention",
+    "selected_attention_batch",
+]
 
 
 @dataclass
@@ -41,6 +60,13 @@ class AttentionOutput:
 
     output: np.ndarray
     weights: list[np.ndarray] | None = None
+
+
+# Score-tensor budget of one prefill query block: 256k float64 elements
+# (2 MB) across all heads — measured sweet spot on long prompts, where
+# cache locality of the score/softmax passes dominates; short prompts
+# (scores below the budget) take the single-shot path.
+_PREFILL_BLOCK_ELEMENTS = 1 << 18
 
 
 def _check_group(n_heads: int, n_kv_heads: int) -> int:
@@ -81,22 +107,128 @@ def full_causal_attention(
     group = _check_group(n_heads, n_kv_heads)
 
     mask = causal_mask(t_q, t_k)
-    outputs = np.empty((n_heads, t_q, head_dim))
-    all_weights = np.empty((n_heads, t_q, t_k)) if return_weights else None
-    for head in range(n_heads):
-        kv_head = head // group
-        scores = (queries[head] @ keys[kv_head].T) * scale
-        scores = masked_fill(scores, mask)
-        weights = softmax(scores, axis=-1)
-        outputs[head] = weights @ values[kv_head]
-        if all_weights is not None:
-            all_weights[head] = weights
+    grouped = queries.reshape(n_kv_heads, group, t_q, head_dim)
+    keys_t = np.swapaxes(keys, 1, 2)[:, None]
+    values_b = values[:, None]
 
-    stacked = np.transpose(outputs, (1, 0, 2)).reshape(t_q, n_heads * head_dim)
+    # Long prompts are processed in query-row blocks so the score tensor
+    # stays cache-sized instead of materialising all n_heads * T_q * T_k
+    # float64 entries at once (a 4k-token prompt would need gigabytes, and
+    # locality of the mask/softmax passes dominates the wall clock).  Each
+    # row's attention is the same mathematical computation either way;
+    # last-bit rounding may differ between blocked and single-shot GEMM
+    # kernels (suite-verified, like all GEMM re-batching in this module).
+    # Weight-returning callers (analyses on short contexts) always take
+    # the single-shot path.
+    if return_weights or n_heads * t_q * t_k <= _PREFILL_BLOCK_ELEMENTS:
+        block = t_q
+    else:
+        block = max(1, _PREFILL_BLOCK_ELEMENTS // (n_heads * t_k))
+    stacked = np.empty((t_q, n_heads * head_dim))
     weights_list = None
-    if all_weights is not None:
-        weights_list = [all_weights[head] for head in range(n_heads)]
+    for start in range(0, t_q, block):
+        end = min(start + block, t_q)
+        # All heads in one pair of broadcast GEMMs: queries grouped by kv
+        # head against (n_kv_heads, 1, head_dim, T_k) keys, then weights
+        # against values.  The mask rows broadcast over the leading
+        # (kv head, group) axes.
+        scores = np.matmul(grouped[:, :, start:end], keys_t) * scale
+        counters.record("gemm.attention_prefill", 2)
+        scores = masked_fill(scores, mask[start:end])
+        weights = softmax(scores, axis=-1)
+        outputs = np.matmul(weights, values_b)  # (n_kv, group, rows, d)
+        stacked[start:end] = (
+            outputs.reshape(n_heads, end - start, head_dim)
+            .transpose(1, 0, 2)
+            .reshape(end - start, n_heads * head_dim)
+        )
+        if return_weights:
+            per_head = weights.reshape(n_heads, t_q, t_k)
+            weights_list = [per_head[head] for head in range(n_heads)]
     return AttentionOutput(output=stacked, weights=weights_list)
+
+
+def selected_attention_batch(
+    queries: np.ndarray,
+    keys: np.ndarray,
+    values: np.ndarray,
+    scale: float,
+    lengths: np.ndarray | None = None,
+    return_weights: bool = False,
+) -> AttentionOutput:
+    """Single-token attention over stacked per-kv-head selections.
+
+    The decode hot path: the selected keys/values of *all* kv heads arrive
+    as one tensor, so the whole layer's attention is two batched GEMMs
+    (scores, weighted sum) independent of the head count.
+
+    Parameters
+    ----------
+    queries:
+        ``(n_heads, head_dim)`` query vectors of the current token.
+    keys / values:
+        ``(n_kv_heads, S, head_dim)``.  When per-head selection sizes
+        differ, heads are right-padded to the longest selection and
+        ``lengths`` marks the valid prefix of each head; padded entries
+        must be finite (their scores are masked to ``-inf``, so their
+        softmax weight is exactly zero and the result equals the unpadded
+        computation bit for bit).
+    scale:
+        Softmax scale.
+    lengths:
+        Optional ``(n_kv_heads,)`` valid selection length per head;
+        ``None`` means every head uses all ``S`` entries.
+    return_weights:
+        When True, per-query-head weights (trimmed to each head's valid
+        length) are returned; the default skips materialising them — the
+        engine only needs weights when an attention trace is recorded.
+
+    Returns
+    -------
+    AttentionOutput
+        Output of shape ``(n_heads * head_dim,)`` and, when requested,
+        per-query-head attention weights aligned with each kv head's
+        selected tokens.
+    """
+    if not isinstance(queries, np.ndarray) or queries.dtype != np.float64:
+        queries = np.asarray(queries, dtype=np.float64)
+    if not isinstance(keys, np.ndarray) or keys.dtype != np.float64:
+        keys = np.asarray(keys, dtype=np.float64)
+    if not isinstance(values, np.ndarray) or values.dtype != np.float64:
+        values = np.asarray(values, dtype=np.float64)
+    n_heads, head_dim = queries.shape
+    n_kv_heads, max_selected, _ = keys.shape
+    group = _check_group(n_heads, n_kv_heads)
+    if lengths is not None:
+        lengths = np.asarray(lengths, dtype=np.int64)
+        empty = np.flatnonzero(lengths <= 0)
+        if empty.size:
+            raise ValueError(f"kv head {int(empty[0])} has no selected tokens")
+    elif max_selected == 0:
+        raise ValueError("kv head 0 has no selected tokens")
+
+    grouped = queries.reshape(n_kv_heads, group, head_dim)
+    scores = np.matmul(grouped, np.swapaxes(keys, 1, 2)) * scale
+    counters.record("gemm.attention_decode", 2)
+    if lengths is not None:
+        # In-place tail masking (cheaper than a broadcast np.where and
+        # bit-identical: the same padded entries become -inf).
+        for kv_head in range(n_kv_heads):
+            valid = lengths[kv_head]
+            if valid < max_selected:
+                scores[kv_head, :, valid:] = -np.inf
+    weights = softmax(scores, axis=-1)
+    output = np.matmul(weights, values)  # (n_kv_heads, group, head_dim)
+
+    weights_list: list[np.ndarray] | None = None
+    if return_weights:
+        weights_list = []
+        for kv_head in range(n_kv_heads):
+            valid = max_selected if lengths is None else int(lengths[kv_head])
+            weights_list.extend(
+                weights[kv_head, g, :valid] for g in range(group)
+            )
+    return AttentionOutput(output=output.reshape(-1), weights=weights_list)
 
 
 def selected_attention(
@@ -104,6 +236,7 @@ def selected_attention(
     keys_per_kv_head: list[np.ndarray],
     values_per_kv_head: list[np.ndarray],
     scale: float,
+    return_weights: bool = True,
 ) -> AttentionOutput:
     """Single-token attention restricted to selected KV entries.
 
@@ -114,9 +247,13 @@ def selected_attention(
     keys_per_kv_head / values_per_kv_head:
         One ``(S_h, head_dim)`` array per kv head containing the keys and
         values of the tokens selected for that head (``S_h`` may differ
-        between heads — semantic clusters have variable sizes).
+        between heads — semantic clusters have variable sizes).  A stacked
+        ``(n_kv_heads, S, head_dim)`` array is also accepted and avoids
+        the per-head restacking.
     scale:
         Softmax scale.
+    return_weights:
+        Whether per-query-head attention weights are materialised.
 
     Returns
     -------
@@ -124,24 +261,33 @@ def selected_attention(
         Output of shape ``(n_heads * head_dim,)`` and per-query-head
         attention weights aligned with each kv head's selected tokens.
     """
-    queries = np.asarray(queries, dtype=np.float64)
-    n_heads, head_dim = queries.shape
-    n_kv_heads = len(keys_per_kv_head)
-    group = _check_group(n_heads, n_kv_heads)
-
-    # All query heads of one kv group attend to the same selected tokens, so
-    # their scores and outputs are computed with one GEMM per kv head rather
-    # than one GEMV per query head — this is the decode hot path.
-    output = np.empty((n_heads, head_dim))
-    weights_list: list[np.ndarray] = []
-    for kv_head in range(n_kv_heads):
-        keys = np.asarray(keys_per_kv_head[kv_head], dtype=np.float64)
-        values = np.asarray(values_per_kv_head[kv_head], dtype=np.float64)
-        if keys.shape[0] == 0:
-            raise ValueError(f"kv head {kv_head} has no selected tokens")
-        group_queries = queries[kv_head * group : (kv_head + 1) * group]
-        scores = (group_queries @ keys.T) * scale
-        weights = softmax(scores, axis=-1)
-        output[kv_head * group : (kv_head + 1) * group] = weights @ values
-        weights_list.extend(weights[i] for i in range(group))
-    return AttentionOutput(output=output.reshape(-1), weights=weights_list)
+    if isinstance(keys_per_kv_head, np.ndarray) and keys_per_kv_head.ndim == 3:
+        return selected_attention_batch(
+            queries,
+            keys_per_kv_head,
+            np.asarray(values_per_kv_head, dtype=np.float64),
+            scale,
+            return_weights=return_weights,
+        )
+    lengths = np.asarray([k.shape[0] for k in keys_per_kv_head], dtype=np.int64)
+    empty = np.flatnonzero(lengths <= 0)
+    if empty.size:
+        raise ValueError(f"kv head {int(empty[0])} has no selected tokens")
+    head_dim = keys_per_kv_head[0].shape[1]
+    max_selected = int(lengths.max())
+    if bool((lengths == max_selected).all()):
+        keys = np.stack([np.asarray(k, dtype=np.float64) for k in keys_per_kv_head])
+        values = np.stack(
+            [np.asarray(v, dtype=np.float64) for v in values_per_kv_head]
+        )
+        return selected_attention_batch(
+            queries, keys, values, scale, return_weights=return_weights
+        )
+    keys = np.zeros((lengths.shape[0], max_selected, head_dim))
+    values = np.zeros_like(keys)
+    for kv_head, (k, v) in enumerate(zip(keys_per_kv_head, values_per_kv_head)):
+        keys[kv_head, : lengths[kv_head]] = k
+        values[kv_head, : lengths[kv_head]] = v
+    return selected_attention_batch(
+        queries, keys, values, scale, lengths=lengths, return_weights=return_weights
+    )

@@ -37,6 +37,7 @@ and the motivation analyses can be computed.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -45,7 +46,8 @@ from ..baselines.base import KVSelectorFactory, LayerSelectorState, SelectorStat
 from ..baselines.full import FullKVSelector
 from ..baselines.oracle import top_k_indices
 from ..memory import OffloadManager, TransferLedger
-from .attention import full_causal_attention, selected_attention
+from ..perf import counters
+from .attention import full_causal_attention, selected_attention_batch
 from .config import GenerationConfig, ModelConfig
 from .kv_cache import KVCacheStore
 from .pointer import CopyHead
@@ -207,6 +209,9 @@ class SequenceState:
         self.trace_layer = config.n_layers - 1
         self.prefilled = False
         self.position = 0
+        # Copy-head key blocks accumulated across prefill chunks; consumed
+        # (observed by the copy selector state) when the last chunk lands.
+        self._prefill_copy_keys: list[np.ndarray] = []
         self.result = GenerationResult(prompt_length=0, method=selector.name)
 
     def release(self) -> None:
@@ -231,6 +236,50 @@ class EngineCore:
     def __init__(self, model: TransformerModel, generation_config: GenerationConfig) -> None:
         self.model = model
         self.generation_config = generation_config
+        # Reusable decode-step work buffers, keyed by batch size: the
+        # concatenated attention output of one layer is written in place at
+        # every layer of every step, so steady-state decoding allocates no
+        # new per-step buffer here.
+        self._attn_buffers: dict[int, np.ndarray] = {}
+        # Growable zero-initialised workspaces of the fused cross-request
+        # attention (padded K/V, queries, lengths); see _stacked_workspace.
+        self._stacked_kv: np.ndarray | None = None
+        self._stacked_queries: np.ndarray | None = None
+        self._stacked_lengths: np.ndarray | None = None
+
+    def _stacked_workspace(
+        self, num: int, s_max: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Reusable buffers for :meth:`_attend_stacked`, grown by doubling.
+
+        The K/V buffer is zero-initialised on (re)allocation and *not*
+        re-zeroed between steps: stale entries beyond a request's valid
+        length are masked to ``-inf`` scores (keys) or multiplied by an
+        exactly-zero attention weight (values), so they never influence the
+        output — and the buffer only ever holds finite cache data.
+        """
+        config = self.model.config
+        kv = self._stacked_kv
+        if kv is None or kv.shape[1] < num or kv.shape[3] < s_max:
+            rows = max(num, 2 if kv is None else kv.shape[1] * 2)
+            width = 64 if kv is None else kv.shape[3]
+            while width < s_max:
+                width *= 2
+            self._stacked_kv = np.zeros(
+                (2, rows, config.n_kv_heads, width, config.head_dim)
+            )
+            self._stacked_queries = np.empty(
+                (rows, config.n_kv_heads, config.group_size, config.head_dim)
+            )
+            self._stacked_lengths = np.empty((rows, config.n_kv_heads), dtype=np.int64)
+            kv = self._stacked_kv
+        assert self._stacked_queries is not None and self._stacked_lengths is not None
+        return (
+            kv[0, :num, :, :s_max],
+            kv[1, :num, :, :s_max],
+            self._stacked_queries[:num],
+            self._stacked_lengths[:num],
+        )
 
     # ------------------------------------------------------------------
     # prefill
@@ -241,33 +290,91 @@ class EngineCore:
         Returns the output probability distribution (``(vocab,)``) after the
         last prompt token, from which the first generated token is sampled.
         """
-        if seq.prefilled:
-            raise RuntimeError("the sequence has already been prefilled")
-        seq.prefilled = True
+        prompt_ids = np.asarray(prompt_ids, dtype=np.int64)
+        if prompt_ids.shape[0] == 0:
+            raise ValueError("the prompt must contain at least one token")
+        distribution = self.prefill_chunk(seq, prompt_ids, 0, prompt_ids.shape[0])
+        assert distribution is not None
+        return distribution
+
+    def prefill_chunk(
+        self,
+        seq: SequenceState,
+        prompt_ids: np.ndarray,
+        start: int,
+        end: int,
+    ) -> np.ndarray | None:
+        """Prefill prompt positions ``[start, end)`` of one sequence.
+
+        Chunked prefill: the chunk's queries run exact causal attention
+        against the KV cache of all ``end`` prompt positions seen so far, so
+        a long prompt can be split across several engine steps (interleaved
+        with other requests' decode steps) instead of stalling the batch in
+        one monolithic pass.  Chunks must be contiguous and in order; the
+        selector states observe the complete prompt once the last chunk
+        lands, exactly as in a monolithic prefill.  With ``start == 0`` and
+        ``end == len(prompt_ids)`` this *is* the monolithic prefill — one
+        code path, so full-chunk prefill is trivially token-identical.
+
+        Returns the output probability distribution after the last prompt
+        token when ``end`` completes the prompt, else ``None``.
+        """
         prompt_ids = np.asarray(prompt_ids, dtype=np.int64)
         config = self.model.config
         length = prompt_ids.shape[0]
         if length == 0:
             raise ValueError("the prompt must contain at least one token")
-        seq.result.prompt_length = length
-        positions = np.arange(length)
-        hidden = self.model.embed(prompt_ids, positions)
+        if not 0 <= start < end <= length:
+            raise ValueError(
+                f"invalid prefill chunk [{start}, {end}) of a {length}-token prompt"
+            )
+        if start == 0:
+            if seq.prefilled:
+                raise RuntimeError("the sequence has already been prefilled")
+            seq.prefilled = True
+            seq.result.prompt_length = length
+        elif seq.position != start:
+            raise RuntimeError(
+                f"prefill chunk starts at {start} but the sequence is at "
+                f"position {seq.position}"
+            )
+        whole_prefix = start == 0
+        positions = np.arange(start, end)
+        hidden = self.model.embed(prompt_ids[start:end], positions)
 
         for layer_idx in range(config.n_layers):
             q, k, v = self.model.attention_qkv(layer_idx, hidden, positions)
             seq.kv_store.append(layer_idx, k, v, step=-1)
-            state = seq.layer_states[layer_idx]
-            if state is not None:
-                state.observe_prefill(k)
-            attn = full_causal_attention(q, k, v, config.softmax_scale)
+            if whole_prefix:
+                keys_ctx, values_ctx = k, v
+            else:
+                keys_ctx = seq.kv_store.keys(layer_idx)
+                values_ctx = seq.kv_store.values(layer_idx)
+            attn = full_causal_attention(q, keys_ctx, values_ctx, config.softmax_scale)
             hidden = self.model.attention_output(layer_idx, hidden, attn.output)
             hidden = self.model.ffn(layer_idx, hidden)
 
         if seq.copy_head is not None:
-            copy_keys = seq.copy_head.ingest(prompt_ids)
-            if seq.copy_state is not None:
-                seq.copy_state.observe_prefill(copy_keys[None, :, :])
-        seq.position = length
+            seq._prefill_copy_keys.append(seq.copy_head.ingest(prompt_ids[start:end]))
+        seq.position = end
+        if end < length:
+            return None
+
+        # Last chunk: the selectors observe the complete prompt (the cache
+        # holds exactly the prompt KV at this point) and build their
+        # acceleration structures, as in a monolithic prefill.
+        for layer_idx in range(config.n_layers):
+            state = seq.layer_states[layer_idx]
+            if state is not None:
+                state.observe_prefill(seq.kv_store.keys(layer_idx)[:, :length, :])
+        if seq.copy_head is not None and seq.copy_state is not None:
+            copy_keys = (
+                seq._prefill_copy_keys[0]
+                if len(seq._prefill_copy_keys) == 1
+                else np.concatenate(seq._prefill_copy_keys, axis=0)
+            )
+            seq.copy_state.observe_prefill(copy_keys[None, :, :])
+        seq._prefill_copy_keys = []
 
         logits = self.model.final_logits(hidden[-1:, :])[0]
         vocab_probs = softmax(logits)
@@ -314,18 +421,18 @@ class EngineCore:
         positions = np.asarray([seq.position for seq in seqs], dtype=np.int64)
         hidden = self.model.embed(tokens, positions)
 
+        attn_concat = self._attn_buffers.get(batch)
+        if attn_concat is None:
+            attn_concat = np.empty((batch, config.n_heads * config.head_dim))
+            self._attn_buffers[batch] = attn_concat
         for layer_idx in range(config.n_layers):
             q, k, v = self.model.attention_qkv(layer_idx, hidden, positions)
-            attn_concat = np.empty((batch, config.n_heads * config.head_dim))
-            for b, seq in enumerate(seqs):
-                attn_concat[b] = self._attend_one(
-                    seq,
-                    layer_idx,
-                    q[:, b, :],
-                    k[:, b : b + 1, :],
-                    v[:, b : b + 1, :],
-                    steps[b],
+            if batch == 1:
+                attn_concat[0] = self._attend_one(
+                    seqs[0], layer_idx, q[:, 0, :], k[:, 0:1, :], v[:, 0:1, :], steps[0]
                 )
+            else:
+                self._attend_layer_batch(seqs, layer_idx, q, k, v, steps, attn_concat)
             hidden = self.model.attention_output(layer_idx, hidden, attn_concat)
             hidden = self.model.ffn(layer_idx, hidden)
 
@@ -342,7 +449,7 @@ class EngineCore:
             )
         return distributions
 
-    def _attend_one(
+    def _prepare_attend(
         self,
         seq: SequenceState,
         layer_idx: int,
@@ -350,12 +457,16 @@ class EngineCore:
         k_new: np.ndarray,
         v_new: np.ndarray,
         step: int,
-    ) -> np.ndarray:
-        """KV append, token selection and attention of one sequence/layer.
+    ) -> tuple:
+        """KV append, observation, selection and gather of one sequence/layer.
 
-        ``query_vectors`` is ``(n_heads, head_dim)``; ``k_new``/``v_new``
-        are ``(n_kv_heads, 1, head_dim)``.  Returns the concatenated
-        attention output, shape ``(n_heads * head_dim,)``.
+        The non-GEMM front half of a decode-step attention: appends the new
+        token's KV, lets the selector observe it, runs token selection under
+        the budget and gathers the selected keys/values into stacked
+        tensors.  Returns the prepared-attention tuple ``(seq, query
+        vectors, keys, values, lengths, indices_per_head, state, context
+        length, step, from_selection)`` consumed by :meth:`_attend_one`
+        and :meth:`_attend_layer_batch`.
         """
         config = self.model.config
         gen = self.generation_config
@@ -378,49 +489,197 @@ class EngineCore:
             indices_per_head = state.select(grouped, budget, step)
             fetched_delta = state.stats.fetched_tokens - fetched_before
             seq.kv_store.record_fetch(fetched_delta, step)
-
-            keys_sel = []
-            values_sel = []
-            for kv_head in range(config.n_kv_heads):
-                k_sel, v_sel = seq.kv_store.gather(
-                    layer_idx, kv_head, indices_per_head[kv_head]
-                )
-                keys_sel.append(k_sel)
-                values_sel.append(v_sel)
+            # One stacked gather for all kv heads (right-padded when the
+            # selected counts differ — semantic clusters have variable
+            # sizes), feeding the two-GEMM batched attention.
+            keys_sel, values_sel, sel_lengths = seq.kv_store.gather_many(
+                layer_idx, indices_per_head
+            )
         else:
-            # Full-context attention: hand out views of the cache instead of
-            # gathering per-head copies — same values, no per-step O(L) copy.
+            # Full-context attention: hand the cache views straight to the
+            # batched attention — same values, no per-step O(L) copy.
             # Index arrays are only materialised if a recorder needs them.
             indices_per_head = None
             if state is not None:
                 state.stats.selected_tokens += context_length * config.n_kv_heads
                 state.stats.num_selections += 1
-            keys_full = seq.kv_store.keys(layer_idx)
-            values_full = seq.kv_store.values(layer_idx)
-            keys_sel = [keys_full[kv_head] for kv_head in range(config.n_kv_heads)]
-            values_sel = [values_full[kv_head] for kv_head in range(config.n_kv_heads)]
-
-        attn = selected_attention(
-            query_vectors, keys_sel, values_sel, config.softmax_scale
+            keys_sel = seq.kv_store.keys(layer_idx)
+            values_sel = seq.kv_store.values(layer_idx)
+            sel_lengths = None
+        return (
+            seq,
+            query_vectors,
+            keys_sel,
+            values_sel,
+            sel_lengths,
+            indices_per_head,
+            state,
+            context_length,
+            step,
+            use_selection,
         )
 
-        def materialised_indices() -> list[np.ndarray]:
-            if indices_per_head is not None:
-                return indices_per_head
-            return [
+    def _finish_attend(
+        self,
+        layer_idx: int,
+        prep: tuple,
+        weights: list[np.ndarray] | None,
+    ) -> None:
+        """Recording hooks of one sequence/layer attention (recall, trace)."""
+        gen = self.generation_config
+        (seq, query_vectors, _, _, _, indices_per_head, state, context_length, step, _) = prep
+        record_recall = (
+            gen.record_true_scores and state is not None and gen.budget is not None
+        )
+        record_trace = gen.record_attention_trace and layer_idx == seq.trace_layer
+        if not record_recall and not record_trace:
+            return
+        config = self.model.config
+        if indices_per_head is None:
+            indices_per_head = [
                 np.arange(context_length, dtype=np.int64)
                 for _ in range(config.n_kv_heads)
             ]
-
-        if gen.record_true_scores and state is not None and gen.budget is not None:
+        if record_recall:
+            budget = gen.budget
+            assert budget is not None
             self._record_recall(
-                seq, layer_idx, step, query_vectors, materialised_indices(), budget
+                seq, layer_idx, step, query_vectors, indices_per_head, budget
             )
-        if gen.record_attention_trace and layer_idx == seq.trace_layer:
+        if record_trace:
             self._record_trace(
-                seq, layer_idx, step, query_vectors, materialised_indices(), attn.weights
+                seq, layer_idx, step, query_vectors, indices_per_head, weights
             )
+
+    def _attend_one(
+        self,
+        seq: SequenceState,
+        layer_idx: int,
+        query_vectors: np.ndarray,
+        k_new: np.ndarray,
+        v_new: np.ndarray,
+        step: int,
+    ) -> np.ndarray:
+        """KV append, token selection and attention of one sequence/layer.
+
+        ``query_vectors`` is ``(n_heads, head_dim)``; ``k_new``/``v_new``
+        are ``(n_kv_heads, 1, head_dim)``.  Returns the concatenated
+        attention output, shape ``(n_heads * head_dim,)``.
+        """
+        gen = self.generation_config
+        prep = self._prepare_attend(seq, layer_idx, query_vectors, k_new, v_new, step)
+        # Attention weights are only materialised when this layer's trace is
+        # actually recorded; the common path skips the per-head bookkeeping.
+        need_weights = gen.record_attention_trace and layer_idx == seq.trace_layer
+        attn = selected_attention_batch(
+            query_vectors,
+            prep[2],
+            prep[3],
+            self.model.config.softmax_scale,
+            lengths=prep[4],
+            return_weights=need_weights,
+        )
+        self._finish_attend(layer_idx, prep, attn.weights)
         return attn.output
+
+    def _attend_layer_batch(
+        self,
+        seqs: list[SequenceState],
+        layer_idx: int,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        steps: list[int],
+        out: np.ndarray,
+    ) -> None:
+        """Attention of one layer for the whole decode batch.
+
+        Requests decoding under a budget produce *bounded* selected-KV
+        tensors, so their attention fuses across requests into one pair of
+        broadcast GEMMs over a ``(R, n_kv_heads, g, S_max)`` score tensor
+        (padding entries carry exactly-zero weight, so each request's
+        output equals its solo computation).  Full-context requests keep
+        per-request GEMMs on zero-copy cache views — padding them would
+        copy O(context) per step.  Rows of ``out`` are written in place.
+        """
+        gen = self.generation_config
+        preps = [
+            self._prepare_attend(
+                seq, layer_idx, q[:, b, :], k[:, b : b + 1, :], v[:, b : b + 1, :], steps[b]
+            )
+            for b, seq in enumerate(seqs)
+        ]
+        stacked: list[tuple[int, tuple]] = []
+        solo: list[tuple[int, tuple]] = []
+        for b, prep in enumerate(preps):
+            needs_weights = (
+                gen.record_attention_trace and layer_idx == prep[0].trace_layer
+            )
+            if prep[9] and not needs_weights:
+                stacked.append((b, prep))
+            else:
+                solo.append((b, prep))
+        if len(stacked) < 2:
+            solo = sorted(solo + stacked)
+            stacked = []
+
+        if stacked:
+            self._attend_stacked(layer_idx, stacked, out)
+        for b, prep in solo:
+            seq = prep[0]
+            need_weights = (
+                gen.record_attention_trace and layer_idx == seq.trace_layer
+            )
+            attn = selected_attention_batch(
+                prep[1],
+                prep[2],
+                prep[3],
+                self.model.config.softmax_scale,
+                lengths=prep[4],
+                return_weights=need_weights,
+            )
+            out[b] = attn.output
+            self._finish_attend(layer_idx, prep, attn.weights)
+
+    def _attend_stacked(
+        self, layer_idx: int, entries: list[tuple[int, tuple]], out: np.ndarray
+    ) -> None:
+        """Fused attention of several requests' bounded KV selections.
+
+        Pads every request's stacked ``(n_kv_heads, S_r, d)`` selection to
+        the batch-wide maximum and runs the scores and the weighted sum as
+        two broadcast GEMMs for all requests and heads at once.  Padded
+        keys score ``-inf`` (zero weight) and padded values are zero, so
+        each request's slice is identical to its standalone computation.
+        """
+        config = self.model.config
+        n_kv = config.n_kv_heads
+        group = config.group_size
+        head_dim = config.head_dim
+        num = len(entries)
+        s_max = max(prep[2].shape[1] for _, prep in entries)
+        keys, values, queries, lengths = self._stacked_workspace(num, s_max)
+        for i, (_, prep) in enumerate(entries):
+            size = prep[2].shape[1]
+            keys[i, :, :size] = prep[2]
+            values[i, :, :size] = prep[3]
+            lengths[i, :] = size if prep[4] is None else prep[4]
+            queries[i] = prep[1].reshape(n_kv, group, head_dim)
+        if int(lengths.min(initial=1)) <= 0:
+            raise ValueError("a kv head has no selected tokens")
+
+        scores = np.matmul(queries, keys.transpose(0, 1, 3, 2)) * config.softmax_scale
+        counters.record("gemm.attention_decode", 2)
+        for i in range(num):
+            for kv_head in range(n_kv):
+                valid = lengths[i, kv_head]
+                if valid < s_max:
+                    scores[i, kv_head, :, valid:] = -np.inf
+        weights = softmax(scores, axis=-1)
+        outputs = np.matmul(weights, values)  # (num, n_kv, group, head_dim)
+        for i, (b, prep) in enumerate(entries):
+            out[b] = outputs[i].reshape(-1)
+            self._finish_attend(layer_idx, prep, None)
 
     def _update_copy_head(
         self, seq: SequenceState, token_id: int, step: int
@@ -460,8 +719,10 @@ class EngineCore:
     def record_output(self, seq: SequenceState, token_id: int, distribution: np.ndarray) -> None:
         """Append a generated token and its log-probability to the result."""
         seq.result.output_ids.append(token_id)
+        # math.log == np.log for scalars (both IEEE-754 libm ln), without
+        # the ufunc dispatch on this per-token path.
         seq.result.output_logprobs.append(
-            float(np.log(max(distribution[token_id], 1e-30)))
+            math.log(max(float(distribution[token_id]), 1e-30))
         )
 
     def finalise(self, seq: SequenceState) -> GenerationResult:
@@ -527,6 +788,9 @@ class EngineCore:
         grouped = query_vectors.reshape(
             config.n_kv_heads, config.group_size, config.head_dim
         ).sum(axis=1)
+        # Full-context true-score GEMMs: instrumentation-only work, counted
+        # so tests can assert the disabled path never reaches here.
+        counters.record("gemm.true_score", config.n_kv_heads)
         for kv_head in range(config.n_kv_heads):
             true_scores = keys[kv_head] @ grouped[kv_head]
             true_top = top_k_indices(true_scores, effective_budget)
@@ -557,6 +821,7 @@ class EngineCore:
         grouped = query_vectors.reshape(
             config.n_kv_heads, config.group_size, config.head_dim
         ).sum(axis=1)
+        counters.record("gemm.true_score", config.n_kv_heads)
         true_scores = [keys[kv_head] @ grouped[kv_head] for kv_head in range(config.n_kv_heads)]
         # Average the per-query-head weights inside each kv group so the trace
         # has one weight vector per kv head, aligned with its selected indices.

@@ -40,8 +40,10 @@ class LayerKVCache:
         self.head_dim = head_dim
         self._length = 0
         self._capacity = max(1, initial_capacity)
-        self._keys = np.zeros((n_kv_heads, self._capacity, head_dim))
-        self._values = np.zeros((n_kv_heads, self._capacity, head_dim))
+        # Keys and values share one (2, n_kv_heads, capacity, head_dim)
+        # buffer so a selection's K and V can be gathered with a single
+        # fancy-indexing call on the decode hot path.
+        self._kv = np.zeros((2, n_kv_heads, self._capacity, head_dim))
 
     def __len__(self) -> int:
         return self._length
@@ -49,12 +51,12 @@ class LayerKVCache:
     @property
     def keys(self) -> np.ndarray:
         """View of the stored keys, shape ``(n_kv_heads, length, head_dim)``."""
-        return self._keys[:, : self._length, :]
+        return self._kv[0, :, : self._length, :]
 
     @property
     def values(self) -> np.ndarray:
         """View of the stored values, shape ``(n_kv_heads, length, head_dim)``."""
-        return self._values[:, : self._length, :]
+        return self._kv[1, :, : self._length, :]
 
     def append(self, keys: np.ndarray, values: np.ndarray) -> None:
         """Append ``t`` new tokens; both arrays are ``(n_kv_heads, t, head_dim)``."""
@@ -70,8 +72,8 @@ class LayerKVCache:
             )
         t = keys.shape[1]
         self._ensure_capacity(self._length + t)
-        self._keys[:, self._length : self._length + t, :] = keys
-        self._values[:, self._length : self._length + t, :] = values
+        self._kv[0, :, self._length : self._length + t, :] = keys
+        self._kv[1, :, self._length : self._length + t, :] = values
         self._length += t
 
     def gather(self, head_idx: int, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -82,9 +84,48 @@ class LayerKVCache:
                 f"indices out of range [0, {self._length}) for layer {self.layer_idx}"
             )
         return (
-            self._keys[head_idx, indices, :],
-            self._values[head_idx, indices, :],
+            self._kv[0, head_idx, indices, :],
+            self._kv[1, head_idx, indices, :],
         )
+
+    def gather_many(
+        self, indices_per_head: list[np.ndarray]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """Gather every kv head's selection in one fancy-indexing call.
+
+        Returns ``(keys, values, lengths)`` where keys/values are stacked
+        ``(n_kv_heads, S, head_dim)`` tensors ready for
+        :func:`repro.model.attention.selected_attention_batch`.  When the
+        per-head selections have equal sizes ``lengths`` is ``None``;
+        otherwise heads are right-padded to the longest selection with
+        token 0 (a always-valid index — the padded entries are masked to
+        zero weight downstream) and ``lengths`` gives each head's valid
+        prefix.
+        """
+        if len(indices_per_head) != self.n_kv_heads:
+            raise ValueError(
+                f"expected {self.n_kv_heads} index arrays, got {len(indices_per_head)}"
+            )
+        lengths = np.asarray([idx.shape[0] for idx in indices_per_head], dtype=np.int64)
+        max_len = int(lengths.max()) if lengths.size else 0
+        if bool((lengths == max_len).all()):
+            index_matrix = np.asarray(indices_per_head, dtype=np.int64)
+            out_lengths = None
+        else:
+            index_matrix = np.zeros((self.n_kv_heads, max_len), dtype=np.int64)
+            for head, idx in enumerate(indices_per_head):
+                index_matrix[head, : lengths[head]] = idx
+            out_lengths = lengths
+        if index_matrix.size and (
+            index_matrix.min() < 0 or index_matrix.max() >= self._length
+        ):
+            raise IndexError(
+                f"indices out of range [0, {self._length}) for layer {self.layer_idx}"
+            )
+        rows = np.arange(self.n_kv_heads)[:, None]
+        # One fancy-indexing call gathers both K and V from the fused buffer.
+        gathered = self._kv[:, rows, index_matrix, :]
+        return gathered[0], gathered[1], out_lengths
 
     def _ensure_capacity(self, needed: int) -> None:
         if needed <= self._capacity:
@@ -92,12 +133,9 @@ class LayerKVCache:
         new_capacity = self._capacity
         while new_capacity < needed:
             new_capacity *= 2
-        new_keys = np.zeros((self.n_kv_heads, new_capacity, self.head_dim))
-        new_values = np.zeros((self.n_kv_heads, new_capacity, self.head_dim))
-        new_keys[:, : self._length, :] = self._keys[:, : self._length, :]
-        new_values[:, : self._length, :] = self._values[:, : self._length, :]
-        self._keys = new_keys
-        self._values = new_values
+        new_kv = np.zeros((2, self.n_kv_heads, new_capacity, self.head_dim))
+        new_kv[:, :, : self._length, :] = self._kv[:, :, : self._length, :]
+        self._kv = new_kv
         self._capacity = new_capacity
 
 
@@ -196,6 +234,12 @@ class KVCacheStore:
     ) -> tuple[np.ndarray, np.ndarray]:
         """Keys and values of selected tokens for one layer and kv head."""
         return self.layers[layer_idx].gather(head_idx, indices)
+
+    def gather_many(
+        self, layer_idx: int, indices_per_head: list[np.ndarray]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """Stacked per-head selections of one layer (see :meth:`LayerKVCache.gather_many`)."""
+        return self.layers[layer_idx].gather_many(indices_per_head)
 
     def total_nbytes(self) -> int:
         """Total bytes of all cached K and V entries."""

@@ -39,7 +39,8 @@ def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     for large logits, which occur routinely in attention score computation
     with long contexts.
     """
-    x = np.asarray(x, dtype=np.float64)
+    if not isinstance(x, np.ndarray) or x.dtype != np.float64:
+        x = np.asarray(x, dtype=np.float64)
     # Method-call reductions avoid the np.max/np.sum dispatch wrappers; this
     # sits on the per-head decode hot path and is called once per attention.
     shifted = x - x.max(axis=axis, keepdims=True)
@@ -110,6 +111,30 @@ def rope_frequencies(head_dim: int, base: float = 10000.0) -> np.ndarray:
     return 1.0 / np.power(base, exponents)
 
 
+# Cos/sin tables of integer positions, keyed by the inverse-frequency bytes
+# (one entry per (head_dim, base) pair in practice).  Tables grow by doubling
+# and are shared by every model with the same RoPE parameters; recomputing
+# ``np.cos``/``np.sin`` of the full angle matrix on every prefill and decode
+# call was one of the measured hot-path costs this cache removes.  Entries for
+# integer positions are bit-identical to direct evaluation: the table stores
+# ``cos(p * inv_freq)`` for the same float64 product the direct path computes.
+_ROPE_TABLE_CACHE: dict[bytes, tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _rope_tables(inv_freq: np.ndarray, needed: int) -> tuple[np.ndarray, np.ndarray]:
+    """Cos/sin tables covering positions ``[0, needed)`` for ``inv_freq``."""
+    key = inv_freq.tobytes()
+    entry = _ROPE_TABLE_CACHE.get(key)
+    if entry is None or entry[0].shape[0] < needed:
+        capacity = 64 if entry is None else entry[0].shape[0]
+        while capacity < needed:
+            capacity *= 2
+        angles = np.outer(np.arange(capacity, dtype=np.float64), inv_freq)
+        entry = (np.cos(angles), np.sin(angles))
+        _ROPE_TABLE_CACHE[key] = entry
+    return entry
+
+
 def apply_rope(
     x: np.ndarray,
     positions: np.ndarray,
@@ -136,7 +161,7 @@ def apply_rope(
         where the head dimension is split into two contiguous halves.
     """
     x = np.asarray(x, dtype=np.float64)
-    positions = np.asarray(positions, dtype=np.float64)
+    positions = np.asarray(positions)
     if x.shape[-2] != positions.shape[0]:
         raise ValueError(
             f"positions length {positions.shape[0]} does not match sequence "
@@ -148,15 +173,43 @@ def apply_rope(
             f"inv_freq length {inv_freq.shape[0]} does not match half head "
             f"dimension {half}"
         )
-    # angles: (L, d_head // 2)
-    angles = np.outer(positions, inv_freq)
-    cos = np.cos(angles)
-    sin = np.sin(angles)
+    length = positions.shape[0]
+    if length and np.issubdtype(positions.dtype, np.integer) and int(positions.min()) >= 0:
+        # Cached-table path for the (universal in this codebase) case of
+        # non-negative integer positions: look the rows up instead of
+        # recomputing cos/sin of the whole angle matrix every call.
+        cos_table, sin_table = _rope_tables(inv_freq, int(positions.max()) + 1)
+        if length == 1:
+            # Single-token decode: one row, sliced without a gather copy.
+            start = int(positions[0])
+            cos = cos_table[start : start + 1]
+            sin = sin_table[start : start + 1]
+        elif int(positions[0]) + length - 1 == int(positions[-1]) and bool(
+            (positions[1:] - positions[:-1] == 1).all()
+        ):
+            # Contiguous position range (prefill): a table slice, no copy.
+            start = int(positions[0])
+            cos = cos_table[start : start + length]
+            sin = sin_table[start : start + length]
+        else:
+            cos = cos_table[positions]
+            sin = sin_table[positions]
+    else:
+        # Fallback for float or negative positions: direct evaluation.
+        positions = np.asarray(positions, dtype=np.float64)
+        angles = np.outer(positions, inv_freq)  # (L, d_head // 2)
+        cos = np.cos(angles)
+        sin = np.sin(angles)
     x1 = x[..., :half]
     x2 = x[..., half:]
-    rotated_1 = x1 * cos - x2 * sin
-    rotated_2 = x2 * cos + x1 * sin
-    return np.concatenate([rotated_1, rotated_2], axis=-1)
+    # Write the two rotated halves into one preallocated output instead of
+    # concatenating fresh halves (same values, one fewer allocation+copy).
+    rotated = np.empty(x.shape)
+    np.multiply(x1, cos, out=rotated[..., :half])
+    rotated[..., :half] -= x2 * sin
+    np.multiply(x2, cos, out=rotated[..., half:])
+    rotated[..., half:] += x1 * sin
+    return rotated
 
 
 def causal_mask(query_len: int, key_len: int) -> np.ndarray:

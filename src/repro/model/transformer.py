@@ -39,6 +39,34 @@ class TransformerModel:
             if config.use_rope
             else None
         )
+        # Fused projection weights, one per layer: the per-head Q/K/V
+        # projections concatenated column-wise into a single (d_model,
+        # (n_heads + 2 n_kv_heads) * head_dim) matrix, and the SwiGLU
+        # gate/up pair into (d_model, 2 d_ff).  One GEMM per projection
+        # group replaces the per-head einsum / split matmuls on the decode
+        # hot path; each output column block is the same matrix product, so
+        # results match the unfused computation (suite-verified).
+        self._q_cols = config.n_heads * config.head_dim
+        self._kv_cols = config.n_kv_heads * config.head_dim
+        self._wqkv = [
+            np.concatenate(
+                [
+                    layer.wq.transpose(1, 0, 2).reshape(config.d_model, -1),
+                    layer.wk.transpose(1, 0, 2).reshape(config.d_model, -1),
+                    layer.wv.transpose(1, 0, 2).reshape(config.d_model, -1),
+                ],
+                axis=1,
+            )
+            for layer in self.weights.layers
+        ]
+        self._w_gate_up = (
+            [
+                np.concatenate([layer.w_gate, layer.w_up], axis=1)
+                for layer in self.weights.layers
+            ]
+            if config.activation == "swiglu"
+            else None
+        )
 
     # ------------------------------------------------------------------
     # embedding and output
@@ -83,10 +111,20 @@ class TransformerModel:
         positions = np.asarray(positions, dtype=np.int64)
         normed = self._norm(hidden, layer.attn_norm_weight, layer.attn_norm_bias)
 
-        # (heads, T, head_dim) via einsum over the per-head projections.
-        q = np.einsum("td,hde->hte", normed, layer.wq)
-        k = np.einsum("td,hde->hte", normed, layer.wk)
-        v = np.einsum("td,hde->hte", normed, layer.wv)
+        # One fused GEMM for all Q/K/V heads, then per-head views: column
+        # blocks of the fused product equal the per-head projections.
+        t = normed.shape[0]
+        head_dim = self.config.head_dim
+        fused = normed @ self._wqkv[layer_idx]
+        q_cols, kv_cols = self._q_cols, self._kv_cols
+        q = fused[:, :q_cols].reshape(t, self.config.n_heads, head_dim)
+        k = fused[:, q_cols : q_cols + kv_cols].reshape(
+            t, self.config.n_kv_heads, head_dim
+        )
+        v = fused[:, q_cols + kv_cols :].reshape(t, self.config.n_kv_heads, head_dim)
+        q = q.swapaxes(0, 1)
+        k = k.swapaxes(0, 1)
+        v = v.swapaxes(0, 1)
         if self._inv_freq is not None:
             q = apply_rope(q, positions, self._inv_freq)
             k = apply_rope(k, positions, self._inv_freq)
@@ -103,8 +141,12 @@ class TransformerModel:
         """Feed-forward block with residual connection."""
         layer = self.weights.layers[layer_idx]
         normed = self._norm(hidden, layer.ffn_norm_weight, layer.ffn_norm_bias)
-        if self.config.activation == "swiglu":
-            inner = swiglu(normed @ layer.w_gate, normed @ layer.w_up)
+        if self._w_gate_up is not None:
+            # Fused gate/up GEMM; the two column halves equal the separate
+            # products.
+            fused = normed @ self._w_gate_up[layer_idx]
+            d_ff = self.config.d_ff
+            inner = swiglu(fused[:, :d_ff], fused[:, d_ff:])
         else:
             inner = gelu(normed @ layer.w_gate)
         return hidden + inner @ layer.w_down

@@ -1,0 +1,32 @@
+"""Persistent performance harness: op counters and the hot-path benchmark.
+
+Two pieces:
+
+* :mod:`repro.perf.counters` — zero-overhead-when-disabled counters of
+  deterministic hot-path events (GEMM launches, k-means iterations), the
+  basis of the ``scripts/check_perf.py`` regression guard;
+* :mod:`repro.perf.hotpaths` — the ``repro perf-bench`` benchmark that
+  times prefill, decode stepping, clustering and serving throughput on
+  pinned configurations and writes ``BENCH_hotpaths.json``.
+"""
+
+from . import counters
+from .counters import OpCounter, count_ops, record
+from .hotpaths import (
+    PerfBenchConfig,
+    deterministic_counters,
+    format_perf_bench,
+    run_perf_bench,
+    write_bench_file,
+)
+
+__all__ = [
+    "OpCounter",
+    "count_ops",
+    "record",
+    "PerfBenchConfig",
+    "deterministic_counters",
+    "run_perf_bench",
+    "format_perf_bench",
+    "write_bench_file",
+]

@@ -1,0 +1,72 @@
+"""Lightweight deterministic operation counters for the hot paths.
+
+The hot-path modules (:mod:`repro.model.attention`,
+:mod:`repro.core.clustering`, :mod:`repro.core.selection`, the inference
+engine) report named events — GEMM launches, k-means iterations,
+instrumentation scoring — through :func:`record`.  When no counter is
+installed the call is a single global check and costs nothing measurable;
+inside a :func:`count_ops` block every event is tallied into an
+:class:`OpCounter`.
+
+The counts are *deterministic*: they depend only on configuration and
+control flow, never on wall time or host load, which is what lets
+``scripts/check_perf.py`` pin them against a checked-in baseline
+(``BENCH_hotpaths.json``) as a machine-independent performance-regression
+guard.  A vectorisation regression — say, the per-head attention loop
+creeping back in — multiplies the GEMM count and fails tier-1 even though
+every output token is unchanged.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["OpCounter", "count_ops", "record"]
+
+
+class OpCounter:
+    """Tally of named hot-path events recorded while installed."""
+
+    def __init__(self) -> None:
+        self.counts: dict[str, int] = {}
+
+    def record(self, name: str, n: int = 1) -> None:
+        """Add ``n`` occurrences of event ``name``."""
+        self.counts[name] = self.counts.get(name, 0) + n
+
+    def get(self, name: str) -> int:
+        """Count of event ``name`` (0 when never recorded)."""
+        return self.counts.get(name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        """Sorted plain-dict snapshot of all counts."""
+        return {name: self.counts[name] for name in sorted(self.counts)}
+
+
+# The installed counter, or None.  A plain module global (not a contextvar):
+# the engine is single-threaded and the None check must stay free.
+_ACTIVE: OpCounter | None = None
+
+
+def record(name: str, n: int = 1) -> None:
+    """Record ``n`` events named ``name`` on the installed counter, if any."""
+    if _ACTIVE is not None:
+        _ACTIVE.record(name, n)
+
+
+@contextmanager
+def count_ops() -> Iterator[OpCounter]:
+    """Install a fresh :class:`OpCounter` for the duration of the block.
+
+    Blocks nest: the innermost counter receives the events, and the outer
+    one is restored on exit.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    counter = OpCounter()
+    _ACTIVE = counter
+    try:
+        yield counter
+    finally:
+        _ACTIVE = previous

@@ -1,0 +1,354 @@
+"""The ``repro perf-bench`` hot-path benchmark.
+
+Times the four hot paths the serving stack lives in — prefill, decode
+stepping, k-means clustering, and end-to-end continuous-batching serving —
+on pinned configurations, and collects the *deterministic* operation
+counters (engine steps, GEMM launches via :mod:`repro.perf.counters`,
+k-means iterations) alongside the wall-clock numbers.
+
+The deterministic section is machine-independent: it depends only on
+configuration and control flow.  ``scripts/check_perf.py`` recomputes it
+and compares against the checked-in ``BENCH_hotpaths.json``, so a hot-path
+regression that multiplies GEMM launches (e.g. a per-head loop creeping
+back into attention) fails tier-1 even though outputs are unchanged.  Wall
+times are informational — they seed the bench trajectory and record the
+measured speedup over the pre-overhaul baseline.
+
+Heavy imports happen inside functions: :mod:`repro.perf` is imported by
+the hot-path modules themselves (for the counters), so this module must
+not import them at module scope.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+
+from .counters import count_ops
+
+__all__ = [
+    "PerfBenchConfig",
+    "deterministic_counters",
+    "run_perf_bench",
+    "format_perf_bench",
+    "write_bench_file",
+]
+
+# Batched decode throughput of `repro serve-bench` (batch 8, serve-sim,
+# repeats=3) measured on the engine as it stood before the hot-path
+# vectorisation overhaul, recorded once so every later run reports its
+# speedup against the same anchor.  Wall-clock numbers from the machine the
+# overhaul was developed on; the speedup column, not the absolute numbers,
+# is the meaningful quantity.
+PRE_PR_BASELINE_TOKENS_PER_S = {
+    "clusterkv": 468.5,
+    "streaming_llm": 803.7,
+    "full": 905.7,
+}
+
+
+@dataclass(frozen=True)
+class PerfBenchConfig:
+    """Pinned workload shapes of the hot-path benchmark.
+
+    The defaults match the ``serve-sim`` serving benchmark (prompt 64,
+    decode 96, budget 48, batch 8) plus standalone prefill/clustering
+    shapes large enough for the timings to be meaningful on a CPU.
+    """
+
+    model: str = "serve-sim"
+    prefill_prompt_len: int = 512
+    decode_prompt_len: int = 64
+    decode_steps: int = 64
+    budget: int = 48
+    num_sink_tokens: int = 8
+    num_full_layers: int = 1
+    clustering_heads: int = 4
+    clustering_tokens: int = 1024
+    clustering_dim: int = 16
+    clustering_clusters: int = 64
+    serve_requests: int = 8
+    serve_batch: int = 8
+    serve_prompt_len: int = 64
+    serve_new_tokens: int = 96
+    repeats: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.repeats <= 0:
+            raise ValueError("repeats must be positive")
+        if self.decode_steps <= 0 or self.prefill_prompt_len <= 0:
+            raise ValueError("decode_steps and prefill_prompt_len must be positive")
+
+
+def _clusterkv_engine(config: PerfBenchConfig, max_new_tokens: int):
+    """Fresh single-sequence engine under the serving-tuned ClusterKV policy."""
+    from ..model import GenerationConfig, InferenceEngine, TransformerModel, get_model_config
+    from ..policies import build_policy
+    from ..serving.bench import serving_policy_spec
+
+    model = TransformerModel(get_model_config(config.model))
+    selector = build_policy(serving_policy_spec("clusterkv", config.num_sink_tokens))
+    gen = GenerationConfig(
+        budget=config.budget,
+        max_new_tokens=max_new_tokens,
+        num_full_layers=config.num_full_layers,
+        num_sink_tokens=config.num_sink_tokens,
+    )
+    return InferenceEngine(model, selector, gen)
+
+
+def _bench_prompt(config: PerfBenchConfig, length: int):
+    import numpy as np
+
+    from ..model import get_model_config
+
+    vocab = get_model_config(config.model).vocab_size
+    rng = np.random.default_rng(config.seed)
+    return rng.integers(4, vocab, size=length).astype(np.int64)
+
+
+def _prefill_section(config: PerfBenchConfig) -> dict[str, object]:
+    """Time one exact prefill (plus ClusterKV build) of a long prompt."""
+    import numpy as np
+
+    prompt = _bench_prompt(config, config.prefill_prompt_len)
+    best = float("inf")
+    counter_snapshot: dict[str, int] = {}
+    for _ in range(config.repeats):
+        engine = _clusterkv_engine(config, max_new_tokens=1)
+        with count_ops() as ops:
+            start = time.perf_counter()
+            engine._core.prefill(engine._sequence, np.asarray(prompt))
+            best = min(best, time.perf_counter() - start)
+        counter_snapshot = ops.as_dict()
+    return {
+        "wall_seconds": best,
+        "prompt_tokens": config.prefill_prompt_len,
+        "counters": counter_snapshot,
+    }
+
+
+def _decode_section(config: PerfBenchConfig) -> dict[str, object]:
+    """Time steady-state single-sequence decode stepping under ClusterKV."""
+    best = float("inf")
+    counter_snapshot: dict[str, int] = {}
+    for _ in range(config.repeats):
+        engine = _clusterkv_engine(config, max_new_tokens=config.decode_steps)
+        prompt = _bench_prompt(config, config.decode_prompt_len)
+        core, seq = engine._core, engine._sequence
+        distribution = core.prefill(seq, prompt)
+        token = core.pick_token(seq, distribution)
+        with count_ops() as ops:
+            start = time.perf_counter()
+            for step in range(config.decode_steps - 1):
+                distribution = core.decode_step_batch([seq], [token], [step])[0]
+                token = core.pick_token(seq, distribution)
+            best = min(best, time.perf_counter() - start)
+        counter_snapshot = ops.as_dict()
+    steps = config.decode_steps - 1
+    return {
+        "wall_seconds": best,
+        "decode_steps": steps,
+        "tokens_per_second": steps / best if best > 0 else 0.0,
+        "counters": counter_snapshot,
+    }
+
+
+def _clustering_section(config: PerfBenchConfig) -> dict[str, object]:
+    """Time batched k-means over every head of one pinned key tensor."""
+    import numpy as np
+
+    from ..core.clustering import kmeans_cluster_batch
+
+    rng = np.random.default_rng(config.seed + 1)
+    keys = rng.normal(
+        size=(config.clustering_heads, config.clustering_tokens, config.clustering_dim)
+    )
+    best = float("inf")
+    results = []
+    counter_snapshot: dict[str, int] = {}
+    for _ in range(config.repeats):
+        with count_ops() as ops:
+            start = time.perf_counter()
+            results = kmeans_cluster_batch(
+                keys, config.clustering_clusters, metric="cosine", seed=config.seed
+            )
+            best = min(best, time.perf_counter() - start)
+        counter_snapshot = ops.as_dict()
+    return {
+        "wall_seconds": best,
+        "heads": config.clustering_heads,
+        "tokens": config.clustering_tokens,
+        "n_iters": [r.n_iters for r in results],
+        "converged": [bool(r.converged) for r in results],
+        "counters": counter_snapshot,
+    }
+
+
+def _serve_section(config: PerfBenchConfig) -> dict[str, object]:
+    """End-to-end continuous-batching throughput on the serve-sim config."""
+    from ..serving.bench import ServeBenchConfig, run_serve_bench
+
+    bench = ServeBenchConfig(
+        model=config.model,
+        methods=tuple(PRE_PR_BASELINE_TOKENS_PER_S),
+        num_requests=config.serve_requests,
+        max_batch_size=config.serve_batch,
+        prompt_len=config.serve_prompt_len,
+        max_new_tokens=config.serve_new_tokens,
+        budget=config.budget,
+        num_sink_tokens=config.num_sink_tokens,
+        num_full_layers=config.num_full_layers,
+        repeats=config.repeats,
+        seed=config.seed,
+    )
+    rows = run_serve_bench(bench)
+    section: dict[str, object] = {}
+    for row in rows:
+        baseline = PRE_PR_BASELINE_TOKENS_PER_S.get(row.method)
+        section[row.method] = {
+            "batched_tokens_per_second": row.batched_tokens_per_second,
+            "sequential_tokens_per_second": row.sequential_tokens_per_second,
+            "batched_engine_steps": row.batched_engine_steps,
+            "total_tokens": row.total_tokens,
+            "pre_pr_baseline_tokens_per_second": baseline,
+            "speedup_vs_pre_pr": (
+                row.batched_tokens_per_second / baseline if baseline else None
+            ),
+        }
+    return section
+
+
+def deterministic_counters(config: PerfBenchConfig | None = None) -> dict[str, object]:
+    """Machine-independent hot-path counters on small pinned scenarios.
+
+    The regression-guard section of ``BENCH_hotpaths.json``: engine steps
+    and GEMM-launch counts of a short ClusterKV serving run, plus the
+    k-means iteration counts of a pinned clustering problem.  Every value
+    is a pure function of configuration and code structure — comparing
+    against the checked-in baseline catches vectorisation regressions
+    without timing anything.
+    """
+    import numpy as np
+
+    from ..core.clustering import kmeans_cluster_batch
+    from ..model import GenerationConfig, TransformerModel, get_model_config
+    from ..policies import build_policy
+    from ..serving import BatchedEngine, SchedulerConfig
+    from ..serving.bench import serving_policy_spec
+
+    config = config or PerfBenchConfig()
+    model = TransformerModel(get_model_config(config.model))
+    rng = np.random.default_rng(config.seed)
+    prompts = [
+        rng.integers(4, model.config.vocab_size, size=24).astype(np.int64)
+        for _ in range(4)
+    ]
+    gen = GenerationConfig(
+        budget=16,
+        max_new_tokens=8,
+        num_full_layers=config.num_full_layers,
+        num_sink_tokens=4,
+    )
+    selector = build_policy(serving_policy_spec("clusterkv", 4))
+    engine = BatchedEngine(
+        model,
+        selector,
+        gen,
+        SchedulerConfig(max_batch_size=4, max_prefills_per_step=4),
+    )
+    for prompt in prompts:
+        engine.submit(prompt)
+    with count_ops() as serve_ops:
+        report = engine.run()
+
+    keys = np.random.default_rng(config.seed + 1).normal(size=(2, 96, 8))
+    with count_ops() as kmeans_ops:
+        results = kmeans_cluster_batch(keys, 8, metric="cosine", seed=config.seed)
+
+    return {
+        "serve": {
+            "engine_steps": report.engine_steps,
+            "total_tokens": report.total_generated_tokens,
+            "counters": serve_ops.as_dict(),
+        },
+        "kmeans": {
+            "n_iters": [r.n_iters for r in results],
+            "counters": kmeans_ops.as_dict(),
+        },
+    }
+
+
+def run_perf_bench(
+    config: PerfBenchConfig | None = None, include_wall: bool = True
+) -> dict[str, object]:
+    """Run the hot-path benchmark and return the ``BENCH_hotpaths`` payload.
+
+    ``include_wall=False`` skips the timed sections and produces only the
+    deterministic regression-guard counters (what ``scripts/check_perf.py``
+    recomputes in tier-1).
+    """
+    config = config or PerfBenchConfig()
+    payload: dict[str, object] = {
+        "schema": "repro.perf/hotpaths/v1",
+        "config": asdict(config),
+        "deterministic": deterministic_counters(config),
+    }
+    if include_wall:
+        payload["wall"] = {
+            "prefill": _prefill_section(config),
+            "decode": _decode_section(config),
+            "clustering": _clustering_section(config),
+            "serve": _serve_section(config),
+        }
+    return payload
+
+
+def format_perf_bench(payload: dict[str, object]) -> str:
+    """Human-readable summary of one :func:`run_perf_bench` payload."""
+    lines = ["[perf-bench] hot-path timings and deterministic op counters"]
+    wall = payload.get("wall")
+    if isinstance(wall, dict):
+        prefill = wall["prefill"]
+        decode = wall["decode"]
+        clustering = wall["clustering"]
+        lines.append(
+            f"prefill     {prefill['prompt_tokens']:5d} tokens   "
+            f"{prefill['wall_seconds'] * 1e3:8.2f} ms"
+        )
+        lines.append(
+            f"decode      {decode['decode_steps']:5d} steps    "
+            f"{decode['wall_seconds'] * 1e3:8.2f} ms   "
+            f"{decode['tokens_per_second']:8.1f} tok/s"
+        )
+        lines.append(
+            f"clustering  {clustering['tokens']:5d} tokens   "
+            f"{clustering['wall_seconds'] * 1e3:8.2f} ms   "
+            f"iters={clustering['n_iters']}"
+        )
+        lines.append(
+            f"{'serve method':14s} {'batch tok/s':>12s} {'pre-PR tok/s':>13s} {'speedup':>8s}"
+        )
+        for method, row in wall["serve"].items():
+            speedup = row["speedup_vs_pre_pr"]
+            lines.append(
+                f"{method:14s} {row['batched_tokens_per_second']:12.1f} "
+                f"{row['pre_pr_baseline_tokens_per_second']:13.1f} "
+                f"{(f'{speedup:.2f}x' if speedup else 'n/a'):>8s}"
+            )
+    deterministic = payload["deterministic"]
+    serve = deterministic["serve"]
+    lines.append(
+        f"deterministic: serve steps={serve['engine_steps']} "
+        f"tokens={serve['total_tokens']} gemm={serve['counters']} "
+        f"kmeans iters={deterministic['kmeans']['n_iters']}"
+    )
+    return "\n".join(lines)
+
+
+def write_bench_file(path: str, payload: dict[str, object]) -> None:
+    """Write the payload as pretty-printed JSON to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -134,6 +134,43 @@ class StepCostModel:
             seconds += self.latency.infinigen_build_seconds(scaled)
         return seconds
 
+    def prefill_chunk_seconds(
+        self,
+        policy_name: str,
+        prompt_length: int,
+        chunk_start: int,
+        chunk_tokens: int,
+        budget: int | None = 0,
+    ) -> float:
+        """Cost of one prefill chunk ``[chunk_start, chunk_start + chunk_tokens)``.
+
+        Chunk costs telescope: the chunk ending at ``e`` starting at ``s``
+        is priced ``prefill(e) - prefill(s)``, so the chunks of one prompt
+        sum *exactly* to the monolithic :meth:`prefill_seconds` (method
+        build work — clustering, partial keys — is charged on the final
+        chunk, where the engine actually runs it).  A chunk covering the
+        whole prompt delegates to :meth:`prefill_seconds` directly.
+        """
+        end = chunk_start + chunk_tokens
+        if chunk_start == 0 and end >= prompt_length:
+            return self.prefill_seconds(policy_name, prompt_length, budget)
+        method = self._method_for(policy_name, budget)
+        offload = method in ("clusterkv", "infinigen")
+        seconds = self.latency.prefill_seconds(
+            end * self.context_scale, offload_kv=offload
+        )
+        if chunk_start > 0:
+            seconds -= self.latency.prefill_seconds(
+                chunk_start * self.context_scale, offload_kv=offload
+            )
+        if end >= prompt_length:
+            scaled_prompt = prompt_length * self.context_scale
+            if method == "clusterkv":
+                seconds += self.latency.clustering_build_seconds(scaled_prompt)
+            elif method == "infinigen":
+                seconds += self.latency.infinigen_build_seconds(scaled_prompt)
+        return max(seconds, 0.0)
+
     def dense_seconds(self, batch_size: int) -> float:
         """Cost of the batched dense projections of one decode step.
 
@@ -193,15 +230,28 @@ class StepCostModel:
 
         ``prefills``/``decodes`` are the entries of one
         :class:`repro.serving.StepTrace` (any objects with the same
-        attributes work).  Prefills are charged sequentially at full cost;
-        the decode batch is charged one shared dense pass plus per-request
+        attributes work).  Prefills are charged sequentially at full cost —
+        entries carrying chunk information (``chunk_start``/
+        ``chunk_tokens``) are priced as chunks, so mixed prefill+decode
+        steps under chunked prefill cost only the chunk actually run; the
+        decode batch is charged one shared dense pass plus per-request
         attention/selection/transfer.
         """
         seconds = 0.0
         for entry in prefills:
-            seconds += self.prefill_seconds(
-                entry.policy_name, entry.context_length, entry.budget
-            )
+            chunk_tokens = getattr(entry, "chunk_tokens", None)
+            if chunk_tokens is None:
+                seconds += self.prefill_seconds(
+                    entry.policy_name, entry.context_length, entry.budget
+                )
+            else:
+                seconds += self.prefill_chunk_seconds(
+                    entry.policy_name,
+                    entry.context_length,
+                    getattr(entry, "chunk_start", 0),
+                    chunk_tokens,
+                    entry.budget,
+                )
         decode_entries = list(decodes)
         if decode_entries:
             seconds += self.dense_seconds(len(decode_entries))

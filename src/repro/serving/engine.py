@@ -64,9 +64,9 @@ class StepRequestTrace:
         (``"clusterkv"``, ``"full"``, ...), which is what a cost model
         needs to charge the right selection/transfer overheads.
     context_length:
-        For a prefill entry, the prompt length; for a decode entry, the KV
-        context length attended at this step (after appending the new
-        token).
+        For a prefill entry, the *total* prompt length; for a decode
+        entry, the KV context length attended at this step (after
+        appending the new token).
     budget:
         The KV budget the request decodes under (``None`` when the request
         attends the full context — either the engine has no budget or the
@@ -75,6 +75,11 @@ class StepRequestTrace:
         Live token-level hit rate of the request's cluster caches
         (``None`` for selectors without a cache), so step costs can charge
         only the cache-missed KV transfer bytes.
+    chunk_start / chunk_tokens:
+        For a prefill entry under chunked prefill, the prompt range
+        ``[chunk_start, chunk_start + chunk_tokens)`` processed at this
+        step; a monolithic prefill carries ``(0, context_length)``.
+        Decode entries leave ``chunk_tokens`` as ``None``.
     """
 
     request_id: str
@@ -82,6 +87,8 @@ class StepRequestTrace:
     context_length: int
     budget: int | None
     cache_hit_rate: float | None
+    chunk_start: int = 0
+    chunk_tokens: int | None = None
 
 
 @dataclass
@@ -384,12 +391,14 @@ class BatchedEngine:
             default_max_new_tokens=self.generation_config.max_new_tokens,
         )
         for request in admitted:
-            self._prefill_request(request)
-            trace.prefills.append(
-                self._trace_entry(self._active[-1], request.prompt_length())
-            )
+            self._admit_request(request)
+        self._advance_prefills(trace)
 
-        batch = [a for a in self._active if not a.is_finished]
+        batch = [
+            a
+            for a in self._active
+            if a.status is RequestStatus.DECODING and not a.is_finished
+        ]
         if batch:
             distributions = self.core.decode_step_batch(
                 [a.sequence for a in batch],
@@ -417,7 +426,11 @@ class BatchedEngine:
         return completed
 
     def _trace_entry(
-        self, active: ActiveRequest, context_length: int
+        self,
+        active: ActiveRequest,
+        context_length: int,
+        chunk_start: int = 0,
+        chunk_tokens: int | None = None,
     ) -> StepRequestTrace:
         """Build the :class:`StepRequestTrace` of one request at this step."""
         selector_name = active.sequence.selector.name
@@ -434,7 +447,9 @@ class BatchedEngine:
             policy_name=selector_name,
             context_length=context_length,
             budget=budget,
-            cache_hit_rate=float(np.mean(hit_rates)) if hit_rates else None,
+            cache_hit_rate=sum(hit_rates) / len(hit_rates) if hit_rates else None,
+            chunk_start=chunk_start,
+            chunk_tokens=chunk_tokens,
         )
 
     def run(self) -> ServeReport:
@@ -458,8 +473,8 @@ class BatchedEngine:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _prefill_request(self, request: ServeRequest) -> None:
-        """Prefill an admitted request and sample its first token."""
+    def _admit_request(self, request: ServeRequest) -> None:
+        """Create the decoding state of an admitted request (no prefill yet)."""
         selector = self._request_selectors.pop(request.request_id, None)
         if selector is None:
             # Requests enqueued directly on ``self.queue`` (bypassing
@@ -492,13 +507,47 @@ class BatchedEngine:
         self._reserved_bytes[request.request_id] = self.scheduler.projected_bytes(
             request, self._kv_bytes_per_token, self.generation_config.max_new_tokens
         )
-        distribution = self.core.prefill(sequence, request.prompt_ids)
-        token = self.core.pick_token(sequence, distribution)
-        self.core.record_output(sequence, token, distribution)
-        active.current_token = token
-        active.first_token_step = self._engine_step
-        active.status = RequestStatus.DECODING
         self._active.append(active)
+
+    def _advance_prefills(self, trace: StepTrace) -> None:
+        """Advance every still-prefilling request within the chunk budget.
+
+        Without a ``prefill_chunk_tokens`` budget each admitted request is
+        prefilled whole (monolithic prefill, the historical behaviour).
+        With a budget, at most that many prompt tokens are processed per
+        engine step across the prefilling requests, in admission order —
+        so a long prompt is spread over several steps and interleaves with
+        the decode batch instead of stalling it.  A request whose last
+        chunk lands samples its first token and joins the decode batch in
+        the same step.
+        """
+        remaining = self.scheduler.config.prefill_chunk_tokens
+        for active in self._active:
+            if active.status is not RequestStatus.PREFILLING:
+                continue
+            if remaining is not None and remaining <= 0:
+                break
+            prompt = active.request.prompt_ids
+            length = int(prompt.shape[0])
+            start = active.prefill_pos
+            take = length - start if remaining is None else min(remaining, length - start)
+            end = start + take
+            distribution = self.core.prefill_chunk(active.sequence, prompt, start, end)
+            active.prefill_pos = end
+            if remaining is not None:
+                remaining -= take
+            trace.prefills.append(
+                self._trace_entry(
+                    active, length, chunk_start=start, chunk_tokens=take
+                )
+            )
+            if distribution is None:
+                continue
+            token = self.core.pick_token(active.sequence, distribution)
+            self.core.record_output(active.sequence, token, distribution)
+            active.current_token = token
+            active.first_token_step = self._engine_step
+            active.status = RequestStatus.DECODING
 
     def _retire_finished(self) -> list[CompletedRequest]:
         """Finalise finished requests and release their KV memory."""

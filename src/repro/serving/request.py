@@ -116,10 +116,14 @@ class ActiveRequest:
     admitted_at_step:
         Engine step at which the request was admitted (prefilled).
     first_token_step:
-        Engine step at which the first token was sampled.  Prefill samples
-        the first token in the admission step, so this equals
-        ``admitted_at_step``; it is recorded separately so the timing
-        surface stays correct if prefill is ever split across steps.
+        Engine step at which the first token was sampled.  Monolithic
+        prefill samples the first token in the admission step, so there it
+        equals ``admitted_at_step``; under chunked prefill the last chunk
+        may land several steps later and the two diverge.
+    prefill_pos:
+        Number of prompt tokens prefilled so far (chunked prefill advances
+        this until it reaches the prompt length; monolithic prefill jumps
+        it in one step).
     status:
         Current lifecycle stage.
     """
@@ -131,6 +135,7 @@ class ActiveRequest:
     decode_step: int = 0
     admitted_at_step: int = 0
     first_token_step: int = -1
+    prefill_pos: int = 0
     status: RequestStatus = RequestStatus.PREFILLING
 
     @property

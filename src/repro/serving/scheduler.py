@@ -46,11 +46,20 @@ class SchedulerConfig:
         Global KV memory budget across all in-flight requests, in bytes of
         fp16 K/V entries summed over layers; ``None`` disables the memory
         gate (slots only).
+    prefill_chunk_tokens:
+        Per-step prompt-token budget of chunked prefill.  When set, each
+        engine step advances the admitted-but-still-prefilling requests by
+        at most this many prompt tokens in total, interleaved with the
+        decode batch — a long prompt no longer stalls every in-flight
+        decode for one monolithic step.  ``None`` (the default) prefills
+        every admitted request whole in its admission step (monolithic
+        prefill, the historical behaviour).
     """
 
     max_batch_size: int = 8
     max_prefills_per_step: int = 2
     kv_budget_bytes: int | None = None
+    prefill_chunk_tokens: int | None = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size <= 0:
@@ -59,6 +68,8 @@ class SchedulerConfig:
             raise ValueError("max_prefills_per_step must be positive")
         if self.kv_budget_bytes is not None and self.kv_budget_bytes <= 0:
             raise ValueError("kv_budget_bytes must be positive when set")
+        if self.prefill_chunk_tokens is not None and self.prefill_chunk_tokens <= 0:
+            raise ValueError("prefill_chunk_tokens must be positive when set")
 
 
 class ContinuousBatchingScheduler:

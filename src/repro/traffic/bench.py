@@ -49,7 +49,10 @@ class TrafficBenchConfig:
     (:func:`repro.serving.bench.serving_policy_spec`).
     ``trace`` replays a JSONL trace instead of generating arrivals
     (``rate``/``arrivals`` are then ignored; ``num_requests`` caps how
-    many records are replayed).
+    many records are replayed).  ``prefill_chunk`` enables chunked
+    prefill on every replica: at most that many prompt tokens are
+    prefilled per engine step, interleaved with decoding (``None`` keeps
+    monolithic prefill).
     """
 
     model: str = "serve-sim"
@@ -70,6 +73,7 @@ class TrafficBenchConfig:
     num_full_layers: int = 1
     num_sink_tokens: int = 8
     max_batch_size: int = 8
+    prefill_chunk: int | None = None
     slo: SLOSpec = field(default_factory=SLOSpec)
     seed: int = 0
     trace: str | None = None
@@ -103,6 +107,7 @@ class TrafficBenchConfig:
             num_sink_tokens=self.num_sink_tokens,
             max_batch_size=self.max_batch_size,
             max_prefills_per_step=self.max_batch_size,
+            prefill_chunk_tokens=self.prefill_chunk,
         )
 
     def traffic_config(self) -> TrafficConfig:

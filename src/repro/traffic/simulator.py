@@ -225,7 +225,11 @@ class TrafficSimulator:
             replica.steps += 1
             replica.occupancy.append(len(trace.decodes))
             for entry in trace.prefills:
-                admitted_at_s[entry.request_id] = step_start_s
+                # Under chunked prefill a request emits one prefill entry
+                # per chunk: admission is the FIRST chunk's step start
+                # (setdefault), while the first token lands at the end of
+                # the LAST chunk's step (overwrite).
+                admitted_at_s.setdefault(entry.request_id, step_start_s)
                 first_token_at_s[entry.request_id] = step_end_s
             for item in finished:
                 metrics.append(

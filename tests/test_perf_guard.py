@@ -1,0 +1,61 @@
+"""Tier-1 hook of the hot-path perf regression guard (``scripts/check_perf.py``).
+
+The deterministic section of ``BENCH_hotpaths.json`` pins the engine-step
+and GEMM-launch counts of the vectorized hot paths on small fixed
+configurations.  This test recomputes them and fails on any drift — the
+machine-independent way to catch a de-vectorisation (per-head loops
+creeping back, duplicated selection scoring, instrumentation GEMMs on the
+disabled path) in CI, where wall-clock timings would be pure noise.
+"""
+
+import sys
+from pathlib import Path
+
+SCRIPTS_DIR = Path(__file__).resolve().parent.parent / "scripts"
+sys.path.insert(0, str(SCRIPTS_DIR))
+
+from check_perf import BENCH_PATH, counter_diff, load_baseline  # noqa: E402
+
+
+def test_bench_file_exists_and_has_sections():
+    """The committed bench file is present with its regression-guard section."""
+    assert BENCH_PATH.exists(), (
+        f"missing {BENCH_PATH}; create it with: python scripts/check_perf.py --update"
+    )
+    payload = load_baseline()
+    assert "deterministic" in payload
+    assert "serve" in payload["deterministic"]
+    assert "kmeans" in payload["deterministic"]
+
+
+def test_deterministic_counters_match_baseline():
+    """Live engine-step / GEMM / k-means counters equal the checked-in ones."""
+    mismatches = counter_diff()
+    assert not mismatches, (
+        "deterministic hot-path counters drifted from BENCH_hotpaths.json:\n"
+        + "\n".join(f"  - {line}" for line in mismatches)
+        + "\nintentional? run: python scripts/check_perf.py --update"
+    )
+
+
+def test_gemm_counters_prove_vectorization():
+    """The pinned GEMM counts encode the vectorized shape of the hot paths.
+
+    4 requests decode 8 tokens each on the 4-layer serve-sim model under
+    ClusterKV.  With attention batched across heads *and* across the
+    requests of a decode batch, the per-step decode GEMM count is bounded
+    by a small multiple of the layer count — nowhere near the
+    requests x layers x kv-heads explosion of the historical per-head loop.
+    """
+    payload = load_baseline()
+    serve = payload["deterministic"]["serve"]
+    counters = serve["counters"]
+    steps = serve["engine_steps"]
+    assert counters["gemm.attention_decode"] > 0
+    # 2 launches per fused attention; at most (solo full layers + stacked
+    # groups + stragglers) per step. The historical loop would need
+    # >= 2 * 4 kv-head GEMMs per request per layer.
+    per_step = counters["gemm.attention_decode"] / steps
+    assert per_step <= 2 * (4 + 4)
+    # Instrumentation is off in the pinned run: zero true-score GEMMs.
+    assert counters.get("gemm.true_score", 0) == 0
