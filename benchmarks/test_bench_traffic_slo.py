@@ -2,13 +2,16 @@
 
 Runs the open-loop traffic simulator on the tiny ``serve-sim`` model with
 the virtual perfmodel clock (pure arithmetic — fast and deterministic) and
-asserts the two headline properties of the traffic layer:
+asserts the headline properties of the traffic and cluster layers:
 
 * at a sustainable arrival rate, p99 TTFT stays under a generous bound
   and most requests meet the default SLO;
 * on a skewed trace (bursts alternating heavy and light requests, a
   parity trap for load-blind routing) join-shortest-queue achieves at
-  least the goodput of round-robin.
+  least the goodput of round-robin;
+* under a seeded bursty trace, the ``slo_attainment`` autoscaler beats
+  the static minimum fleet by a pinned goodput factor at equal
+  per-replica configuration, byte-reproducibly.
 """
 
 import numpy as np
@@ -160,3 +163,62 @@ def test_bench_chunked_prefill_p99_ttft(benchmark):
     assert chunked.goodput_tokens_per_s >= monolithic.goodput_tokens_per_s
     # Identical workload either way: same tokens come out of both runs.
     assert chunked.total_output_tokens == monolithic.total_output_tokens
+
+
+def test_bench_cluster_autoscaler_goodput(benchmark):
+    """Elastic fleet >= 1.3x static-minimum goodput on a seeded bursty trace.
+
+    The same on/off bursty workload is served twice at equal per-replica
+    configuration: once by the static minimum fleet (one replica, the
+    floor the autoscaler is never allowed to go below) and once by an
+    elastic fleet whose ``slo_attainment`` autoscaler may grow to four
+    replicas, paying the perfmodel's replica warm-up cost for each boot.
+    During bursts the static replica queues requests past their TTFT
+    deadlines, so its goodput (tokens from SLO-conforming requests only)
+    collapses; the elastic fleet boots capacity as soon as the completion
+    window shows misses and lands the later arrivals within the SLO.
+    """
+    from dataclasses import replace
+
+    from repro.cluster import ClusterBenchConfig, format_cluster_report, run_cluster_bench
+
+    base = ClusterBenchConfig(
+        policies=("clusterkv",),
+        rate=0.8,
+        arrivals="onoff",
+        burstiness=4.0,
+        num_requests=18,
+        min_replicas=1,
+        max_replicas=4,
+        autoscaler="slo_attainment",
+        seed=1,
+    )
+
+    def compare():
+        static = run_cluster_bench(replace(base, autoscaler="static", max_replicas=1))
+        elastic = run_cluster_bench(base)
+        elastic_again = run_cluster_bench(base)
+        return static, elastic, elastic_again
+
+    static, elastic, elastic_again = run_once(benchmark, compare)
+    print()
+    print("--- static minimum fleet (1 replica)")
+    print(format_cluster_report(static))
+    print("--- elastic fleet (slo_attainment, up to 4 replicas)")
+    print(format_cluster_report(elastic))
+
+    # The cluster-bench report is byte-identical across runs.
+    assert elastic.to_json() == elastic_again.to_json()
+    # Same workload served either way — elasticity changes when tokens
+    # arrive, not which tokens come out.
+    assert elastic.total_output_tokens == static.total_output_tokens
+    assert elastic.num_requests == static.num_requests
+    # The autoscaler actually scaled and it paid off where it counts.
+    assert elastic.num_replicas > 1
+    assert static.goodput_tokens_per_s > 0.0
+    ratio = elastic.goodput_tokens_per_s / static.goodput_tokens_per_s
+    assert ratio >= 1.3, (
+        f"elastic goodput {elastic.goodput_tokens_per_s:.2f} tok/s is only "
+        f"{ratio:.2f}x the static {static.goodput_tokens_per_s:.2f} tok/s"
+    )
+    assert elastic.slo_attainment > static.slo_attainment

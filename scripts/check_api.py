@@ -39,6 +39,7 @@ PUBLIC_MODULES = (
     "repro.perf",
     "repro.serving",
     "repro.traffic",
+    "repro.cluster",
     "repro.experiments",
     "repro.perfmodel",
     "repro.workloads",

@@ -25,6 +25,10 @@ Top-level convenience re-exports; see the subpackages for the full API:
 * :mod:`repro.traffic` — trace-driven open-loop traffic simulation:
   seeded arrival processes, multi-replica routing and TTFT/TPOT/goodput
   SLO metrics on a virtual perfmodel clock.
+* :mod:`repro.cluster` — the elastic control plane over the traffic
+  simulator: autoscaler and admission-control registries, seeded
+  failure injection with deterministic retries, and the
+  ``repro cluster-bench`` scenario harness.
 """
 
 from .baselines import (
@@ -62,8 +66,9 @@ from .serving import (
     ServeRequest,
     serve_prompts,
 )
-from .api import EngineSpec, Session, TokenEvent
-from .traffic import SLOSpec, TrafficConfig, TrafficReport, simulate
+from .api import EngineSpec, Session, TokenEvent, simulate, simulate_cluster
+from .cluster import ClusterConfig, FailurePlan
+from .traffic import SLOSpec, TrafficConfig, TrafficReport
 
 __version__ = "0.1.0"
 
@@ -73,9 +78,12 @@ __all__ = [
     "EngineSpec",
     "TokenEvent",
     "simulate",
+    "simulate_cluster",
     "TrafficConfig",
     "TrafficReport",
     "SLOSpec",
+    "ClusterConfig",
+    "FailurePlan",
     "PolicySpec",
     "UnknownPolicyError",
     "register_policy",

@@ -23,18 +23,85 @@ session serves heterogeneous traffic.
 from .session import Session, TokenEvent
 from .spec import EngineSpec
 
-__all__ = ["EngineSpec", "Session", "TokenEvent", "simulate"]
+__all__ = ["EngineSpec", "Session", "TokenEvent", "simulate", "simulate_cluster"]
 
 
-def simulate(requests, config=None, router=None, clock=None):
-    """Run one open-loop traffic simulation (see :func:`repro.traffic.simulate`).
+def simulate(
+    requests,
+    config=None,
+    router=None,
+    clock=None,
+    *,
+    autoscaler=None,
+    admission=None,
+    failures=None,
+    min_replicas=None,
+    max_replicas=None,
+    max_retries=None,
+):
+    """Run one open-loop traffic simulation, static or elastic.
 
-    Thin forwarding wrapper so applications can drive the whole stack —
-    sessions for closed-loop calls, ``simulate`` for latency-under-load
-    experiments — from :mod:`repro.api` alone.  Imported lazily because
-    :mod:`repro.traffic` builds its replicas from this module's
+    With only the base arguments this forwards to
+    :func:`repro.traffic.simulate`: a fixed fleet of
+    ``config.num_replicas`` replicas, every request admitted.  Passing
+    any cluster knob switches to the elastic
+    :class:`~repro.cluster.ClusterSimulator`:
+
+    * ``autoscaler`` / ``admission`` — control-plane policies, as
+      instances or compact spec strings (``"queue_depth:high=2"``,
+      ``"token_budget"``);
+    * ``failures`` — a :class:`~repro.cluster.FailurePlan` of replica
+      kills;
+    * ``min_replicas`` / ``max_replicas`` — provisioning bounds
+      (defaults: ``config.num_replicas`` and twice that);
+    * ``max_retries`` — failure re-dispatch budget per request.
+
+    Imported lazily because :mod:`repro.traffic` and
+    :mod:`repro.cluster` build their replicas from this module's
     :class:`EngineSpec`.
     """
-    from ..traffic import simulate as _simulate
+    cluster_knobs = (autoscaler, admission, failures, min_replicas, max_replicas, max_retries)
+    if all(knob is None for knob in cluster_knobs):
+        from ..traffic import simulate as _simulate
 
-    return _simulate(requests, config, router=router, clock=clock)
+        return _simulate(requests, config, router=router, clock=clock)
+
+    from ..cluster import ClusterConfig, ClusterSimulator
+    from ..traffic import TrafficConfig
+
+    base = config or TrafficConfig()
+    floor = base.num_replicas if min_replicas is None else min_replicas
+    ceiling = max(floor, 2 * floor) if max_replicas is None else max_replicas
+    cluster_config = ClusterConfig(
+        engine=base.engine,
+        min_replicas=floor,
+        max_replicas=ceiling,
+        autoscaler=autoscaler if autoscaler is not None else "static",
+        admission=admission if admission is not None else "always",
+        router=base.router,
+        clock=base.clock,
+        arch=base.arch,
+        context_scale=base.context_scale,
+        slo=base.slo,
+        failures=failures if failures is not None else _empty_failure_plan(),
+        max_retries=max_retries if max_retries is not None else 3,
+    )
+    return ClusterSimulator(cluster_config, router=router, clock=clock).run(requests)
+
+
+def simulate_cluster(requests, config=None, router=None, clock=None):
+    """Run one elastic cluster simulation (see :func:`repro.cluster.simulate_cluster`).
+
+    Takes a full :class:`~repro.cluster.ClusterConfig`; for the common
+    cases the cluster knobs of :func:`simulate` are more convenient.
+    """
+    from ..cluster import simulate_cluster as _simulate_cluster
+
+    return _simulate_cluster(requests, config, router=router, clock=clock)
+
+
+def _empty_failure_plan():
+    """A fresh empty :class:`~repro.cluster.FailurePlan` (lazy import)."""
+    from ..cluster import FailurePlan
+
+    return FailurePlan()

@@ -48,6 +48,14 @@ class EngineSpec:
         Scheduler configuration, see
         :class:`~repro.serving.SchedulerConfig`; ``prefill_chunk_tokens``
         enables chunked prefill (per-step prompt-token budget).
+    kv_capacity_tokens:
+        Declared per-replica serving capacity in projected KV tokens
+        (prompt plus decode length summed over admitted requests), read
+        by the cluster layer's admission control
+        (:class:`repro.cluster.TokenBudgetAdmission`).  ``None`` lets the
+        cluster derive a capacity from ``kv_budget_bytes`` (when set) or
+        a batch-slot heuristic; the serving engine itself never reads
+        this field.
     """
 
     model: str = "serve-sim"
@@ -63,6 +71,7 @@ class EngineSpec:
     max_prefills_per_step: int = 2
     kv_budget_bytes: int | None = None
     prefill_chunk_tokens: int | None = None
+    kv_capacity_tokens: int | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "policy", resolve_policy_spec(self.policy))

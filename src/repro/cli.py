@@ -80,26 +80,21 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
     return format_serve_bench(run_serve_bench(config))
 
 
-def _run_traffic_bench(args: argparse.Namespace) -> str:
+def _workload_kwargs(args: argparse.Namespace) -> dict:
+    """The TrafficBenchConfig kwargs shared by traffic- and cluster-bench."""
     from .policies import PolicySpec
-    from .traffic import (
-        SLOSpec,
-        TrafficBenchConfig,
-        format_traffic_report,
-        run_traffic_bench,
-    )
+    from .traffic import SLOSpec
 
     policies = tuple(PolicySpec.parse(text) for text in args.policy or ()) or (
         "clusterkv",
     )
-    config = TrafficBenchConfig(
+    return dict(
         model=args.model,
         policies=policies,
         rate=args.rate,
         arrivals=args.arrivals,
         burstiness=args.burstiness,
         num_requests=args.requests,
-        num_replicas=args.replicas,
         router=args.router,
         clock=args.clock,
         arch=args.arch,
@@ -116,10 +111,61 @@ def _run_traffic_bench(args: argparse.Namespace) -> str:
         seed=args.seed,
         trace=args.trace,
     )
+
+
+def _run_traffic_bench(args: argparse.Namespace) -> str:
+    from .traffic import TrafficBenchConfig, format_traffic_report, run_traffic_bench
+
+    config = TrafficBenchConfig(num_replicas=args.replicas, **_workload_kwargs(args))
     report = run_traffic_bench(config)
     if args.json:
         return report.to_json()
     return format_traffic_report(report)
+
+
+def _parse_failure_plan(args: argparse.Namespace):
+    """Build the FailurePlan from --kill and/or --failure-* flags."""
+    from .cluster import FailureEvent, FailurePlan
+
+    events = []
+    for text in args.kill or ():
+        time_text, _, slot_text = text.partition("@")
+        try:
+            events.append(
+                FailureEvent(
+                    time_s=float(time_text), slot=int(slot_text) if slot_text else 0
+                )
+            )
+        except ValueError as error:
+            raise ValueError(
+                f"malformed --kill {text!r}; expected TIME or TIME@SLOT"
+            ) from error
+    if args.failure_count > 0:
+        seeded = FailurePlan.seeded(
+            seed=args.failure_seed,
+            num_failures=args.failure_count,
+            horizon_s=args.failure_horizon,
+        )
+        events.extend(seeded.events)
+    return FailurePlan(events=tuple(events))
+
+
+def _run_cluster_bench(args: argparse.Namespace) -> str:
+    from .cluster import ClusterBenchConfig, format_cluster_report, run_cluster_bench
+
+    config = ClusterBenchConfig(
+        min_replicas=args.min_replicas,
+        max_replicas=args.max_replicas,
+        autoscaler=args.autoscaler,
+        admission=args.admission,
+        failures=_parse_failure_plan(args),
+        max_retries=args.max_retries,
+        **_workload_kwargs(args),
+    )
+    report = run_cluster_bench(config)
+    if args.json:
+        return report.to_json()
+    return format_cluster_report(report)
 
 
 def _run_perf_bench(args: argparse.Namespace) -> str:
@@ -207,6 +253,11 @@ _SERVING_COMMANDS = {
         "open-loop traffic simulation: routing, replicas, SLO latency metrics",
         _run_traffic_bench,
     ),
+    "cluster-bench": (
+        "elastic cluster simulation: autoscaling, admission control, "
+        "failure injection",
+        _run_cluster_bench,
+    ),
     "perf-bench": (
         "hot-path benchmark: prefill/decode/clustering/serving timings + "
         "deterministic op counters (BENCH_hotpaths.json)",
@@ -236,6 +287,7 @@ def _format_listing() -> str:
     lines.append("policies (use with --policy NAME[:KEY=VAL,...] or --methods NAME):")
     for name, entry in available_policies().items():
         lines.append(f"  {name:16s} {entry.summary}")
+    from .cluster import admission_names, autoscaler_names
     from .traffic import arrival_names, router_names
 
     lines.append("")
@@ -243,6 +295,10 @@ def _format_listing() -> str:
     lines.append("  " + ", ".join(router_names()))
     lines.append("arrival processes (traffic-bench --arrivals NAME):")
     lines.append("  " + ", ".join(arrival_names()))
+    lines.append("autoscalers (cluster-bench --autoscaler NAME[:KEY=VAL,...]):")
+    lines.append("  " + ", ".join(autoscaler_names()))
+    lines.append("admission policies (cluster-bench --admission NAME[:KEY=VAL,...]):")
+    lines.append("  " + ", ".join(admission_names()))
     return "\n".join(lines)
 
 
@@ -316,6 +372,67 @@ def build_parser() -> argparse.ArgumentParser:
     traffic = subparsers.add_parser(
         "traffic-bench", help=_SERVING_COMMANDS["traffic-bench"][0]
     )
+    traffic.add_argument("--replicas", type=int, default=2, help="engine replicas")
+    _add_workload_flags(traffic)
+
+    cluster = subparsers.add_parser(
+        "cluster-bench", help=_SERVING_COMMANDS["cluster-bench"][0]
+    )
+    cluster.add_argument(
+        "--min-replicas", type=int, default=1, help="fleet floor (always provisioned)"
+    )
+    cluster.add_argument(
+        "--max-replicas", type=int, default=4, help="fleet ceiling for scale-up"
+    )
+    cluster.add_argument(
+        "--autoscaler", type=str, default="slo_attainment",
+        metavar="NAME[:KEY=VAL,...]",
+        help="autoscaler spec, resolved through the registry "
+        "(see `repro list`; e.g. queue_depth:high=2,low=0.25)",
+    )
+    cluster.add_argument(
+        "--admission", type=str, default="always",
+        metavar="NAME[:KEY=VAL,...]",
+        help="admission-control spec, resolved through the registry "
+        "(see `repro list`; e.g. queue_deadline:deadline_s=2.5)",
+    )
+    cluster.add_argument(
+        "--kill", action="append", metavar="TIME[@SLOT]",
+        help="kill a replica at TIME seconds (optional live-replica slot), "
+        "repeatable",
+    )
+    cluster.add_argument(
+        "--failure-count", type=int, default=0,
+        help="number of seeded random replica kills (0 disables)",
+    )
+    cluster.add_argument(
+        "--failure-seed", type=int, default=0, help="seed of the random kills"
+    )
+    cluster.add_argument(
+        "--failure-horizon", type=float, default=60.0,
+        help="random kills are drawn uniform over [0, HORIZON) seconds",
+    )
+    cluster.add_argument(
+        "--max-retries", type=int, default=3,
+        help="failure re-dispatches a request may consume before giving up",
+    )
+    _add_workload_flags(cluster)
+
+    perf = subparsers.add_parser("perf-bench", help=_SERVING_COMMANDS["perf-bench"][0])
+    perf.add_argument(
+        "--write", type=str, default=None,
+        help="write the full JSON payload (e.g. BENCH_hotpaths.json)",
+    )
+    perf.add_argument(
+        "--counters-only", action="store_true",
+        help="skip wall-clock timings; only the deterministic counters",
+    )
+    perf.add_argument("--out", type=str, default=None, help="write output to a file")
+    return parser
+
+
+def _add_workload_flags(traffic: argparse.ArgumentParser) -> None:
+    """Register the workload/SLO flags shared by traffic- and cluster-bench."""
     traffic.add_argument(
         "--model", type=str, default="serve-sim", help="model config (default serve-sim)"
     )
@@ -345,7 +462,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay arrivals/shapes from a JSONL trace file",
     )
     traffic.add_argument("--requests", type=int, default=16, help="number of requests")
-    traffic.add_argument("--replicas", type=int, default=2, help="engine replicas")
     traffic.add_argument(
         "--router", type=str, default="jsq",
         help="routing strategy (see `repro list` for registered routers)",
@@ -389,18 +505,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the TrafficReport as canonical JSON instead of a table",
     )
     traffic.add_argument("--out", type=str, default=None, help="write output to a file")
-
-    perf = subparsers.add_parser("perf-bench", help=_SERVING_COMMANDS["perf-bench"][0])
-    perf.add_argument(
-        "--write", type=str, default=None,
-        help="write the full JSON payload (e.g. BENCH_hotpaths.json)",
-    )
-    perf.add_argument(
-        "--counters-only", action="store_true",
-        help="skip wall-clock timings; only the deterministic counters",
-    )
-    perf.add_argument("--out", type=str, default=None, help="write output to a file")
-    return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:

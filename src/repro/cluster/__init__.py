@@ -1,0 +1,85 @@
+"""Elastic cluster serving: autoscaling, admission control, failure injection.
+
+This subsystem is the control plane over the :mod:`repro.traffic`
+simulator's replica set — the layer that decides how much capacity
+exists, which requests get in, and what happens when a replica dies:
+
+* :mod:`~repro.cluster.autoscaler` — pluggable fleet-sizing policies
+  (``static``, ``queue_depth``, ``slo_attainment``) deciding on frozen
+  :class:`FleetView` snapshots; scale-ups pay a warm-up cost priced by
+  the perfmodel, scale-downs drain (finish in-flight work, then remove);
+* :mod:`~repro.cluster.admission` — pluggable door policies (``always``,
+  ``token_budget``, ``queue_deadline``) that reject early instead of
+  blowing the tail, with rejections first-class in the report;
+* :mod:`~repro.cluster.failures` — seeded :class:`FailurePlan` schedules
+  that kill replicas mid-run; lost requests are re-dispatched
+  deterministically from their prompts and reproduce their failure-free
+  outputs token for token.
+
+Entry points: :func:`simulate_cluster` (also reachable through the
+cluster knobs of :func:`repro.api.simulate`), :func:`run_cluster_bench`
+behind the ``repro cluster-bench`` CLI command, and the registries
+(:func:`build_autoscaler`, :func:`build_admission`) that make both
+policy families pluggable the same way :mod:`repro.policies` makes
+compression methods pluggable.
+"""
+
+from .admission import (
+    AdmissionDecision,
+    AdmissionPolicy,
+    AlwaysAdmit,
+    QueueDeadlineAdmission,
+    TokenBudgetAdmission,
+    admission_names,
+    build_admission,
+    register_admission,
+    resolve_admission,
+)
+from .autoscaler import (
+    Autoscaler,
+    QueueDepthAutoscaler,
+    ScaleDecision,
+    SLOAttainmentAutoscaler,
+    StaticAutoscaler,
+    autoscaler_names,
+    build_autoscaler,
+    register_autoscaler,
+    resolve_autoscaler,
+)
+from .bench import ClusterBenchConfig, format_cluster_report, run_cluster_bench
+from .failures import FailureEvent, FailurePlan
+from .fleet import FleetView, ReplicaInfo, ReplicaLifecycle
+from .simulator import ClusterConfig, ClusterReplica, ClusterSimulator, simulate_cluster
+
+__all__ = [
+    "ReplicaLifecycle",
+    "ReplicaInfo",
+    "FleetView",
+    "ScaleDecision",
+    "Autoscaler",
+    "StaticAutoscaler",
+    "QueueDepthAutoscaler",
+    "SLOAttainmentAutoscaler",
+    "register_autoscaler",
+    "build_autoscaler",
+    "resolve_autoscaler",
+    "autoscaler_names",
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "AlwaysAdmit",
+    "TokenBudgetAdmission",
+    "QueueDeadlineAdmission",
+    "register_admission",
+    "build_admission",
+    "resolve_admission",
+    "admission_names",
+    "FailureEvent",
+    "FailurePlan",
+    "ClusterConfig",
+    "ClusterReplica",
+    "ClusterSimulator",
+    "simulate_cluster",
+    "ClusterBenchConfig",
+    "run_cluster_bench",
+    "format_cluster_report",
+]

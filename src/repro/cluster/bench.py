@@ -1,0 +1,117 @@
+"""Cluster benchmark: elastic serving under load for ``repro cluster-bench``.
+
+Extends the traffic benchmark with the control plane: the same seeded
+workloads (arrival process x request-shape mix, or a replayed trace) are
+simulated over an *elastic* fleet with an autoscaler, an admission policy
+and an optional failure plan.  On the default perfmodel clock the whole
+benchmark — including every scaling decision, rejection and failure
+retry — is arithmetic on seeded inputs, so a given configuration prints
+byte-identical numbers on any machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..traffic.bench import TrafficBenchConfig, build_bench_requests, format_traffic_report
+from ..traffic.report import TrafficReport
+from .admission import AdmissionPolicy
+from .autoscaler import Autoscaler
+from .failures import FailurePlan
+from .simulator import ClusterConfig, simulate_cluster
+
+__all__ = ["ClusterBenchConfig", "run_cluster_bench", "format_cluster_report"]
+
+
+@dataclass(frozen=True)
+class ClusterBenchConfig(TrafficBenchConfig):
+    """Workload plus control-plane shape of the cluster benchmark.
+
+    Inherits every workload knob of
+    :class:`~repro.traffic.bench.TrafficBenchConfig` (arrival process,
+    request shapes, policies, SLO, seed, trace replay).  The fleet is
+    described by ``min_replicas``/``max_replicas`` instead of the static
+    ``num_replicas``, which the cluster benchmark ignores.
+
+    Attributes
+    ----------
+    min_replicas / max_replicas:
+        Provisioning bounds of the elastic fleet.
+    autoscaler / admission:
+        Control-plane policies as instances or compact spec strings
+        (``"slo_attainment:target=0.9"``, ``"token_budget"``).
+    failures:
+        Failure-injection plan (empty by default).
+    max_retries:
+        Failure re-dispatch budget per request.
+    """
+
+    min_replicas: int = 1
+    max_replicas: int = 4
+    autoscaler: Autoscaler | str = "slo_attainment"
+    admission: AdmissionPolicy | str = "always"
+    failures: FailurePlan = field(default_factory=FailurePlan)
+    max_retries: int = 3
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.min_replicas < 1:
+            raise ValueError("min_replicas must be at least 1")
+        if self.max_replicas < self.min_replicas:
+            raise ValueError("max_replicas must be >= min_replicas")
+
+    def cluster_config(self) -> ClusterConfig:
+        """The simulation configuration of this benchmark."""
+        return ClusterConfig(
+            engine=self.engine_spec(),
+            min_replicas=self.min_replicas,
+            max_replicas=self.max_replicas,
+            autoscaler=self.autoscaler,
+            admission=self.admission,
+            router=self.router,
+            clock=self.clock,
+            arch=self.arch,
+            context_scale=self.context_scale,
+            slo=self.slo,
+            failures=self.failures,
+            max_retries=self.max_retries,
+        )
+
+
+def run_cluster_bench(config: ClusterBenchConfig | None = None) -> TrafficReport:
+    """Simulate the benchmark workload over the elastic fleet."""
+    config = config or ClusterBenchConfig()
+    return simulate_cluster(build_bench_requests(config), config.cluster_config())
+
+
+def format_cluster_report(report: TrafficReport) -> str:
+    """Human-readable table of one cluster-simulation report.
+
+    The traffic table first, then the control-plane outcome: autoscaler
+    and admission identity, rejection/retry counters and the scaling
+    timeline (boot / ready / drain / remove / fail transitions).
+    """
+    lines = [format_traffic_report(report)]
+    autoscaler = report.autoscaler.get("name", "?")
+    bounds = (
+        f"[{report.autoscaler.get('min_replicas', '?')}, "
+        f"{report.autoscaler.get('max_replicas', '?')}]"
+    )
+    admission = report.admission.get("name", "?")
+    lines.append(
+        f"cluster: autoscaler={autoscaler} bounds={bounds} admission={admission}  "
+        f"peak replicas: {report.num_replicas}"
+    )
+    lines.append(
+        f"retries: {report.num_retries}  lost tokens: {report.lost_tokens}  "
+        f"failures: {len(report.failures)}"
+    )
+    if report.scaling:
+        lines.append("scaling timeline:")
+        for entry in report.scaling:
+            lines.append(
+                f"  t={entry['time_s']:8.2f}s {entry['action']:<6} "
+                f"replica {entry['replica']} (fleet {entry['provisioned']}) "
+                f"- {entry['reason']}"
+            )
+    return "\n".join(lines)

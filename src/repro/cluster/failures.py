@@ -1,0 +1,116 @@
+"""Seeded failure injection: killing replicas at planned instants.
+
+A :class:`FailurePlan` is a frozen, fully explicit schedule of replica
+kills — either written out by hand (``FailureEvent(time_s=12.0)``) or
+drawn once from a seed (:meth:`FailurePlan.seeded`).  Determinism is the
+whole point: because the plan is fixed before the run starts, a failure
+run is exactly as reproducible as a failure-free one, and the determinism
+tests can compare the two token for token.
+
+Events name a *slot*, not a replica: the fleet is elastic, so the victim
+is resolved at fire time as ``alive[slot % len(alive)]`` over the
+``ACTIVE``/``DRAINING`` replicas in index order (idle replicas die too —
+real failures do not wait for work).  A plan therefore stays valid
+whatever the autoscaler did in the meantime; an event firing when no
+such replica exists is recorded as skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FailureEvent", "FailurePlan"]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One planned replica kill.
+
+    Attributes
+    ----------
+    time_s:
+        Instant on the simulation clock the kill fires at.  The kill
+        takes effect at the first event boundary at or after this
+        instant: engine steps are atomic, so a step that began before
+        the kill completes and the victim dies before its next one.
+    slot:
+        Deterministic victim selector: index into the live replicas
+        (sorted by replica index) modulo their count at fire time.
+    """
+
+    time_s: float
+    slot: int = 0
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError("time_s must be non-negative")
+        if self.slot < 0:
+            raise ValueError("slot must be non-negative")
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form (JSON-ready)."""
+        return {"time_s": self.time_s, "slot": self.slot}
+
+
+@dataclass(frozen=True)
+class FailurePlan:
+    """A fixed schedule of replica kills for one simulation run.
+
+    The empty plan (the default) injects nothing, so every cluster run
+    carries a plan and failure-free runs are just the degenerate case.
+    """
+
+    events: tuple[FailureEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.events, key=lambda e: (e.time_s, e.slot))
+        )
+        object.__setattr__(self, "events", ordered)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        num_failures: int,
+        horizon_s: float,
+        max_slot: int = 16,
+    ) -> "FailurePlan":
+        """Draw a plan of ``num_failures`` kills uniform over ``[0, horizon_s)``.
+
+        All randomness comes from ``numpy.random.default_rng(seed)``, so
+        equal arguments produce bit-identical plans on any machine.
+        ``max_slot`` bounds the drawn slot values; slots wrap modulo the
+        live fleet size at fire time anyway, so the bound only shapes the
+        draw.
+        """
+        if num_failures < 0:
+            raise ValueError("num_failures must be non-negative")
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        if max_slot <= 0:
+            raise ValueError("max_slot must be positive")
+        rng = np.random.default_rng(seed)
+        times = np.sort(rng.uniform(0.0, horizon_s, size=num_failures))
+        slots = rng.integers(0, max_slot, size=num_failures)
+        return cls(
+            events=tuple(
+                FailureEvent(time_s=float(t), slot=int(s))
+                for t, s in zip(times.tolist(), slots.tolist())
+            )
+        )
+
+    def describe(self) -> dict[str, object]:
+        """Identifying form of this plan (for reports)."""
+        return {
+            "num_events": len(self.events),
+            "events": [e.to_dict() for e in self.events],
+        }

@@ -1,0 +1,144 @@
+"""Read-only fleet state the cluster control plane decides on.
+
+Autoscalers and admission policies never touch engines directly: every
+decision is a pure function of a :class:`FleetView` — a frozen snapshot of
+the fleet at one instant of the simulation clock.  Keeping the decision
+inputs explicit and immutable has two payoffs: control policies are
+trivially unit-testable against synthetic views (the property-style
+invariant tests construct views by hand), and the simulator stays the
+single writer of fleet state, which is what makes elastic runs
+bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["ReplicaLifecycle", "ReplicaInfo", "FleetView"]
+
+
+class ReplicaLifecycle(enum.Enum):
+    """Lifecycle stage of one cluster replica.
+
+    ``STARTING`` replicas are paying their warm-up cost and accept no
+    traffic yet; ``ACTIVE`` replicas serve; ``DRAINING`` replicas finish
+    the work they hold but receive nothing new; ``STOPPED`` replicas were
+    drained empty and removed; ``FAILED`` replicas were killed by failure
+    injection, losing their in-flight work.
+    """
+
+    STARTING = "starting"
+    ACTIVE = "active"
+    DRAINING = "draining"
+    STOPPED = "stopped"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class ReplicaInfo:
+    """The slice of one replica's state a control decision may read.
+
+    Attributes
+    ----------
+    index:
+        Fleet-wide replica index (monotonically increasing over boots;
+        indices of failed or removed replicas are never reused).
+    state:
+        Current :class:`ReplicaLifecycle` stage.
+    queued / active:
+        Requests waiting in the replica's admission queue / currently
+        decoding.
+    committed_tokens:
+        Projected KV tokens (prompt plus full decode length) of the
+        replica's queued-plus-in-flight requests.
+    capacity_tokens:
+        Projected KV tokens the replica can hold in total; together with
+        ``committed_tokens`` this defines the admission headroom.
+    clock_s:
+        The replica's position on the simulation clock.
+    """
+
+    index: int
+    state: ReplicaLifecycle
+    queued: int
+    active: int
+    committed_tokens: int
+    capacity_tokens: int
+    clock_s: float
+
+    @property
+    def in_system(self) -> int:
+        """Requests the replica holds (queued plus decoding)."""
+        return self.queued + self.active
+
+    @property
+    def headroom_tokens(self) -> int:
+        """Projected KV tokens of capacity still uncommitted (floored at 0)."""
+        return max(self.capacity_tokens - self.committed_tokens, 0)
+
+
+@dataclass(frozen=True)
+class FleetView:
+    """Frozen snapshot of the whole fleet at one decision instant.
+
+    Attributes
+    ----------
+    now_s:
+        The instant on the simulation clock the snapshot was taken.
+    replicas:
+        Live replicas (``STARTING``, ``ACTIVE`` and ``DRAINING``) in
+        index order; stopped and failed replicas are history, not state.
+    parked:
+        Admitted requests waiting because no replica currently accepts
+        traffic (e.g. right after a failure, while the replacement warms
+        up).
+    recent_slo_attainment:
+        Fraction of recently completed requests that met the SLO
+        deadlines, over the simulator's fixed fleet-level window
+        (``RECENT_SLO_WINDOW`` completions); ``None`` before the first
+        completion.  Informational: a policy that wants a *configurable*
+        window keeps its own through
+        :meth:`~repro.cluster.autoscaler.Autoscaler.observe`, as the
+        built-in ``slo_attainment`` autoscaler does.
+    min_replicas / max_replicas:
+        The provisioning bounds the control plane must respect.
+    """
+
+    now_s: float
+    replicas: tuple[ReplicaInfo, ...]
+    parked: int = 0
+    recent_slo_attainment: float | None = None
+    min_replicas: int = 1
+    max_replicas: int = 1
+
+    @property
+    def accepting(self) -> tuple[ReplicaInfo, ...]:
+        """Replicas that may receive new requests (``ACTIVE`` only)."""
+        return tuple(
+            r for r in self.replicas if r.state is ReplicaLifecycle.ACTIVE
+        )
+
+    @property
+    def provisioned(self) -> int:
+        """Replicas that count toward the fleet size bound.
+
+        ``STARTING`` plus ``ACTIVE``: draining replicas are on their way
+        out and no longer occupy a provisioning slot, so a scale-up may
+        replace them immediately.
+        """
+        return sum(
+            1
+            for r in self.replicas
+            if r.state in (ReplicaLifecycle.STARTING, ReplicaLifecycle.ACTIVE)
+        )
+
+    @property
+    def backlog(self) -> int:
+        """Requests not yet decoding anywhere (parked plus queued)."""
+        return self.parked + sum(r.queued for r in self.replicas)
+
+    @property
+    def max_headroom_tokens(self) -> int:
+        """Largest admission headroom over the accepting replicas (0 if none)."""
+        return max((r.headroom_tokens for r in self.accepting), default=0)

@@ -1,0 +1,570 @@
+"""Elastic cluster simulation: autoscaling, admission control, failures.
+
+:class:`ClusterSimulator` extends the open-loop
+:class:`~repro.traffic.simulator.TrafficSimulator` with a control plane
+over its replica set:
+
+* the fleet is **elastic** — an :class:`~repro.cluster.autoscaler.Autoscaler`
+  is consulted after every event and may boot replicas (which pay a
+  warm-up cost priced by the step clock before accepting traffic) or
+  drain them (a draining replica finishes the work it holds and is only
+  removed once empty);
+* arrivals pass **admission control** — an
+  :class:`~repro.cluster.admission.AdmissionPolicy` may reject a request
+  at the door, producing a first-class
+  :class:`~repro.traffic.report.RejectedRequest` instead of a blown p99;
+* a seeded :class:`~repro.cluster.failures.FailurePlan` **kills replicas**
+  mid-run — the in-flight requests of the victim are lost (their decoded
+  tokens counted as wasted work) and deterministically re-dispatched from
+  their prompts, so retried requests reproduce their failure-free outputs
+  token for token.
+
+Event order extends the base simulator's total order and stays fully
+deterministic: at equal instants, replicas becoming ready beat failures,
+failures beat arrivals, and arrivals beat engine steps; every tie within
+a kind breaks on the stable (index, plan, arrival) order.  On the
+perfmodel clock two runs with equal seeds emit byte-identical reports —
+including the scaling timeline, the failure log and every rejection.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..api import EngineSpec
+from ..serving import BatchedEngine
+from ..traffic.clock import StepClock
+from ..traffic.report import RejectedRequest, SLOSpec, TrafficReport
+from ..traffic.router import Router
+from ..traffic.simulator import Replica, TrafficConfig, TrafficSimulator
+from ..traffic.workload import TrafficRequest
+from .admission import AdmissionPolicy, resolve_admission
+from .autoscaler import Autoscaler, resolve_autoscaler
+from .failures import FailureEvent, FailurePlan
+from .fleet import FleetView, ReplicaInfo, ReplicaLifecycle
+
+__all__ = ["ClusterConfig", "ClusterReplica", "ClusterSimulator", "simulate_cluster"]
+
+# Fallback per-replica admission capacity (projected KV tokens) when the
+# engine spec declares neither kv_capacity_tokens nor kv_budget_bytes:
+# half a k of prompt-plus-decode tokens per batch slot.
+DEFAULT_CAPACITY_TOKENS_PER_SLOT = 512
+
+# Completions feeding FleetView.recent_slo_attainment, the fleet-level
+# informational signal offered to any control policy.  Policies that want
+# a configurable window keep their own via Autoscaler.observe() — the
+# built-in slo_attainment autoscaler does exactly that.
+RECENT_SLO_WINDOW = 16
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Configuration of one elastic cluster simulation.
+
+    Attributes
+    ----------
+    engine:
+        Replica engine description; every booted replica is built from
+        this one spec (its ``kv_capacity_tokens`` feeds admission
+        control).
+    min_replicas / max_replicas:
+        Provisioning bounds.  The simulator heals the fleet back to
+        ``min_replicas`` after failures regardless of the autoscaler and
+        clamps every scale-up to ``max_replicas``.
+    autoscaler / admission:
+        Control-plane policies — instances, or compact spec strings such
+        as ``"queue_depth:high=2"`` resolved through the registries.
+    router / clock / arch / context_scale / slo:
+        As in :class:`~repro.traffic.simulator.TrafficConfig`.
+    failures:
+        The failure-injection plan (empty by default).
+    max_retries:
+        Failure re-dispatches a request may consume before it is given
+        up on (recorded as rejected with reason ``"retries_exhausted"``).
+    """
+
+    engine: EngineSpec = field(default_factory=EngineSpec)
+    min_replicas: int = 1
+    max_replicas: int = 4
+    autoscaler: Autoscaler | str = "static"
+    admission: AdmissionPolicy | str = "always"
+    router: str = "round_robin"
+    clock: str = "perfmodel"
+    arch: str = "llama-3.1-8b"
+    context_scale: int = 64
+    slo: SLOSpec = field(default_factory=SLOSpec)
+    failures: FailurePlan = field(default_factory=FailurePlan)
+    max_retries: int = 3
+
+    def __post_init__(self) -> None:
+        if self.min_replicas < 1:
+            raise ValueError("min_replicas must be at least 1")
+        if self.max_replicas < self.min_replicas:
+            raise ValueError("max_replicas must be >= min_replicas")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+
+    def traffic_config(self) -> TrafficConfig:
+        """The base-simulator slice of this configuration."""
+        return TrafficConfig(
+            engine=self.engine,
+            num_replicas=self.min_replicas,
+            router=self.router,
+            clock=self.clock,
+            arch=self.arch,
+            context_scale=self.context_scale,
+            slo=self.slo,
+        )
+
+    def capacity_tokens(self, kv_bytes_per_token: int) -> int:
+        """Per-replica admission capacity in projected KV tokens.
+
+        Resolution order: the engine spec's declared
+        ``kv_capacity_tokens``; else its ``kv_budget_bytes`` converted at
+        the served model's KV bytes per token; else
+        ``max_batch_size * DEFAULT_CAPACITY_TOKENS_PER_SLOT``.
+        """
+        if self.engine.kv_capacity_tokens is not None:
+            return self.engine.kv_capacity_tokens
+        if self.engine.kv_budget_bytes is not None:
+            return max(self.engine.kv_budget_bytes // kv_bytes_per_token, 1)
+        return self.engine.max_batch_size * DEFAULT_CAPACITY_TOKENS_PER_SLOT
+
+
+class ClusterReplica(Replica):
+    """One fleet replica: a serving engine plus its lifecycle stage."""
+
+    def __init__(
+        self,
+        index: int,
+        engine: BatchedEngine,
+        state: ReplicaLifecycle = ReplicaLifecycle.ACTIVE,
+        ready_at_s: float = 0.0,
+    ) -> None:
+        super().__init__(index, engine)
+        self.state = state
+        self.ready_at_s = ready_at_s
+
+    @property
+    def is_live(self) -> bool:
+        """Whether the replica still exists (not stopped or failed)."""
+        return self.state in (
+            ReplicaLifecycle.STARTING,
+            ReplicaLifecycle.ACTIVE,
+            ReplicaLifecycle.DRAINING,
+        )
+
+
+class ClusterSimulator(TrafficSimulator):
+    """Open-loop traffic over an elastic, failure-prone replica fleet.
+
+    Parameters
+    ----------
+    config:
+        The cluster description; autoscaler, admission policy, router and
+        clock are built from it (instances can be injected through the
+        config's ``autoscaler``/``admission`` fields or the
+        ``router``/``clock`` constructor arguments).
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig | None = None,
+        router: Router | None = None,
+        clock: StepClock | None = None,
+    ) -> None:
+        self.cluster_config = config or ClusterConfig()
+        super().__init__(self.cluster_config.traffic_config(), router=router, clock=clock)
+        self.autoscaler = resolve_autoscaler(self.cluster_config.autoscaler)
+        self.admission = resolve_admission(self.cluster_config.admission)
+        self._kv_bytes_per_token = self.model.config.kv_bytes_per_token()
+        self._capacity_tokens = self.cluster_config.capacity_tokens(
+            self._kv_bytes_per_token
+        )
+        self._reset_cluster_state()
+
+    def _reset_cluster_state(self) -> None:
+        """(Re-)initialise the per-run cluster state (called by every run())."""
+        self.fleet: list[ClusterReplica] = []
+        self.replicas = self.fleet
+        self._next_index = 0
+        self._parked: deque[TrafficRequest] = deque()
+        self._request_of: dict[str, TrafficRequest] = {}
+        self._retry_counts: dict[str, int] = {}
+        self._lost_tokens = 0
+        self._rejected: list[RejectedRequest] = []
+        self._failure_log: list[dict[str, object]] = []
+        self._scaling_log: list[dict[str, object]] = []
+        self._recent_slo: deque[bool] = deque(maxlen=RECENT_SLO_WINDOW)
+        self._peak_provisioned = 0
+
+    # ------------------------------------------------------------------
+    # fleet state
+    # ------------------------------------------------------------------
+    def _provisioned(self) -> int:
+        """Replicas counting toward the fleet-size bound (starting + active)."""
+        return sum(
+            1
+            for r in self.fleet
+            if r.state in (ReplicaLifecycle.STARTING, ReplicaLifecycle.ACTIVE)
+        )
+
+    def _accepting(self) -> list[ClusterReplica]:
+        """Replicas that may receive new requests, in index order."""
+        return [r for r in self.fleet if r.state is ReplicaLifecycle.ACTIVE]
+
+    def _fleet_view(self, now_s: float) -> FleetView:
+        """Freeze the live fleet into the control plane's decision input."""
+        infos = tuple(
+            ReplicaInfo(
+                index=r.index,
+                state=r.state,
+                queued=r.queued,
+                active=r.active,
+                committed_tokens=r.reserved_kv_bytes // self._kv_bytes_per_token,
+                capacity_tokens=self._capacity_tokens,
+                clock_s=r.clock_s,
+            )
+            for r in self.fleet
+            if r.is_live
+        )
+        attainment = (
+            sum(self._recent_slo) / len(self._recent_slo) if self._recent_slo else None
+        )
+        return FleetView(
+            now_s=now_s,
+            replicas=infos,
+            parked=len(self._parked),
+            recent_slo_attainment=attainment,
+            min_replicas=self.cluster_config.min_replicas,
+            max_replicas=self.cluster_config.max_replicas,
+        )
+
+    def _log_scale(self, now_s: float, action: str, replica: int, reason: str) -> None:
+        """Append one fleet transition to the scaling timeline."""
+        self._scaling_log.append(
+            {
+                "time_s": now_s,
+                "action": action,
+                "replica": replica,
+                "reason": reason,
+                "provisioned": self._provisioned(),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # fleet transitions
+    # ------------------------------------------------------------------
+    def _boot_replica(self, now_s: float, warm: bool, reason: str) -> ClusterReplica:
+        """Provision one replica; ``warm`` boots pay the clock's warm-up lag."""
+        spec = self.config.engine
+        engine = BatchedEngine(
+            self.model,
+            selector=spec.build_policy(),
+            generation_config=spec.generation_config(),
+            scheduler_config=spec.scheduler_config(),
+        )
+        replica = ClusterReplica(self._next_index, engine)
+        self._next_index += 1
+        if warm:
+            replica.state = ReplicaLifecycle.STARTING
+            replica.ready_at_s = now_s + self.clock.warmup_seconds()
+            replica.clock_s = replica.ready_at_s
+        else:
+            replica.state = ReplicaLifecycle.ACTIVE
+            replica.ready_at_s = now_s
+            replica.clock_s = now_s
+        self.fleet.append(replica)
+        # The base-class report aggregation (occupancy, engine steps) sums
+        # over self.replicas; keep it aliased to the full fleet history.
+        self.replicas = self.fleet
+        self._log_scale(now_s, "boot", replica.index, reason)
+        return replica
+
+    def _stop_replica(self, replica: ClusterReplica, now_s: float) -> None:
+        """Remove a drained replica (it must hold no work)."""
+        assert not replica.has_work(), "scale-down with in-flight work"
+        replica.state = ReplicaLifecycle.STOPPED
+        self._log_scale(now_s, "remove", replica.index, "drained empty")
+
+    def _begin_drains(self, count: int, now_s: float, reason: str) -> None:
+        """Mark ``count`` least-loaded active replicas as draining."""
+        candidates = sorted(
+            self._accepting(), key=lambda r: (r.queued + r.active, -r.index)
+        )
+        for replica in candidates[:count]:
+            replica.state = ReplicaLifecycle.DRAINING
+            replica.engine.drain()
+            self._log_scale(now_s, "drain", replica.index, reason)
+            if not replica.has_work():
+                self._stop_replica(replica, now_s)
+
+    def _control(self, now_s: float) -> None:
+        """Run the control plane after one event: heal, then autoscale."""
+        # Healing to the floor is the simulator's own responsibility: a
+        # fleet below min_replicas (after failures) boots replacements
+        # whatever the autoscaler policy says.
+        while self._provisioned() < self.cluster_config.min_replicas:
+            self._boot_replica(now_s, warm=True, reason="min_replicas")
+        decision = self.autoscaler.decide(self._fleet_view(now_s))
+        if decision.add:
+            can_add = max(self.cluster_config.max_replicas - self._provisioned(), 0)
+            for _ in range(min(decision.add, can_add)):
+                self._boot_replica(now_s, warm=True, reason=decision.reason or "scale_up")
+        if decision.drain:
+            can_drain = max(self._provisioned() - self.cluster_config.min_replicas, 0)
+            if can_drain:
+                self._begin_drains(
+                    min(decision.drain, can_drain), now_s, decision.reason or "scale_down"
+                )
+        self._peak_provisioned = max(self._peak_provisioned, self._provisioned())
+
+    # ------------------------------------------------------------------
+    # request flow
+    # ------------------------------------------------------------------
+    def _projected_tokens(self, request: TrafficRequest) -> int:
+        """Projected KV tokens of one request (prompt plus decode length)."""
+        return request.prompt_length() + request.max_new_tokens
+
+    def _dispatch(self, request: TrafficRequest, now_s: float) -> None:
+        """Route one admitted request, or park it when nothing accepts."""
+        accepting = self._accepting()
+        if not accepting:
+            self._parked.append(request)
+            return
+        choice = int(self.router.choose(accepting, request))
+        if not 0 <= choice < len(accepting):
+            raise ValueError(
+                f"router {self.router.name!r} chose replica {choice}, "
+                f"but only {len(accepting)} accept traffic"
+            )
+        replica = accepting[choice]
+        # Fast-forward an idle replica to the dispatch instant (a retry
+        # dispatches at the failure instant, later than its arrival).
+        replica.clock_s = max(replica.clock_s, now_s)
+        replica.engine.submit(
+            request.prompt_ids,
+            request_id=request.request_id,
+            max_new_tokens=request.max_new_tokens,
+            policy=request.policy,
+            arrival_time_s=request.arrival_time_s,
+        )
+        self._replica_of[request.request_id] = replica.index
+
+    def _drain_parked(self, now_s: float) -> None:
+        """Dispatch parked requests once a replica accepts traffic again."""
+        while self._parked and self._accepting():
+            self._dispatch(self._parked.popleft(), now_s)
+
+    def _reject(
+        self, request: TrafficRequest, reason: str, detail: dict[str, float]
+    ) -> None:
+        """Record one rejection as a first-class report entry."""
+        self._rejected.append(
+            RejectedRequest(
+                request_id=request.request_id,
+                arrival_time_s=request.arrival_time_s,
+                prompt_tokens=request.prompt_length(),
+                max_new_tokens=request.max_new_tokens,
+                reason=reason,
+                policy=request.policy.name if request.policy is not None else "",
+                detail=detail,
+            )
+        )
+
+    def _handle_arrival(self, request: TrafficRequest, now_s: float) -> None:
+        """Admission-check one arrival, then dispatch or reject it."""
+        self._request_of[request.request_id] = request
+        decision = self.admission.consider(
+            self._projected_tokens(request), self._fleet_view(now_s)
+        )
+        if not decision.admitted:
+            self._reject(request, decision.reason, dict(decision.detail))
+            return
+        self._dispatch(request, now_s)
+
+    def _fire_failure(self, event: FailureEvent, now_s: float) -> None:
+        """Kill one replica; re-dispatch its lost requests from the prompt."""
+        pool = sorted(
+            (
+                r
+                for r in self.fleet
+                if r.state in (ReplicaLifecycle.ACTIVE, ReplicaLifecycle.DRAINING)
+            ),
+            key=lambda r: r.index,
+        )
+        if not pool:
+            self._failure_log.append(
+                {"time_s": now_s, "replica": -1, "slot": event.slot, "skipped": True}
+            )
+            return
+        victim = pool[event.slot % len(pool)]
+        snapshot = victim.engine.snapshot()
+        victim.state = ReplicaLifecycle.FAILED
+        self._log_scale(now_s, "fail", victim.index, "failure injection")
+        self._lost_tokens += snapshot.tokens_in_flight
+        lost_ids: list[str] = []
+        retried: list[str] = []
+        lost_requests = list(snapshot.queued) + [req for req, _ in snapshot.active]
+        for serve_request in lost_requests:
+            request_id = serve_request.request_id
+            lost_ids.append(request_id)
+            # The lost attempt's admission/first-token stamps are void;
+            # the successful attempt re-stamps them, so TTFT and queue
+            # wait span the whole failure detour.
+            self._admitted_at_s.pop(request_id, None)
+            self._first_token_at_s.pop(request_id, None)
+            self._replica_of.pop(request_id, None)
+            request = self._request_of[request_id]
+            # _retry_counts counts actual re-dispatches; a request given
+            # up on does not get a phantom retry for the attempt that
+            # never happened (num_retries sums these counts).
+            retries_so_far = self._retry_counts.get(request_id, 0)
+            if retries_so_far >= self.cluster_config.max_retries:
+                self._reject(
+                    request, "retries_exhausted", {"retries": float(retries_so_far)}
+                )
+                continue
+            self._retry_counts[request_id] = retries_so_far + 1
+            retried.append(request_id)
+            self._dispatch(request, now_s)
+        self._failure_log.append(
+            {
+                "time_s": now_s,
+                "replica": victim.index,
+                "slot": event.slot,
+                "lost_requests": lost_ids,
+                "retried": retried,
+                "lost_tokens": snapshot.tokens_in_flight,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # event loop
+    # ------------------------------------------------------------------
+    def _has_live_work(self) -> bool:
+        """Whether any live replica holds queued or in-flight requests."""
+        return any(
+            r.has_work()
+            for r in self.fleet
+            if r.state in (ReplicaLifecycle.ACTIVE, ReplicaLifecycle.DRAINING)
+        )
+
+    def run(self, requests: Sequence[TrafficRequest]) -> TrafficReport:
+        """Simulate the workload over the elastic fleet to completion.
+
+        Each call starts cold: the fleet is rebuilt at ``min_replicas``,
+        all control-plane state (autoscaler windows, admission state,
+        router cursors, retry counts) is reset and the failure plan is
+        re-armed, so repeated calls are independent and identical.
+        """
+        self.router.reset()
+        self.autoscaler.reset()
+        self.admission.reset()
+        self._reset_run_state()
+        self._reset_cluster_state()
+
+        pending = deque(
+            sorted(enumerate(requests), key=lambda item: (item[1].arrival_time_s, item[0]))
+        )
+        failures = deque(self.cluster_config.failures.events)
+        for _ in range(self.cluster_config.min_replicas):
+            self._boot_replica(0.0, warm=False, reason="initial fleet")
+        self._peak_provisioned = self._provisioned()
+
+        while pending or self._parked or self._has_live_work():
+            # Candidate next events as (time, kind priority, tiebreak):
+            # ready < failure < arrival < step at equal instants.
+            candidates: list[tuple[float, int, int, str, object]] = []
+            starting = [r for r in self.fleet if r.state is ReplicaLifecycle.STARTING]
+            if starting:
+                replica = min(starting, key=lambda r: (r.ready_at_s, r.index))
+                candidates.append((replica.ready_at_s, 0, replica.index, "ready", replica))
+            if failures:
+                event = failures[0]
+                candidates.append((event.time_s, 1, event.slot, "fail", event))
+            if pending:
+                order, request = pending[0]
+                candidates.append((request.arrival_time_s, 2, order, "arrival", request))
+            working = [
+                r
+                for r in self.fleet
+                if r.state in (ReplicaLifecycle.ACTIVE, ReplicaLifecycle.DRAINING)
+                and r.has_work()
+            ]
+            if working:
+                replica = min(working, key=lambda r: (r.clock_s, r.index))
+                candidates.append((replica.clock_s, 3, replica.index, "step", replica))
+            if not candidates:
+                raise RuntimeError(
+                    "cluster simulation stalled with requests outstanding"
+                )
+            time_s, _, _, kind, payload = min(candidates, key=lambda c: (c[0], c[1], c[2]))
+
+            if kind == "ready":
+                replica = payload
+                replica.state = ReplicaLifecycle.ACTIVE
+                replica.clock_s = max(replica.clock_s, time_s)
+                self._log_scale(time_s, "ready", replica.index, "warm-up complete")
+                self._drain_parked(time_s)
+                self._control(time_s)
+            elif kind == "fail":
+                failures.popleft()
+                self._fire_failure(payload, time_s)
+                self._control(time_s)
+            elif kind == "arrival":
+                pending.popleft()
+                self._handle_arrival(payload, time_s)
+                self._control(time_s)
+            else:  # step
+                replica = payload
+                retired, step_end_s = self._step_replica(replica)
+                for record in retired:
+                    self._recent_slo.append(record.slo_met)
+                    self.autoscaler.observe(record.slo_met)
+                if replica.state is ReplicaLifecycle.DRAINING and not replica.has_work():
+                    self._stop_replica(replica, step_end_s)
+                self._control(step_end_s)
+
+        return self._build_report()
+
+    # ------------------------------------------------------------------
+    # report
+    # ------------------------------------------------------------------
+    def _retries_of(self, request_id: str) -> int:
+        """Failure re-dispatches the request consumed before completing."""
+        return self._retry_counts.get(request_id, 0)
+
+    def _build_report(self) -> TrafficReport:
+        """The base report plus the cluster-layer outcome records."""
+        report = super()._build_report()
+        report.num_replicas = self._peak_provisioned
+        report.rejected = self._rejected
+        report.num_retries = sum(self._retry_counts.values())
+        report.lost_tokens = self._lost_tokens
+        report.autoscaler = {
+            **self.autoscaler.describe(),
+            "min_replicas": self.cluster_config.min_replicas,
+            "max_replicas": self.cluster_config.max_replicas,
+        }
+        report.admission = self.admission.describe()
+        report.failures = self._failure_log
+        report.scaling = self._scaling_log
+        return report
+
+
+def simulate_cluster(
+    requests: Sequence[TrafficRequest],
+    config: ClusterConfig | None = None,
+    router: Router | None = None,
+    clock: StepClock | None = None,
+) -> TrafficReport:
+    """Run one elastic cluster simulation and return its report.
+
+    The cluster counterpart of :func:`repro.traffic.simulate` (also
+    reachable through the ``autoscaler``/``admission``/``failures`` knobs
+    of :func:`repro.api.simulate`).
+    """
+    return ClusterSimulator(config, router=router, clock=clock).run(requests)

@@ -171,6 +171,23 @@ class StepCostModel:
                 seconds += self.latency.infinigen_build_seconds(scaled_prompt)
         return max(seconds, 0.0)
 
+    def replica_warmup_seconds(self) -> float:
+        """Cold-start cost of provisioning one serving replica.
+
+        An elastic fleet cannot add capacity instantaneously: a new
+        replica must load the model weights onto the device over PCIe and
+        run one warm-up forward pass before it can serve.  Both terms are
+        priced on the same hardware description as the steps themselves,
+        so scale-up lag and serving speed move together when the hardware
+        changes.  Re-prefill costs of failure retries need no extra term:
+        a retried request restarts from its prompt, so its second prefill
+        is charged through :meth:`prefill_seconds` like any other.
+        """
+        weight_bytes = self.arch.num_parameters * self.arch.bytes_per_element
+        load_seconds = weight_bytes / self.hardware.pcie_bandwidth
+        warmup_pass = roofline_time(linear_layers_cost(self.arch, 1), self.hardware)
+        return load_seconds + warmup_pass
+
     def dense_seconds(self, batch_size: int) -> float:
         """Cost of the batched dense projections of one decode step.
 

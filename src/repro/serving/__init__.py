@@ -28,6 +28,7 @@ from .bench import (
 )
 from .engine import (
     BatchedEngine,
+    EngineSnapshot,
     ServeReport,
     StepRequestTrace,
     StepTrace,
@@ -39,6 +40,7 @@ from .scheduler import ContinuousBatchingScheduler, SchedulerConfig
 
 __all__ = [
     "BatchedEngine",
+    "EngineSnapshot",
     "ServeReport",
     "StepTrace",
     "StepRequestTrace",

@@ -45,10 +45,49 @@ from .scheduler import ContinuousBatchingScheduler, SchedulerConfig
 __all__ = [
     "StepRequestTrace",
     "StepTrace",
+    "EngineSnapshot",
     "ServeReport",
     "BatchedEngine",
     "serve_prompts",
 ]
+
+
+@dataclass(frozen=True)
+class EngineSnapshot:
+    """Point-in-time inventory of an engine's queued and in-flight work.
+
+    The snapshot is the failure/drain hook of the cluster layer: it carries
+    exactly what is needed to re-dispatch every request the engine holds —
+    the original :class:`~repro.serving.request.ServeRequest` objects
+    (prompt, per-request policy, seed, decode length, arrival instant) plus
+    how many tokens each active request had already decoded, which is the
+    work lost if the replica dies.  Because decoding is deterministic given
+    the request alone, resubmitting a snapshot entry from its prompt
+    reproduces the original output token for token.
+
+    Attributes
+    ----------
+    queued:
+        Requests admitted to the engine queue but not yet prefilled.
+    active:
+        ``(request, tokens_generated)`` pairs for the in-flight requests,
+        in admission order.
+    """
+
+    queued: tuple[ServeRequest, ...] = ()
+    active: tuple[tuple[ServeRequest, int], ...] = ()
+
+    @property
+    def request_ids(self) -> tuple[str, ...]:
+        """Ids of every request held by the engine, queued first."""
+        return tuple(r.request_id for r in self.queued) + tuple(
+            r.request_id for r, _ in self.active
+        )
+
+    @property
+    def tokens_in_flight(self) -> int:
+        """Decoded tokens the active requests hold (lost on a kill)."""
+        return sum(tokens for _, tokens in self.active)
 
 
 @dataclass(frozen=True)
@@ -256,6 +295,7 @@ class BatchedEngine:
         # external clocks (repro.traffic simulator, wall-clock fallback).
         self.last_step_trace: StepTrace | None = None
         self._kv_bytes_per_token = model.config.kv_bytes_per_token()
+        self._draining = False
 
     # ------------------------------------------------------------------
     # submission
@@ -284,6 +324,10 @@ class BatchedEngine:
 
         Raises
         ------
+        RuntimeError
+            If the engine is draining (:meth:`drain` was called): a
+            draining engine finishes the work it holds but accepts
+            nothing new.
         ValueError
             If ``request_id`` was already submitted to this engine (the
             queue is the sole id issuer; ids key the shared KV buffers and
@@ -292,6 +336,10 @@ class BatchedEngine:
             footprint exceeds the scheduler's whole memory budget (such a
             request could never be admitted).
         """
+        if self._draining:
+            raise RuntimeError(
+                "engine is draining and no longer accepts submissions"
+            )
         # Resolve the policy eagerly so a typo fails at submission, not
         # mid-batch at admission time.
         policy_spec: PolicySpec | None = None
@@ -355,6 +403,39 @@ class BatchedEngine:
                 request, self._kv_bytes_per_token, self.generation_config.max_new_tokens
             )
             for request in self.queue.pending()
+        )
+
+    @property
+    def is_draining(self) -> bool:
+        """Whether :meth:`drain` was called on this engine."""
+        return self._draining
+
+    def drain(self) -> None:
+        """Stop accepting new requests; in-flight work runs to completion.
+
+        Draining is the graceful half of elasticity: a replica picked for
+        scale-down keeps stepping until its queued and active requests
+        retire normally, and only then may its owner discard it.  The
+        engine itself only flips the submission gate — stepping (and who
+        decides the engine is empty) stays with the caller, so the hook
+        composes with any control loop.
+        """
+        self._draining = True
+
+    def snapshot(self) -> EngineSnapshot:
+        """Inventory the engine's queued and in-flight work (see
+        :class:`EngineSnapshot`).
+
+        The failure-injection path of the cluster layer calls this on the
+        victim replica to learn which requests die with it and how much
+        decoded work is lost; the same inventory serves checkpoint-style
+        inspection in tests.
+        """
+        return EngineSnapshot(
+            queued=tuple(self.queue.pending()),
+            active=tuple(
+                (active.request, active.tokens_generated) for active in self._active
+            ),
         )
 
     def in_flight_result(self, request_id: str) -> GenerationResult | None:

@@ -186,8 +186,16 @@ def format_traffic_report(report: TrafficReport) -> str:
         f"throughput: {report.throughput_tokens_per_s:.2f} tok/s  "
         f"goodput: {report.goodput_tokens_per_s:.2f} tok/s  "
         f"SLO attainment: {report.slo_attainment * 100.0:.1f}% ({slo_label})",
-        f"{'metric':12s} {'p50':>9s} {'p95':>9s} {'p99':>9s}",
     ]
+    if report.num_rejected:
+        reasons: dict[str, int] = {}
+        for item in report.rejected:
+            reasons[item.reason] = reasons.get(item.reason, 0) + 1
+        spread = ", ".join(f"{name}: {count}" for name, count in sorted(reasons.items()))
+        lines.append(
+            f"rejected: {report.num_rejected}/{report.num_submitted} ({spread})"
+        )
+    lines.append(f"{'metric':12s} {'p50':>9s} {'p95':>9s} {'p99':>9s}")
     for metric, row in report.latency_summary().items():
         lines.append(
             f"{metric:12s} {row['p50']:9.3f} {row['p95']:9.3f} {row['p99']:9.3f}"

@@ -29,6 +29,15 @@ class StepClock:
         """Duration of the traced engine step, in simulation seconds."""
         raise NotImplementedError
 
+    def warmup_seconds(self) -> float:
+        """Provisioning lag of one new serving replica (0 by default).
+
+        The elastic cluster layer charges this between a scale-up decision
+        and the new replica accepting traffic.  Clocks that cannot price
+        cold starts (wall time) report 0.
+        """
+        return 0.0
+
     def describe(self) -> dict[str, object]:
         """Identifying configuration of this clock (for reports)."""
         return {"name": self.name}
@@ -56,6 +65,10 @@ class PerfModelClock(StepClock):
     def step_seconds(self, trace: StepTrace) -> float:
         """Roofline-model price of the traced step (prefills + decode batch)."""
         return self.cost_model.step_seconds(trace.prefills, trace.decodes)
+
+    def warmup_seconds(self) -> float:
+        """Roofline-model price of booting one replica (weights + warm pass)."""
+        return self.cost_model.replica_warmup_seconds()
 
     def describe(self) -> dict[str, object]:
         """Clock name plus the priced architecture/hardware/scale."""

@@ -25,7 +25,13 @@ from typing import Mapping
 
 import numpy as np
 
-__all__ = ["SLOSpec", "RequestMetrics", "TrafficReport", "percentile"]
+__all__ = [
+    "SLOSpec",
+    "RequestMetrics",
+    "RejectedRequest",
+    "TrafficReport",
+    "percentile",
+]
 
 PERCENTILES = (50.0, 95.0, 99.0)
 
@@ -103,6 +109,12 @@ class RequestMetrics:
         Sizes of the request.
     slo_met:
         Whether the run's :class:`SLOSpec` deadlines were met.
+    retries:
+        How many times the request was re-dispatched after losing its
+        replica to a failure (0 for a run without failure injection).
+        All latencies of a retried request are measured against its
+        *original* arrival instant, so the failure cost shows up in TTFT
+        and end-to-end latency rather than being hidden.
     """
 
     request_id: str
@@ -116,6 +128,7 @@ class RequestMetrics:
     prompt_tokens: int
     output_tokens: int
     slo_met: bool
+    retries: int = 0
 
     def to_dict(self) -> dict[str, object]:
         """Plain-dict form (JSON-ready), keys in declaration order."""
@@ -131,6 +144,54 @@ class RequestMetrics:
             "prompt_tokens": self.prompt_tokens,
             "output_tokens": self.output_tokens,
             "slo_met": self.slo_met,
+            "retries": self.retries,
+        }
+
+
+@dataclass(frozen=True)
+class RejectedRequest:
+    """One request turned away by admission control (or retry exhaustion).
+
+    Rejections are first-class outcomes, not silent drops: every rejected
+    request appears in the report with the instant and reason, so request
+    conservation (``submitted == completed + rejected`` once a run drains)
+    is checkable from the report alone.
+
+    Attributes
+    ----------
+    request_id / arrival_time_s:
+        Identity and arrival instant of the rejected request.
+    prompt_tokens / max_new_tokens:
+        Size the admission decision was made against.
+    reason:
+        Machine-readable reason (``"kv_headroom"``, ``"queue_deadline"``,
+        ``"retries_exhausted"``, ...).
+    policy:
+        Name of the request's compression policy (empty string for the
+        engine default).
+    detail:
+        Numbers behind the decision (e.g. needed vs. available headroom
+        tokens), for the admission invariant tests.
+    """
+
+    request_id: str
+    arrival_time_s: float
+    prompt_tokens: int
+    max_new_tokens: int
+    reason: str
+    policy: str = ""
+    detail: Mapping[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form (JSON-ready), keys in declaration order."""
+        return {
+            "request_id": self.request_id,
+            "arrival_time_s": self.arrival_time_s,
+            "prompt_tokens": self.prompt_tokens,
+            "max_new_tokens": self.max_new_tokens,
+            "reason": self.reason,
+            "policy": self.policy,
+            "detail": dict(self.detail),
         }
 
 
@@ -146,6 +207,8 @@ class TrafficReport:
         The deadlines goodput was evaluated under.
     num_replicas / router / clock:
         Run configuration (router and clock as ``describe()`` dicts).
+        For an elastic cluster run ``num_replicas`` is the *peak*
+        provisioned fleet size; the ``scaling`` timeline has the detail.
     duration_s:
         Last retirement instant on the simulation clock (arrivals start
         near 0, so this is the run's makespan).
@@ -153,6 +216,22 @@ class TrafficReport:
         Engine steps summed over replicas.
     mean_occupancy:
         Mean decode-batch size over all replica steps.
+    rejected:
+        Requests turned away by admission control (empty for plain
+        traffic runs, which admit everything).
+    num_retries:
+        Total failure-triggered re-dispatches across all requests.
+    lost_tokens:
+        Decoded tokens thrown away by replica failures (wasted work).
+    autoscaler / admission:
+        ``describe()`` dicts of the cluster control plane (empty for
+        plain traffic runs).
+    failures:
+        One record per fired failure event: instant, victim replica and
+        the in-flight request ids that were lost and re-dispatched.
+    scaling:
+        Timeline of fleet changes: one record per boot / ready / drain /
+        remove / failure transition with the provisioned count after it.
     """
 
     requests: list[RequestMetrics] = field(default_factory=list)
@@ -163,6 +242,13 @@ class TrafficReport:
     duration_s: float = 0.0
     engine_steps: int = 0
     mean_occupancy: float = 0.0
+    rejected: list[RejectedRequest] = field(default_factory=list)
+    num_retries: int = 0
+    lost_tokens: int = 0
+    autoscaler: dict[str, object] = field(default_factory=dict)
+    admission: dict[str, object] = field(default_factory=dict)
+    failures: list[dict[str, object]] = field(default_factory=list)
+    scaling: list[dict[str, object]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # aggregates
@@ -171,6 +257,22 @@ class TrafficReport:
     def num_requests(self) -> int:
         """Number of requests served."""
         return len(self.requests)
+
+    @property
+    def num_rejected(self) -> int:
+        """Number of requests turned away by admission control."""
+        return len(self.rejected)
+
+    @property
+    def num_submitted(self) -> int:
+        """All requests that entered the system (served plus rejected).
+
+        Once a run drains, request conservation holds:
+        ``num_submitted == num_requests + num_rejected`` with no request
+        left in retry limbo — the invariant the scenario-matrix tests
+        assert cell by cell.
+        """
+        return len(self.requests) + len(self.rejected)
 
     @property
     def total_output_tokens(self) -> int:
@@ -237,6 +339,14 @@ class TrafficReport:
             "slo_attainment": self.slo_attainment,
             "latency": self.latency_summary(),
             "requests": [m.to_dict() for m in self.requests],
+            "num_rejected": self.num_rejected,
+            "rejected": [r.to_dict() for r in self.rejected],
+            "num_retries": self.num_retries,
+            "lost_tokens": self.lost_tokens,
+            "autoscaler": self.autoscaler,
+            "admission": self.admission,
+            "failures": self.failures,
+            "scaling": self.scaling,
         }
 
     def to_json(self) -> str:

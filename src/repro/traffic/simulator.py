@@ -149,6 +149,12 @@ class TrafficSimulator:
         )
         # Retained outcomes of the last run() call.
         self.completed: dict[str, CompletedRequest] = {}
+        # Per-run bookkeeping (reset by _reset_run_state at every run()).
+        self._replica_of: dict[str, int] = {}
+        self._admitted_at_s: dict[str, float] = {}
+        self._first_token_at_s: dict[str, float] = {}
+        self._metrics: list[RequestMetrics] = []
+        self._duration_s = 0.0
 
     def _build_replicas(self) -> list[Replica]:
         """Fresh replicas from the engine spec (the model is shared)."""
@@ -169,6 +175,60 @@ class TrafficSimulator:
     # ------------------------------------------------------------------
     # event loop
     # ------------------------------------------------------------------
+    def _reset_run_state(self) -> None:
+        """Clear the per-run bookkeeping at the start of every run()."""
+        self.completed = {}
+        self._replica_of = {}
+        self._admitted_at_s = {}
+        self._first_token_at_s = {}
+        self._metrics = []
+        self._duration_s = 0.0
+
+    def _submit_to(self, replica: Replica, request: TrafficRequest) -> None:
+        """Hand one arrived request to a replica's engine queue."""
+        # An idle replica fast-forwards to the arrival instant; a working
+        # one already sits at or past it (the arrival gate guarantees
+        # arrival <= every working clock).
+        replica.clock_s = max(replica.clock_s, request.arrival_time_s)
+        replica.engine.submit(
+            request.prompt_ids,
+            request_id=request.request_id,
+            max_new_tokens=request.max_new_tokens,
+            policy=request.policy,
+            arrival_time_s=request.arrival_time_s,
+        )
+        self._replica_of[request.request_id] = replica.index
+
+    def _step_replica(self, replica: Replica) -> tuple[list[RequestMetrics], float]:
+        """Run one engine step on ``replica`` and charge it clock time.
+
+        Returns the metrics of the requests that retired during the step
+        and the step's end instant on the replica clock.
+        """
+        step_start_s = replica.clock_s
+        finished = replica.engine.step()
+        trace = replica.engine.last_step_trace
+        assert trace is not None
+        step_end_s = step_start_s + self.clock.step_seconds(trace)
+        replica.clock_s = step_end_s
+        replica.steps += 1
+        replica.occupancy.append(len(trace.decodes))
+        for entry in trace.prefills:
+            # Under chunked prefill a request emits one prefill entry
+            # per chunk: admission is the FIRST chunk's step start
+            # (setdefault), while the first token lands at the end of
+            # the LAST chunk's step (overwrite).
+            self._admitted_at_s.setdefault(entry.request_id, step_start_s)
+            self._first_token_at_s[entry.request_id] = step_end_s
+        retired: list[RequestMetrics] = []
+        for item in finished:
+            record = self._metrics_of(item, step_end_s)
+            retired.append(record)
+            self._metrics.append(record)
+            self.completed[item.request.request_id] = item
+            self._duration_s = max(self._duration_s, step_end_s)
+        return retired, step_end_s
+
     def run(self, requests: Sequence[TrafficRequest]) -> TrafficReport:
         """Simulate the given open-loop workload to completion.
 
@@ -182,12 +242,7 @@ class TrafficSimulator:
         )
         self.replicas = self._build_replicas()
         self.router.reset()
-        self.completed = {}
-        replica_of: dict[str, int] = {}
-        admitted_at_s: dict[str, float] = {}
-        first_token_at_s: dict[str, float] = {}
-        metrics: list[RequestMetrics] = []
-        duration_s = 0.0
+        self._reset_run_state()
 
         while pending or any(replica.has_work() for replica in self.replicas):
             working = [replica for replica in self.replicas if replica.has_work()]
@@ -200,83 +255,53 @@ class TrafficSimulator:
                         f"router {self.router.name!r} chose replica {target}, "
                         f"but only {len(self.replicas)} exist"
                     )
-                replica = self.replicas[target]
-                # An idle replica fast-forwards to the arrival instant; a
-                # working one already sits at or past it (the arrival gate
-                # above guarantees arrival <= every working clock).
-                replica.clock_s = max(replica.clock_s, request.arrival_time_s)
-                replica.engine.submit(
-                    request.prompt_ids,
-                    request_id=request.request_id,
-                    max_new_tokens=request.max_new_tokens,
-                    policy=request.policy,
-                    arrival_time_s=request.arrival_time_s,
-                )
-                replica_of[request.request_id] = target
+                self._submit_to(self.replicas[target], request)
                 continue
 
             replica = min(working, key=lambda r: (r.clock_s, r.index))
-            step_start_s = replica.clock_s
-            finished = replica.engine.step()
-            trace = replica.engine.last_step_trace
-            assert trace is not None
-            step_end_s = step_start_s + self.clock.step_seconds(trace)
-            replica.clock_s = step_end_s
-            replica.steps += 1
-            replica.occupancy.append(len(trace.decodes))
-            for entry in trace.prefills:
-                # Under chunked prefill a request emits one prefill entry
-                # per chunk: admission is the FIRST chunk's step start
-                # (setdefault), while the first token lands at the end of
-                # the LAST chunk's step (overwrite).
-                admitted_at_s.setdefault(entry.request_id, step_start_s)
-                first_token_at_s[entry.request_id] = step_end_s
-            for item in finished:
-                metrics.append(
-                    self._metrics_of(item, replica_of, admitted_at_s, first_token_at_s, step_end_s)
-                )
-                self.completed[item.request.request_id] = item
-                duration_s = max(duration_s, step_end_s)
+            self._step_replica(replica)
 
+        return self._build_report()
+
+    def _build_report(self) -> TrafficReport:
+        """Assemble the report of the run that just drained."""
         occupancy = [o for replica in self.replicas for o in replica.occupancy]
         return TrafficReport(
-            requests=metrics,
+            requests=self._metrics,
             slo=self.config.slo,
             num_replicas=len(self.replicas),
             router=self.router.describe(),
             clock=self.clock.describe(),
-            duration_s=duration_s,
+            duration_s=self._duration_s,
             engine_steps=sum(replica.steps for replica in self.replicas),
             mean_occupancy=(sum(occupancy) / len(occupancy)) if occupancy else 0.0,
         )
 
-    def _metrics_of(
-        self,
-        item: CompletedRequest,
-        replica_of: dict[str, int],
-        admitted_at_s: dict[str, float],
-        first_token_at_s: dict[str, float],
-        finish_s: float,
-    ) -> RequestMetrics:
+    def _retries_of(self, request_id: str) -> int:
+        """Failure-retry count of a request (always 0 without failures)."""
+        return 0
+
+    def _metrics_of(self, item: CompletedRequest, finish_s: float) -> RequestMetrics:
         """Convert one retirement into its :class:`RequestMetrics` record."""
         request_id = item.request.request_id
         arrival = item.request.arrival_time_s
-        first_token = first_token_at_s[request_id]
+        first_token = self._first_token_at_s[request_id]
         tokens = len(item.result.output_ids)
         ttft = first_token - arrival
         tpot = (finish_s - first_token) / (tokens - 1) if tokens > 1 else 0.0
         return RequestMetrics(
             request_id=request_id,
-            replica=replica_of[request_id],
+            replica=self._replica_of[request_id],
             policy=item.result.method,
             arrival_time_s=arrival,
-            queue_wait_s=admitted_at_s[request_id] - arrival,
+            queue_wait_s=self._admitted_at_s[request_id] - arrival,
             ttft_s=ttft,
             tpot_s=tpot,
             e2e_s=finish_s - arrival,
             prompt_tokens=item.request.prompt_length(),
             output_tokens=tokens,
             slo_met=self.config.slo.is_met(ttft, tpot),
+            retries=self._retries_of(request_id),
         )
 
 

@@ -193,6 +193,67 @@ class TestMain:
         for process in ("poisson", "onoff", "constant"):
             assert process in out
 
+    def test_list_includes_cluster_registries(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster-bench" in out
+        for autoscaler in ("static", "queue_depth", "slo_attainment"):
+            assert autoscaler in out
+        for admission in ("always", "token_budget", "queue_deadline"):
+            assert admission in out
+
+    def test_cluster_bench_runs_and_is_bit_reproducible(self, capsys):
+        argv = [
+            "cluster-bench",
+            "--model", "tiny",
+            "--requests", "4",
+            "--rate", "0.8",
+            "--min-replicas", "1",
+            "--max-replicas", "2",
+            "--autoscaler", "queue_depth:high=1,low=0.25,cooldown_s=1",
+            "--admission", "token_budget",
+            "--kill", "4.0@0",
+            "--prompt-len-min", "16",
+            "--prompt-len-max", "24",
+            "--new-tokens", "4",
+            "--budget", "16",
+            "--seed", "3",
+            "--json",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert '"autoscaler"' in first
+        assert '"failures"' in first
+
+    def test_cluster_bench_table_output(self, capsys):
+        assert (
+            main(
+                [
+                    "cluster-bench",
+                    "--model", "tiny",
+                    "--requests", "3",
+                    "--rate", "1.0",
+                    "--min-replicas", "1",
+                    "--max-replicas", "2",
+                    "--prompt-len-min", "16",
+                    "--prompt-len-max", "24",
+                    "--new-tokens", "4",
+                    "--budget", "16",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "cluster: autoscaler=slo_attainment" in out
+        assert "scaling timeline:" in out
+
+    def test_cluster_bench_rejects_malformed_kill(self):
+        with pytest.raises(ValueError, match="malformed --kill"):
+            main(["cluster-bench", "--kill", "nonsense"])
+
     def test_fig12_runs_and_prints_table(self, capsys):
         assert main(["fig12"]) == 0
         out = capsys.readouterr().out
