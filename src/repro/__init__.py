@@ -22,6 +22,10 @@ Top-level convenience re-exports; see the subpackages for the full API:
 * :mod:`repro.experiments` — one module per paper table/figure.
 * :mod:`repro.serving` — batched multi-request serving with continuous
   scheduling over any of the above compression methods.
+* :mod:`repro.prefixcache` — the cross-request prefix/KV cache: a radix
+  tree over prompt token blocks with refcounted LRU eviction; the serving
+  engine attaches requests to the longest cached prefix and prefills only
+  the suffix.
 * :mod:`repro.traffic` — trace-driven open-loop traffic simulation:
   seeded arrival processes, multi-replica routing and TTFT/TPOT/goodput
   SLO metrics on a virtual perfmodel clock.
@@ -68,6 +72,7 @@ from .serving import (
 )
 from .api import EngineSpec, Session, TokenEvent, simulate, simulate_cluster
 from .cluster import ClusterConfig, FailurePlan
+from .prefixcache import PrefixCacheConfig, RadixPrefixCache
 from .traffic import SLOSpec, TrafficConfig, TrafficReport
 
 __version__ = "0.1.0"
@@ -112,4 +117,6 @@ __all__ = [
     "ContinuousBatchingScheduler",
     "SchedulerConfig",
     "serve_prompts",
+    "PrefixCacheConfig",
+    "RadixPrefixCache",
 ]

@@ -4,7 +4,10 @@
 
 * :class:`EngineSpec` — one declarative, JSON-round-trippable config
   object describing model, default policy, budget, decoding and scheduler
-  knobs.
+  knobs, including the cross-request prefix cache
+  (``prefix_cache_tokens`` capacity, ``prefix_block_tokens`` radix block
+  size, ``prefix_semantic_reuse`` for ClusterKV cluster-state reuse —
+  see :mod:`repro.prefixcache`).
 * :class:`Session` — built from an ``EngineSpec`` (or its fields as
   keyword arguments); exposes ``generate()`` for one-shot calls,
   ``submit()``/``step()``/``run()`` for batched serving, and ``stream()``

@@ -151,6 +151,16 @@ class Session:
         """Results of all finished requests, keyed by request id."""
         return {rid: c.result for rid, c in self._completed_by_id.items()}
 
+    def prefix_cache_stats(self) -> dict[str, object]:
+        """Accounting snapshot of the engine's cross-request prefix cache.
+
+        Hits, misses, hit rate and token counters of the
+        :class:`~repro.prefixcache.RadixPrefixCache` built when the
+        session's spec sets ``prefix_cache_tokens``; empty when the cache
+        is disabled.
+        """
+        return self.engine.prefix_cache_stats()
+
     def clear_completed(self) -> None:
         """Drop retained results of finished requests.
 

@@ -48,6 +48,14 @@ class EngineSpec:
         Scheduler configuration, see
         :class:`~repro.serving.SchedulerConfig`; ``prefill_chunk_tokens``
         enables chunked prefill (per-step prompt-token budget).
+    prefix_cache_tokens / prefix_block_tokens / prefix_semantic_reuse:
+        Cross-request prefix-cache configuration, also part of
+        :class:`~repro.serving.SchedulerConfig`.  ``prefix_cache_tokens``
+        sets the replica-local cache capacity in cached prompt tokens
+        (``None`` disables prefix caching); ``prefix_block_tokens`` is the
+        block granularity of sharing; ``prefix_semantic_reuse`` also
+        restores per-policy semantic state (ClusterKV cluster segments)
+        for cached prefixes.
     kv_capacity_tokens:
         Declared per-replica serving capacity in projected KV tokens
         (prompt plus decode length summed over admitted requests), read
@@ -71,6 +79,9 @@ class EngineSpec:
     max_prefills_per_step: int = 2
     kv_budget_bytes: int | None = None
     prefill_chunk_tokens: int | None = None
+    prefix_cache_tokens: int | None = None
+    prefix_block_tokens: int = 32
+    prefix_semantic_reuse: bool = True
     kv_capacity_tokens: int | None = None
 
     def __post_init__(self) -> None:
@@ -106,6 +117,9 @@ class EngineSpec:
             max_prefills_per_step=self.max_prefills_per_step,
             kv_budget_bytes=self.kv_budget_bytes,
             prefill_chunk_tokens=self.prefill_chunk_tokens,
+            prefix_cache_tokens=self.prefix_cache_tokens,
+            prefix_block_tokens=self.prefix_block_tokens,
+            prefix_semantic_reuse=self.prefix_semantic_reuse,
         )
 
     # ------------------------------------------------------------------

@@ -134,6 +134,29 @@ class LayerSelectorState(abc.ABC):
         """Number of tokens observed so far (prefill plus decode)."""
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # cross-request prefix-cache hooks (optional)
+    # ------------------------------------------------------------------
+    def export_prefix_state(self, prefix_len: int) -> dict[tuple[int, int], object]:
+        """Semantic state of the prompt prefix, for the prefix cache.
+
+        Returns a mapping from absolute token segments ``(seg_start,
+        seg_end)`` with ``seg_end <= prefix_len`` to opaque payloads that
+        :meth:`restore_prefix_state` on a *fresh* state of the same policy
+        configuration can consume.  The default returns an empty mapping:
+        most selectors rebuild their structure from the full prompt keys
+        at prefill observation time and need nothing restored.
+        """
+        return {}
+
+    def restore_prefix_state(self, segments: dict[tuple[int, int], object]) -> None:
+        """Adopt exported prefix segments ahead of ``observe_prefill``.
+
+        Called on a fresh state (before any observation) when the engine
+        attaches the request to a cached prompt prefix.  The default is a
+        no-op, matching the empty default export.
+        """
+
 
 class KVSelectorFactory(abc.ABC):
     """Factory building per-layer selector states for one generation run.

@@ -104,6 +104,8 @@ def _workload_kwargs(args: argparse.Namespace) -> dict:
         max_new_tokens=args.new_tokens,
         budget=args.budget,
         prefill_chunk=None if args.prefill_chunk <= 0 else args.prefill_chunk,
+        prefix_cache=None if args.prefix_cache <= 0 else args.prefix_cache,
+        prefix_block=args.prefix_block,
         slo=SLOSpec(
             ttft_s=None if args.slo_ttft <= 0 else args.slo_ttft,
             tpot_s=None if args.slo_tpot <= 0 else args.slo_tpot,
@@ -293,6 +295,15 @@ def _format_listing() -> str:
     lines.append("")
     lines.append("traffic routers (use with traffic-bench --router NAME):")
     lines.append("  " + ", ".join(router_names()))
+    lines.append(
+        "prefix cache (traffic-/cluster-bench --prefix-cache TOKENS "
+        "[--prefix-block N]; EngineSpec prefix_cache_tokens/"
+        "prefix_block_tokens/prefix_semantic_reuse):"
+    )
+    lines.append(
+        "  per-replica radix cache of prompt-prefix KV; pair with "
+        "--router prefix_affine"
+    )
     lines.append("arrival processes (traffic-bench --arrivals NAME):")
     lines.append("  " + ", ".join(arrival_names()))
     lines.append("autoscalers (cluster-bench --autoscaler NAME[:KEY=VAL,...]):")
@@ -490,6 +501,15 @@ def _add_workload_flags(traffic: argparse.ArgumentParser) -> None:
         "--prefill-chunk", type=int, default=0,
         help="chunked-prefill token budget per engine step (<= 0 keeps "
         "monolithic prefill)",
+    )
+    traffic.add_argument(
+        "--prefix-cache", type=int, default=0,
+        help="per-replica cross-request prefix-cache capacity in KV tokens "
+        "(<= 0 disables; pair with --router prefix_affine)",
+    )
+    traffic.add_argument(
+        "--prefix-block", type=int, default=32,
+        help="radix-block size of the prefix cache, in tokens",
     )
     traffic.add_argument(
         "--slo-ttft", type=float, default=2.5,

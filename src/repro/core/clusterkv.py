@@ -76,6 +76,12 @@ class ClusterKVLayerState(LayerSelectorState):
         self._num_sinks_held = 0
         self._pending_start = 0  # absolute index of the first unclustered decode token
         self._prefilled = False
+        # Segmented-prefill bookkeeping for the cross-request prefix cache:
+        # full segments clustered (or adopted) by this state, and segments
+        # restored from a cached prefix ahead of observe_prefill.  Both map
+        # absolute (seg_start, seg_end) to per-head ClusteringResult tuples.
+        self._prefill_segments: dict[tuple[int, int], tuple] = {}
+        self._restored_segments: dict[tuple[int, int], tuple] = {}
 
     # ------------------------------------------------------------------
     # observation
@@ -91,26 +97,101 @@ class ClusterKVLayerState(LayerSelectorState):
 
         self._num_sinks_held = min(self.num_sink_tokens, length)
         self._sink_indices = np.arange(self._num_sinks_held, dtype=np.int64)
-        clusterable = length - self._num_sinks_held
-        n_clusters = self.config.num_prefill_clusters(clusterable)
-        if n_clusters > 0:
-            # All heads in one batched k-means; head h runs under seed
-            # base + h, matching the historical per-head calls bit for bit.
-            results = kmeans_cluster_batch(
-                keys[:, self._num_sinks_held :, :],
-                n_clusters,
-                metric=self.config.distance_metric,
-                max_iters=self.config.max_kmeans_iters,
-                seed=self.config.kmeans_seed + self.layer_idx * 131,
-            )
-            for head, result in enumerate(results):
-                self.metadata[head].append_clustering(result, self._num_sinks_held)
-                self.stats.build_flops += clustering_flops(
-                    clusterable, n_clusters, self.head_dim, result.n_iters
+        if self.config.prefill_segment_tokens is not None:
+            self._observe_prefill_segmented(keys, length)
+        else:
+            clusterable = length - self._num_sinks_held
+            n_clusters = self.config.num_prefill_clusters(clusterable)
+            if n_clusters > 0:
+                # All heads in one batched k-means; head h runs under seed
+                # base + h, matching the historical per-head calls bit for bit.
+                results = kmeans_cluster_batch(
+                    keys[:, self._num_sinks_held :, :],
+                    n_clusters,
+                    metric=self.config.distance_metric,
+                    max_iters=self.config.max_kmeans_iters,
+                    seed=self.config.kmeans_seed + self.layer_idx * 131,
                 )
-            self._stacked_centroids = None
+                for head, result in enumerate(results):
+                    self.metadata[head].append_clustering(result, self._num_sinks_held)
+                    self.stats.build_flops += clustering_flops(
+                        clusterable, n_clusters, self.head_dim, result.n_iters
+                    )
+                self._stacked_centroids = None
         self._pending_start = length
         self._refresh_aux_bytes()
+
+    def _observe_prefill_segmented(self, keys: np.ndarray, length: int) -> None:
+        """Cluster the prompt in absolute-position segments (prefix-compositional).
+
+        Each segment ``[sinks + i*S, sinks + (i+1)*S)`` is clustered
+        independently under a seed derived from its absolute start, so a
+        segment's clusters depend only on its own keys and position —
+        never on what follows.  Segments restored from the prefix cache
+        (via :meth:`restore_prefix_state`) are adopted verbatim, skipping
+        their k-means entirely; the remaining segments are computed and
+        are bit-identical to what a cache-off run produces.
+        """
+        segment = self.config.prefill_segment_tokens
+        assert segment is not None
+        for seg_start in range(self._num_sinks_held, length, segment):
+            seg_end = min(seg_start + segment, length)
+            window = seg_end - seg_start
+            restored = self._restored_segments.get((seg_start, seg_end))
+            if restored is not None:
+                results = restored
+            else:
+                n_clusters = self.config.num_prefill_clusters(window)
+                if n_clusters <= 0:
+                    continue
+                results = tuple(
+                    kmeans_cluster_batch(
+                        keys[:, seg_start:seg_end, :],
+                        n_clusters,
+                        metric=self.config.distance_metric,
+                        max_iters=self.config.max_kmeans_iters,
+                        seed=self.config.kmeans_seed
+                        + self.layer_idx * 131
+                        + 7919 * seg_start,
+                    )
+                )
+            for head, result in enumerate(results):
+                self.metadata[head].append_clustering(result, seg_start)
+                if restored is None:
+                    self.stats.build_flops += clustering_flops(
+                        window, result.centroids.shape[0], self.head_dim, result.n_iters
+                    )
+            if window == segment:
+                self._prefill_segments[(seg_start, seg_end)] = tuple(results)
+            self._stacked_centroids = None
+        self._restored_segments = {}
+
+    # ------------------------------------------------------------------
+    # prefix-cache hooks
+    # ------------------------------------------------------------------
+    def export_prefix_state(self, prefix_len: int) -> dict[tuple[int, int], object]:
+        """Full prefill segments ending within ``prefix_len``, for the cache.
+
+        Only segmented-prefill states export anything: whole-prompt
+        clustering depends on the suffix and cannot be reused.  Partial
+        trailing segments are withheld — they would not recur at the same
+        boundaries in a longer prompt.
+        """
+        if self.config.prefill_segment_tokens is None:
+            return {}
+        return {
+            span: results
+            for span, results in self._prefill_segments.items()
+            if span[1] <= prefix_len
+        }
+
+    def restore_prefix_state(self, segments: dict[tuple[int, int], object]) -> None:
+        """Adopt cached prefill segments; consumed by ``observe_prefill``."""
+        if self._prefilled:
+            raise RuntimeError("restore_prefix_state called after observe_prefill")
+        if self.config.prefill_segment_tokens is None:
+            return
+        self._restored_segments = dict(segments)  # type: ignore[arg-type]
 
     def observe_decode(self, keys: np.ndarray) -> None:
         """Buffer decoded keys; cluster them every ``decode_window`` tokens."""

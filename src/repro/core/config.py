@@ -53,6 +53,15 @@ class ClusterKVConfig:
     score_metric:
         Metric used to score centroids against the query at selection time;
         the paper uses the inner product (Sec. III-C).
+    prefill_segment_tokens:
+        When set, prompt keys are clustered in independent segments of
+        this many tokens (each seeded by its absolute position) instead of
+        one whole-prompt k-means.  Segmented clustering is
+        *prefix-compositional*: the clusters of a shared prompt prefix do
+        not depend on the suffix, which is what lets the cross-request
+        prefix cache (:mod:`repro.prefixcache`) restore a cached prefix's
+        cluster assignments and centroids and re-cluster only the suffix.
+        ``None`` (the default) keeps the paper's whole-prompt clustering.
     """
 
     tokens_per_cluster: int = 80
@@ -67,6 +76,7 @@ class ClusterKVConfig:
     cache_history: int = 1
     trim_policy: str = "order"
     score_metric: str = "ip"
+    prefill_segment_tokens: int | None = None
 
     def __post_init__(self) -> None:
         if self.tokens_per_cluster <= 0:
@@ -94,6 +104,8 @@ class ClusterKVConfig:
             raise ValueError("cache_history must be non-negative")
         if self.trim_policy not in _VALID_TRIM:
             raise ValueError(f"trim_policy must be one of {_VALID_TRIM}")
+        if self.prefill_segment_tokens is not None and self.prefill_segment_tokens <= 0:
+            raise ValueError("prefill_segment_tokens must be positive when set")
 
     def num_prefill_clusters(self, num_clusterable_tokens: int) -> int:
         """Number of prefill clusters ``C0`` for the given token count.

@@ -109,6 +109,9 @@ class GenerationResult:
     kv_cache_bytes: int = 0
     method: str = "full"
     method_config: dict[str, object] = field(default_factory=dict)
+    # Prompt tokens attached from the cross-request prefix cache instead of
+    # being prefilled (0 for a cache miss or a run without the cache).
+    cached_prefix_tokens: int = 0
 
     def mean_recall(self) -> float:
         """Average recall over all recorded (step, layer, head) triples."""
@@ -379,6 +382,55 @@ class EngineCore:
         logits = self.model.final_logits(hidden[-1:, :])[0]
         vocab_probs = softmax(logits)
         return self._mix_copy(seq, vocab_probs, int(prompt_ids[-1]), allowed_indices=None)
+
+    def attach_prefix(
+        self,
+        seq: SequenceState,
+        prompt_ids: np.ndarray,
+        keys_per_layer: list[np.ndarray],
+        values_per_layer: list[np.ndarray],
+    ) -> None:
+        """Adopt the cached KV of a prompt prefix instead of prefilling it.
+
+        ``keys_per_layer``/``values_per_layer`` hold, per layer, the KV
+        entries of the first ``H`` prompt positions as produced by an
+        earlier prefill of the same token ids (shape
+        ``(n_kv_heads, H, head_dim)``).  Causality makes this exact: the KV
+        of position ``p`` depends only on tokens ``[0, p]``, so the
+        injected entries are bit-identical to what prefilling this prompt
+        would compute.  The copy head replays the attached token ids (its
+        ingest is a pure per-token function), and the selector states are
+        *not* notified here — the final suffix chunk's ``observe_prefill``
+        runs over the complete prompt keys exactly as in a monolithic
+        prefill, which is what keeps every policy token-identical.
+
+        After attaching, the engine must prefill the remaining chunk(s)
+        ``[H, len(prompt_ids))`` through :meth:`prefill_chunk`; ``H`` must
+        leave at least one prompt token for that final chunk.
+        """
+        prompt_ids = np.asarray(prompt_ids, dtype=np.int64)
+        config = self.model.config
+        length = prompt_ids.shape[0]
+        attached = keys_per_layer[0].shape[1] if keys_per_layer else 0
+        if seq.prefilled:
+            raise RuntimeError("the sequence has already been prefilled")
+        if len(keys_per_layer) != config.n_layers or len(values_per_layer) != config.n_layers:
+            raise ValueError("attach_prefix needs one KV pair per model layer")
+        if not 0 < attached < length:
+            raise ValueError(
+                f"attached prefix of {attached} tokens must leave at least one of "
+                f"the {length} prompt tokens to prefill"
+            )
+        seq.prefilled = True
+        seq.result.prompt_length = length
+        seq.result.cached_prefix_tokens = int(attached)
+        for layer_idx in range(config.n_layers):
+            seq.kv_store.append(
+                layer_idx, keys_per_layer[layer_idx], values_per_layer[layer_idx], step=-1
+            )
+        if seq.copy_head is not None:
+            seq._prefill_copy_keys.append(seq.copy_head.ingest(prompt_ids[:attached]))
+        seq.position = int(attached)
 
     # ------------------------------------------------------------------
     # decoding

@@ -268,11 +268,48 @@ def deterministic_counters(config: PerfBenchConfig | None = None) -> dict[str, o
     with count_ops() as kmeans_ops:
         results = kmeans_cluster_batch(keys, 8, metric="cosine", seed=config.seed)
 
+    # Prefix-cache scenario: four prompts sharing a 16-token preamble served
+    # one prefill per step through a cache-enabled engine, so the later three
+    # attach the preamble instead of prefilling it.  The attention_prefill
+    # GEMM count (vs. the cache-off `serve` section's per-token costs) and
+    # the attached-token counter pin the prefill work the cache saves.
+    prefix_rng = np.random.default_rng(config.seed + 2)
+    preamble = prefix_rng.integers(4, model.config.vocab_size, size=16).astype(np.int64)
+    shared_prompts = [
+        np.concatenate(
+            [preamble, prefix_rng.integers(4, model.config.vocab_size, size=8)]
+        ).astype(np.int64)
+        for _ in range(4)
+    ]
+    prefix_engine = BatchedEngine(
+        model,
+        selector,
+        gen,
+        SchedulerConfig(
+            max_batch_size=4,
+            max_prefills_per_step=1,
+            prefix_cache_tokens=1024,
+            prefix_block_tokens=8,
+        ),
+    )
+    for prompt in shared_prompts:
+        prefix_engine.submit(prompt)
+    with count_ops() as prefix_ops:
+        prefix_report = prefix_engine.run()
+    prefix_stats = prefix_engine.prefix_cache_stats()
+
     return {
         "serve": {
             "engine_steps": report.engine_steps,
             "total_tokens": report.total_generated_tokens,
             "counters": serve_ops.as_dict(),
+        },
+        "prefix_serve": {
+            "engine_steps": prefix_report.engine_steps,
+            "total_tokens": prefix_report.total_generated_tokens,
+            "cache_hits": prefix_stats["hits"],
+            "cache_hit_tokens": prefix_stats["hit_tokens"],
+            "counters": prefix_ops.as_dict(),
         },
         "kmeans": {
             "n_iters": [r.n_iters for r in results],

@@ -36,7 +36,7 @@ from __future__ import annotations
 from typing import Iterable, Protocol
 
 from ..model.model_zoo import ReferenceArchitecture, get_reference_architecture
-from .costs import attention_decode_cost, linear_layers_cost, roofline_time
+from .costs import attention_decode_cost, kv_bytes, linear_layers_cost, roofline_time
 from .hardware import ADA_6000, HardwareConfig
 from .latency import SUPPORTED_METHODS, LatencyModel, MethodLatencyParams
 
@@ -171,6 +171,25 @@ class StepCostModel:
                 seconds += self.latency.infinigen_build_seconds(scaled_prompt)
         return max(seconds, 0.0)
 
+    def prefix_attach_seconds(self, num_tokens: int) -> float:
+        """Cost of attaching ``num_tokens`` of cached prefix KV to a request.
+
+        A prefix-cache hit replaces the prefix's prefill compute with a
+        copy of its stored KV entries into the request's cache, priced as
+        a PCIe transfer of the prefix's KV bytes (the cache lives in host
+        memory at paper scale).  This is what makes cache-on runs strictly
+        cheaper than cache-off ones on the virtual clock whenever the
+        transfer undercuts the prefill compute it replaces — which it does
+        by orders of magnitude for transformer prefill.  Any clustering
+        build work stays charged on the final suffix chunk via
+        :meth:`prefill_chunk_seconds`, a conservative (over-)estimate for
+        ClusterKV runs that restore cached cluster state.
+        """
+        if num_tokens <= 0:
+            return 0.0
+        scaled = num_tokens * self.context_scale
+        return kv_bytes(self.arch, scaled) / self.hardware.pcie_bandwidth
+
     def replica_warmup_seconds(self) -> float:
         """Cold-start cost of provisioning one serving replica.
 
@@ -241,20 +260,27 @@ class StepCostModel:
     # whole steps
     # ------------------------------------------------------------------
     def step_seconds(
-        self, prefills: Iterable[_StepEntry], decodes: Iterable[_StepEntry]
+        self,
+        prefills: Iterable[_StepEntry],
+        decodes: Iterable[_StepEntry],
+        attaches: Iterable[_StepEntry] = (),
     ) -> float:
         """Duration of one engine step given its per-request trace entries.
 
-        ``prefills``/``decodes`` are the entries of one
+        ``prefills``/``decodes``/``attaches`` are the entries of one
         :class:`repro.serving.StepTrace` (any objects with the same
         attributes work).  Prefills are charged sequentially at full cost —
         entries carrying chunk information (``chunk_start``/
         ``chunk_tokens``) are priced as chunks, so mixed prefill+decode
         steps under chunked prefill cost only the chunk actually run; the
         decode batch is charged one shared dense pass plus per-request
-        attention/selection/transfer.
+        attention/selection/transfer.  Prefix-cache attaches (whose
+        ``context_length`` is the number of attached tokens) are charged
+        as KV transfers via :meth:`prefix_attach_seconds`.
         """
         seconds = 0.0
+        for entry in attaches:
+            seconds += self.prefix_attach_seconds(entry.context_length)
         for entry in prefills:
             chunk_tokens = getattr(entry, "chunk_tokens", None)
             if chunk_tokens is None:

@@ -1,0 +1,27 @@
+"""Cross-request prefix/KV caching for the serving engine.
+
+Production traffic shares system prompts and few-shot preambles across
+requests, yet a stock engine prefills every prompt from token zero.  This
+package caches the KV entries (and, for ClusterKV, the semantic
+clustering state) of prefilled prompt prefixes in a refcounted radix tree
+(:class:`RadixPrefixCache`) so later requests attach to the shared prefix
+and prefill only their suffix — the same lever as vLLM's block-level
+prompt caching and SGLang's RadixAttention, extended with
+semantic-state reuse.
+
+The cache is engine-local (one per :class:`~repro.serving.BatchedEngine`
+replica) and is enabled through
+:class:`~repro.serving.SchedulerConfig` ``prefix_cache_tokens`` /
+``prefix_block_tokens`` / ``prefix_semantic_reuse`` — equivalently the
+same fields on :class:`repro.api.EngineSpec`, or ``--prefix-cache`` /
+``--prefix-block`` on the ``traffic-bench`` and ``cluster-bench`` CLI
+commands.  Exactness is structural: causal attention makes a prefix's KV
+independent of the suffix, so cache-on decoding is token-identical to
+cache-off for every registered policy (the differential suite in
+``tests/test_prefix_cache.py`` pins this).
+"""
+
+from .cache import PrefixMatch, RadixPrefixCache
+from .config import PrefixCacheConfig
+
+__all__ = ["PrefixCacheConfig", "PrefixMatch", "RadixPrefixCache"]

@@ -1,0 +1,47 @@
+"""Configuration of the cross-request prefix KV cache."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PrefixCacheConfig"]
+
+
+@dataclass(frozen=True)
+class PrefixCacheConfig:
+    """Knobs of the radix prefix cache.
+
+    Attributes
+    ----------
+    block_tokens:
+        Granularity of sharing: prompts are cached in fixed-size blocks of
+        this many token ids, one radix-tree node per block.  A request can
+        only reuse whole blocks, so larger blocks mean fewer tree nodes
+        but coarser matches.
+    capacity_tokens:
+        KV budget of the cache in *tokens* (summed over cached blocks, not
+        per layer — every cached token carries its KV entries for all
+        layers).  When an insert pushes the cache over this budget,
+        least-recently-used unreferenced leaves are evicted until it fits
+        again; ``None`` never evicts.
+    semantic_reuse:
+        Whether to also store and restore per-policy semantic state
+        (ClusterKV's per-segment cluster assignments and centroids)
+        alongside the raw KV blocks.  Semantic snapshots are keyed by the
+        full policy signature and only ever reused by requests running the
+        *same* policy configuration; policies that do not export segment
+        state (the default) are unaffected either way.
+    """
+
+    block_tokens: int = 32
+    capacity_tokens: int | None = None
+    semantic_reuse: bool = True
+
+    def __post_init__(self) -> None:
+        if self.block_tokens <= 0:
+            raise ValueError("block_tokens must be positive")
+        if self.capacity_tokens is not None and self.capacity_tokens < self.block_tokens:
+            raise ValueError(
+                "capacity_tokens must be at least block_tokens when set "
+                f"(got {self.capacity_tokens} < {self.block_tokens})"
+            )

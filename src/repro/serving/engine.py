@@ -26,6 +26,7 @@ for bit.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
 
@@ -37,7 +38,9 @@ from ..memory import OffloadManager, TransferLedger
 from ..model.config import GenerationConfig
 from ..model.generation import EngineCore, GenerationResult, SequenceState
 from ..model.transformer import TransformerModel
+from ..perf import counters
 from ..policies import PolicySpec, build_policy, resolve_policy_spec
+from ..prefixcache import PrefixCacheConfig, PrefixMatch, RadixPrefixCache
 from .queue import RequestQueue
 from .request import ActiveRequest, CompletedRequest, RequestStatus, ServeRequest
 from .scheduler import ContinuousBatchingScheduler, SchedulerConfig
@@ -145,6 +148,10 @@ class StepTrace:
     engine_step: int
     prefills: list[StepRequestTrace] = field(default_factory=list)
     decodes: list[StepRequestTrace] = field(default_factory=list)
+    # Prefix-cache attaches of this step: one entry per admitted request
+    # that adopted cached KV, with ``context_length`` equal to the number
+    # of attached tokens (priced as a KV transfer, not as prefill compute).
+    attaches: list[StepRequestTrace] = field(default_factory=list)
     wall_seconds: float = 0.0
 
 
@@ -170,6 +177,10 @@ class ServeReport:
         High-water marks of the shared memory tiers.
     wall_time_seconds:
         Wall-clock duration of the :meth:`BatchedEngine.run` call.
+    prefix_cache:
+        Accounting snapshot of the engine's cross-request prefix cache
+        (:meth:`repro.prefixcache.RadixPrefixCache.stats`); empty when
+        prefix caching is disabled.
     """
 
     completed: list[CompletedRequest] = field(default_factory=list)
@@ -180,6 +191,7 @@ class ServeReport:
     peak_gpu_bytes: int = 0
     peak_cpu_bytes: int = 0
     wall_time_seconds: float = 0.0
+    prefix_cache: dict[str, object] = field(default_factory=dict)
 
     @property
     def mean_batch_occupancy(self) -> float:
@@ -296,6 +308,23 @@ class BatchedEngine:
         self.last_step_trace: StepTrace | None = None
         self._kv_bytes_per_token = model.config.kv_bytes_per_token()
         self._draining = False
+        # Cross-request prefix cache (engine-local): admitted requests
+        # attach to the longest cached prefix of their prompt and prefill
+        # only the suffix.  Disabled (None) unless the scheduler config
+        # sets a capacity.
+        scheduler_cfg = self.scheduler.config
+        self.prefix_cache: RadixPrefixCache | None = None
+        if scheduler_cfg.prefix_cache_tokens is not None:
+            self.prefix_cache = RadixPrefixCache(
+                PrefixCacheConfig(
+                    block_tokens=scheduler_cfg.prefix_block_tokens,
+                    capacity_tokens=scheduler_cfg.prefix_cache_tokens,
+                    semantic_reuse=scheduler_cfg.prefix_semantic_reuse,
+                )
+            )
+        # Live matches of in-flight requests; released at retirement so the
+        # cache never evicts blocks a request still reads.
+        self._prefix_matches: dict[str, PrefixMatch] = {}
 
     # ------------------------------------------------------------------
     # submission
@@ -472,7 +501,7 @@ class BatchedEngine:
             default_max_new_tokens=self.generation_config.max_new_tokens,
         )
         for request in admitted:
-            self._admit_request(request)
+            self._admit_request(request, trace)
         self._advance_prefills(trace)
 
         batch = [
@@ -549,13 +578,28 @@ class BatchedEngine:
         report.ledger = self.offload.ledger
         report.peak_gpu_bytes = self.offload.gpu.peak_bytes
         report.peak_cpu_bytes = self.offload.cpu.peak_bytes
+        report.prefix_cache = self.prefix_cache_stats()
         return report
+
+    def prefix_cache_stats(self) -> dict[str, object]:
+        """Accounting snapshot of the prefix cache; empty when disabled."""
+        if self.prefix_cache is None:
+            return {}
+        return self.prefix_cache.stats()
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _admit_request(self, request: ServeRequest) -> None:
-        """Create the decoding state of an admitted request (no prefill yet)."""
+    def _admit_request(self, request: ServeRequest, trace: StepTrace) -> None:
+        """Create the decoding state of an admitted request (no prefill yet).
+
+        With the prefix cache enabled, the request is matched against the
+        radix tree here: on a hit the cached KV of the longest shared
+        prefix is attached (and, under semantic reuse, the prefix's
+        per-policy segment state restored), so the subsequent
+        :meth:`_advance_prefills` only prefills the prompt suffix.  The
+        attach is recorded on ``trace.attaches`` for the step-cost model.
+        """
         selector = self._request_selectors.pop(request.request_id, None)
         if selector is None:
             # Requests enqueued directly on ``self.queue`` (bypassing
@@ -588,7 +632,81 @@ class BatchedEngine:
         self._reserved_bytes[request.request_id] = self.scheduler.projected_bytes(
             request, self._kv_bytes_per_token, self.generation_config.max_new_tokens
         )
+        if self.prefix_cache is not None:
+            match = self.prefix_cache.match(request.prompt_ids)
+            if match is not None:
+                n_layers = self.model.config.n_layers
+                self.core.attach_prefix(
+                    sequence,
+                    request.prompt_ids,
+                    [match.keys(layer_idx) for layer_idx in range(n_layers)],
+                    [match.values(layer_idx) for layer_idx in range(n_layers)],
+                )
+                if self.prefix_cache.config.semantic_reuse:
+                    self._restore_semantic(sequence, match)
+                active.prefill_pos = match.num_tokens
+                self._prefix_matches[request.request_id] = match
+                trace.attaches.append(self._trace_entry(active, match.num_tokens))
+                counters.record("prefix_cache.attached_tokens", match.num_tokens)
         self._active.append(active)
+
+    def _policy_signature(self, selector: KVSelectorFactory) -> str:
+        """Canonical signature of a selector's full configuration.
+
+        Semantic snapshots in the prefix cache are keyed by this string so
+        state is only ever reused by requests running the *same* policy
+        configuration (two ClusterKV requests with different segment sizes
+        never share clusters).
+        """
+        return json.dumps(selector.describe(), sort_keys=True, default=str)
+
+    def _restore_semantic(self, sequence: SequenceState, match: PrefixMatch) -> None:
+        """Hand cached per-policy segment state to the sequence's selectors."""
+        segments = match.semantic_segments(self._policy_signature(sequence.selector))
+        if not segments:
+            return
+        per_layer: dict[int, dict[tuple[int, int], object]] = {}
+        for (layer_idx, seg_start, seg_end), payload in segments.items():
+            per_layer.setdefault(layer_idx, {})[(seg_start, seg_end)] = payload
+        for layer_idx, spans in per_layer.items():
+            state = sequence.layer_states[layer_idx]
+            if state is not None:
+                state.restore_prefix_state(spans)
+
+    def _cache_insert(self, sequence: SequenceState, prompt_ids: np.ndarray) -> None:
+        """Insert a freshly prefilled prompt's whole blocks into the cache.
+
+        Called when the final prefill chunk lands — the KV store holds
+        exactly the prompt's KV at that instant.  Under semantic reuse the
+        selectors' exportable segment state rides along, keyed by the
+        request's policy signature.
+        """
+        assert self.prefix_cache is not None
+        length = int(prompt_ids.shape[0])
+        block = self.prefix_cache.config.block_tokens
+        whole = (length // block) * block
+        if whole <= 0:
+            return
+        layer_kv = [
+            (
+                sequence.kv_store.keys(layer_idx)[:, :whole, :],
+                sequence.kv_store.values(layer_idx)[:, :whole, :],
+            )
+            for layer_idx in range(self.model.config.n_layers)
+        ]
+        semantic = None
+        if self.prefix_cache.config.semantic_reuse:
+            exported: dict[tuple[int, int, int], object] = {}
+            for layer_idx, state in enumerate(sequence.layer_states):
+                if state is None:
+                    continue
+                for (seg_start, seg_end), payload in state.export_prefix_state(
+                    whole
+                ).items():
+                    exported[(layer_idx, seg_start, seg_end)] = payload
+            if exported:
+                semantic = {self._policy_signature(sequence.selector): exported}
+        self.prefix_cache.insert(prompt_ids, layer_kv, semantic=semantic)
 
     def _advance_prefills(self, trace: StepTrace) -> None:
         """Advance every still-prefilling request within the chunk budget.
@@ -624,6 +742,8 @@ class BatchedEngine:
             )
             if distribution is None:
                 continue
+            if self.prefix_cache is not None:
+                self._cache_insert(active.sequence, prompt)
             token = self.core.pick_token(active.sequence, distribution)
             self.core.record_output(active.sequence, token, distribution)
             active.current_token = token
@@ -642,6 +762,9 @@ class BatchedEngine:
             result = self.core.finalise(active.sequence)
             active.sequence.release()
             self._reserved_bytes.pop(active.request.request_id, None)
+            match = self._prefix_matches.pop(active.request.request_id, None)
+            if match is not None and self.prefix_cache is not None:
+                self.prefix_cache.release(match)
             completed.append(
                 CompletedRequest(
                     request=active.request,

@@ -54,12 +54,28 @@ class SchedulerConfig:
         decode for one monolithic step.  ``None`` (the default) prefills
         every admitted request whole in its admission step (monolithic
         prefill, the historical behaviour).
+    prefix_cache_tokens:
+        Capacity (in cached prompt tokens) of the engine's cross-request
+        prefix KV cache (:class:`repro.prefixcache.RadixPrefixCache`).
+        When set, admitted requests attach to the longest cached prefix of
+        their prompt and prefill only the suffix.  ``None`` (the default)
+        disables prefix caching entirely.
+    prefix_block_tokens:
+        Sharing granularity of the prefix cache: prompts are cached and
+        matched in blocks of this many tokens.
+    prefix_semantic_reuse:
+        Whether the prefix cache also stores and restores per-policy
+        semantic state (ClusterKV's per-segment clustering), see
+        :class:`repro.prefixcache.PrefixCacheConfig`.
     """
 
     max_batch_size: int = 8
     max_prefills_per_step: int = 2
     kv_budget_bytes: int | None = None
     prefill_chunk_tokens: int | None = None
+    prefix_cache_tokens: int | None = None
+    prefix_block_tokens: int = 32
+    prefix_semantic_reuse: bool = True
 
     def __post_init__(self) -> None:
         if self.max_batch_size <= 0:
@@ -70,6 +86,15 @@ class SchedulerConfig:
             raise ValueError("kv_budget_bytes must be positive when set")
         if self.prefill_chunk_tokens is not None and self.prefill_chunk_tokens <= 0:
             raise ValueError("prefill_chunk_tokens must be positive when set")
+        if self.prefix_block_tokens <= 0:
+            raise ValueError("prefix_block_tokens must be positive")
+        if (
+            self.prefix_cache_tokens is not None
+            and self.prefix_cache_tokens < self.prefix_block_tokens
+        ):
+            raise ValueError(
+                "prefix_cache_tokens must be at least prefix_block_tokens when set"
+            )
 
 
 class ContinuousBatchingScheduler:

@@ -14,7 +14,8 @@ The pieces compose left to right::
     (Poisson,     (shape mixes,       (round     (BatchedEngine (TTFT/TPOT
      on/off,       JSONL replay)       robin,     + StepTrace    p50/p95/p99,
      constant,                         jsq,       + virtual      goodput under
-     trace)                            least_kv)  clock)         SLO deadlines)
+     trace)                            least_kv,  clock)         SLO deadlines)
+                                       prefix_affine)
 
 Entry points: :func:`simulate` (also re-exported as
 :func:`repro.api.simulate`), :func:`run_traffic_bench` behind the
@@ -45,6 +46,7 @@ from .report import RequestMetrics, SLOSpec, TrafficReport
 from .router import (
     JoinShortestQueueRouter,
     LeastKVBytesRouter,
+    PrefixAffineRouter,
     ReplicaView,
     RoundRobinRouter,
     Router,
@@ -75,6 +77,7 @@ __all__ = [
     "RoundRobinRouter",
     "JoinShortestQueueRouter",
     "LeastKVBytesRouter",
+    "PrefixAffineRouter",
     "register_router",
     "build_router",
     "router_names",

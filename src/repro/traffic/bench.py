@@ -52,7 +52,11 @@ class TrafficBenchConfig:
     many records are replayed).  ``prefill_chunk`` enables chunked
     prefill on every replica: at most that many prompt tokens are
     prefilled per engine step, interleaved with decoding (``None`` keeps
-    monolithic prefill).
+    monolithic prefill).  ``prefix_cache`` gives every replica a
+    cross-request prefix cache of that many KV tokens
+    (:mod:`repro.prefixcache`; ``None`` disables it) with radix blocks of
+    ``prefix_block`` tokens; pair it with ``router="prefix_affine"`` so
+    requests sharing a preamble land on the same replica-local cache.
     """
 
     model: str = "serve-sim"
@@ -74,6 +78,8 @@ class TrafficBenchConfig:
     num_sink_tokens: int = 8
     max_batch_size: int = 8
     prefill_chunk: int | None = None
+    prefix_cache: int | None = None
+    prefix_block: int = 32
     slo: SLOSpec = field(default_factory=SLOSpec)
     seed: int = 0
     trace: str | None = None
@@ -108,6 +114,8 @@ class TrafficBenchConfig:
             max_batch_size=self.max_batch_size,
             max_prefills_per_step=self.max_batch_size,
             prefill_chunk_tokens=self.prefill_chunk,
+            prefix_cache_tokens=self.prefix_cache,
+            prefix_block_tokens=self.prefix_block,
         )
 
     def traffic_config(self) -> TrafficConfig:
@@ -187,6 +195,15 @@ def format_traffic_report(report: TrafficReport) -> str:
         f"goodput: {report.goodput_tokens_per_s:.2f} tok/s  "
         f"SLO attainment: {report.slo_attainment * 100.0:.1f}% ({slo_label})",
     ]
+    if report.prefix_cache:
+        cache = report.prefix_cache
+        lines.append(
+            f"prefix cache: hit rate {float(cache.get('hit_rate', 0.0)) * 100.0:.1f}% "
+            f"({cache.get('hits', 0)}/{int(cache.get('hits', 0)) + int(cache.get('misses', 0))} lookups, "
+            f"{cache.get('hit_tokens', 0)} tokens attached)  "
+            f"TTFT hit/miss: {float(cache.get('ttft_hit_mean_s', 0.0)):.3f}s"
+            f"/{float(cache.get('ttft_miss_mean_s', 0.0)):.3f}s"
+        )
     if report.num_rejected:
         reasons: dict[str, int] = {}
         for item in report.rejected:

@@ -64,7 +64,9 @@ class PerfModelClock(StepClock):
 
     def step_seconds(self, trace: StepTrace) -> float:
         """Roofline-model price of the traced step (prefills + decode batch)."""
-        return self.cost_model.step_seconds(trace.prefills, trace.decodes)
+        return self.cost_model.step_seconds(
+            trace.prefills, trace.decodes, getattr(trace, "attaches", ())
+        )
 
     def warmup_seconds(self) -> float:
         """Roofline-model price of booting one replica (weights + warm pass)."""

@@ -115,6 +115,11 @@ class RequestMetrics:
         All latencies of a retried request are measured against its
         *original* arrival instant, so the failure cost shows up in TTFT
         and end-to-end latency rather than being hidden.
+    cached_prefix_tokens:
+        Prompt tokens attached from the replica's cross-request prefix
+        cache instead of being prefilled (0 on a miss or with the cache
+        disabled) — what splits the report's with-cache vs. without-cache
+        TTFT aggregates.
     """
 
     request_id: str
@@ -129,6 +134,7 @@ class RequestMetrics:
     output_tokens: int
     slo_met: bool
     retries: int = 0
+    cached_prefix_tokens: int = 0
 
     def to_dict(self) -> dict[str, object]:
         """Plain-dict form (JSON-ready), keys in declaration order."""
@@ -145,6 +151,7 @@ class RequestMetrics:
             "output_tokens": self.output_tokens,
             "slo_met": self.slo_met,
             "retries": self.retries,
+            "cached_prefix_tokens": self.cached_prefix_tokens,
         }
 
 
@@ -232,6 +239,11 @@ class TrafficReport:
     scaling:
         Timeline of fleet changes: one record per boot / ready / drain /
         remove / failure transition with the provisioned count after it.
+    prefix_cache:
+        Aggregate prefix-cache accounting summed over replicas (hits,
+        misses, hit rate, hit/evicted tokens) plus the TTFT split between
+        requests that attached a cached prefix and those that did not;
+        empty for runs with the cache disabled.
     """
 
     requests: list[RequestMetrics] = field(default_factory=list)
@@ -249,6 +261,7 @@ class TrafficReport:
     admission: dict[str, object] = field(default_factory=dict)
     failures: list[dict[str, object]] = field(default_factory=list)
     scaling: list[dict[str, object]] = field(default_factory=list)
+    prefix_cache: dict[str, object] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # aggregates
@@ -347,6 +360,7 @@ class TrafficReport:
             "admission": self.admission,
             "failures": self.failures,
             "scaling": self.scaling,
+            "prefix_cache": self.prefix_cache,
         }
 
     def to_json(self) -> str:

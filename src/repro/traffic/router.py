@@ -16,12 +16,18 @@ flag and `repro list` at once.  Built-ins:
   classic latency-optimal policy for homogeneous replicas;
 * ``least_kv`` — join the replica with the fewest reserved KV bytes,
   which accounts for request *size* (long prompts and long decodes
-  reserve more) rather than request *count*.
+  reserve more) rather than request *count*;
+* ``prefix_affine`` — hash the request's leading prompt block to a
+  replica, so requests sharing a prompt prefix land on the same
+  replica-local prefix cache.
 """
 
 from __future__ import annotations
 
+import zlib
 from typing import Callable, Protocol, Sequence
+
+import numpy as np
 
 from .workload import TrafficRequest
 
@@ -31,6 +37,7 @@ __all__ = [
     "RoundRobinRouter",
     "JoinShortestQueueRouter",
     "LeastKVBytesRouter",
+    "PrefixAffineRouter",
     "register_router",
     "build_router",
     "router_names",
@@ -156,3 +163,41 @@ class LeastKVBytesRouter(Router):
             range(len(replicas)),
             key=lambda i: (replicas[i].reserved_kv_bytes, i),
         )
+
+
+@register_router("prefix_affine")
+class PrefixAffineRouter(Router):
+    """Route requests sharing a prompt prefix to the same replica.
+
+    Prefix caches are replica-local, so a load-blind or size-aware router
+    spreads requests with a common preamble across replicas and every
+    replica pays the preamble's prefill once.  This router hashes the
+    request's first ``block_tokens`` prompt tokens (the whole prompt when
+    shorter) with CRC-32 and maps the hash onto the fleet, so all requests
+    whose prompts agree on that leading block land on one replica and hit
+    its cache.  The hash depends only on the token ids — deterministic
+    across runs and machines.
+
+    Parameters
+    ----------
+    block_tokens:
+        Length of the hashed leading block; align it with the cache's
+        ``prefix_block_tokens`` so routing granularity matches caching
+        granularity.
+    """
+
+    def __init__(self, block_tokens: int = 32) -> None:
+        if block_tokens <= 0:
+            raise ValueError("block_tokens must be positive")
+        self.block_tokens = block_tokens
+
+    def choose(self, replicas: Sequence[ReplicaView], request: TrafficRequest) -> int:
+        """The replica owning the hash bucket of the leading prompt block."""
+        prompt = np.ascontiguousarray(
+            np.asarray(request.prompt_ids, dtype=np.int64)[: self.block_tokens]
+        )
+        return int(zlib.crc32(prompt.tobytes()) % len(replicas))
+
+    def describe(self) -> dict[str, object]:
+        """Router name plus the hashed block length."""
+        return {"name": self.name, "block_tokens": self.block_tokens}

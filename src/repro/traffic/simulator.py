@@ -213,6 +213,10 @@ class TrafficSimulator:
         replica.clock_s = step_end_s
         replica.steps += 1
         replica.occupancy.append(len(trace.decodes))
+        for entry in trace.attaches:
+            # A prefix-cache attach admits the request before any prefill
+            # chunk of it runs; it never produces the first token itself.
+            self._admitted_at_s.setdefault(entry.request_id, step_start_s)
         for entry in trace.prefills:
             # Under chunked prefill a request emits one prefill entry
             # per chunk: admission is the FIRST chunk's step start
@@ -275,7 +279,47 @@ class TrafficSimulator:
             duration_s=self._duration_s,
             engine_steps=sum(replica.steps for replica in self.replicas),
             mean_occupancy=(sum(occupancy) / len(occupancy)) if occupancy else 0.0,
+            prefix_cache=self._prefix_cache_summary(),
         )
+
+    def _prefix_cache_summary(self) -> dict[str, object]:
+        """Fleet-wide prefix-cache accounting plus the hit/miss TTFT split.
+
+        Counters are summed over the replica-local caches; the TTFT means
+        split the served requests by whether they attached a cached prefix
+        (``cached_prefix_tokens > 0``).  Empty when no replica ran with a
+        prefix cache.
+        """
+        per_replica = [replica.engine.prefix_cache_stats() for replica in self.replicas]
+        per_replica = [stats for stats in per_replica if stats]
+        if not per_replica:
+            return {}
+        summed = (
+            "hits",
+            "misses",
+            "hit_tokens",
+            "inserted_tokens",
+            "evicted_tokens",
+            "evictions",
+            "cached_tokens",
+            "num_nodes",
+        )
+        summary: dict[str, object] = {
+            key: int(sum(int(stats.get(key, 0)) for stats in per_replica))
+            for key in summed
+        }
+        lookups = int(summary["hits"]) + int(summary["misses"])
+        summary["hit_rate"] = int(summary["hits"]) / lookups if lookups else 0.0
+        hit_ttfts = [m.ttft_s for m in self._metrics if m.cached_prefix_tokens > 0]
+        miss_ttfts = [m.ttft_s for m in self._metrics if m.cached_prefix_tokens == 0]
+        summary["requests_with_hit"] = len(hit_ttfts)
+        summary["ttft_hit_mean_s"] = (
+            float(sum(hit_ttfts) / len(hit_ttfts)) if hit_ttfts else 0.0
+        )
+        summary["ttft_miss_mean_s"] = (
+            float(sum(miss_ttfts) / len(miss_ttfts)) if miss_ttfts else 0.0
+        )
+        return summary
 
     def _retries_of(self, request_id: str) -> int:
         """Failure-retry count of a request (always 0 without failures)."""
@@ -302,6 +346,9 @@ class TrafficSimulator:
             output_tokens=tokens,
             slo_met=self.config.slo.is_met(ttft, tpot),
             retries=self._retries_of(request_id),
+            cached_prefix_tokens=int(
+                getattr(item.result, "cached_prefix_tokens", 0)
+            ),
         )
 
 
