@@ -38,6 +38,7 @@ PUBLIC_MODULES = (
     "repro.metrics",
     "repro.perf",
     "repro.serving",
+    "repro.seqstate",
     "repro.prefixcache",
     "repro.traffic",
     "repro.cluster",

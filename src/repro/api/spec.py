@@ -64,6 +64,10 @@ class EngineSpec:
         cluster derive a capacity from ``kv_budget_bytes`` (when set) or
         a batch-slot heuristic; the serving engine itself never reads
         this field.
+    preemption:
+        Whether replicas may checkpoint-preempt ``batch``-class requests
+        to unblock an ``interactive``-class queue head, also part of
+        :class:`~repro.serving.SchedulerConfig`.
     """
 
     model: str = "serve-sim"
@@ -83,6 +87,7 @@ class EngineSpec:
     prefix_block_tokens: int = 32
     prefix_semantic_reuse: bool = True
     kv_capacity_tokens: int | None = None
+    preemption: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "policy", resolve_policy_spec(self.policy))
@@ -120,6 +125,7 @@ class EngineSpec:
             prefix_cache_tokens=self.prefix_cache_tokens,
             prefix_block_tokens=self.prefix_block_tokens,
             prefix_semantic_reuse=self.prefix_semantic_reuse,
+            preemption=self.preemption,
         )
 
     # ------------------------------------------------------------------

@@ -15,6 +15,7 @@ instrumentation counters that the performance model consumes.
 from __future__ import annotations
 
 import abc
+import copy
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -133,6 +134,36 @@ class LayerSelectorState(abc.ABC):
     def context_length(self) -> int:
         """Number of tokens observed so far (prefill plus decode)."""
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # whole-state checkpoint hooks (sequence migration / preemption)
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict[str, object]:
+        """Deep snapshot of this state's complete mutable contents.
+
+        The generalisation of :meth:`export_prefix_state` from prompt
+        prefixes to *arbitrary decode positions*: everything the selector
+        has accumulated — acceleration structures, caches, instrumentation
+        counters — is captured so that :meth:`restore_state` on a fresh
+        state of the same policy configuration reproduces this state
+        exactly.  Selector states hold only plain-Python containers and
+        NumPy arrays, so a deep copy of ``__dict__`` is exact for every
+        registered policy; a selector holding unpicklable resources must
+        override both hooks.
+        """
+        return copy.deepcopy(self.__dict__)
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Adopt a snapshot produced by :meth:`export_state`.
+
+        Called on a freshly created state of the same policy configuration
+        (layer index, kv heads, head dim); afterwards the state behaves —
+        selection results, statistics, context length — exactly as the
+        exported one did at capture time, which is what makes
+        checkpoint/restore bit-identical to uninterrupted decoding.
+        """
+        self.__dict__.clear()
+        self.__dict__.update(copy.deepcopy(state))
 
     # ------------------------------------------------------------------
     # cross-request prefix-cache hooks (optional)

@@ -106,6 +106,8 @@ def _workload_kwargs(args: argparse.Namespace) -> dict:
         prefill_chunk=None if args.prefill_chunk <= 0 else args.prefill_chunk,
         prefix_cache=None if args.prefix_cache <= 0 else args.prefix_cache,
         prefix_block=args.prefix_block,
+        slo_class_mix=None if args.slo_class_mix < 0 else args.slo_class_mix,
+        preemption=args.preempt,
         slo=SLOSpec(
             ttft_s=None if args.slo_ttft <= 0 else args.slo_ttft,
             tpot_s=None if args.slo_tpot <= 0 else args.slo_tpot,
@@ -130,17 +132,24 @@ def _parse_failure_plan(args: argparse.Namespace):
     from .cluster import FailureEvent, FailurePlan
 
     events = []
+    num_zones = args.failure_zones
     for text in args.kill or ():
-        time_text, _, slot_text = text.partition("@")
+        time_text, _, target_text = text.partition("@")
         try:
-            events.append(
-                FailureEvent(
-                    time_s=float(time_text), slot=int(slot_text) if slot_text else 0
+            if target_text.startswith("zone"):
+                events.append(
+                    FailureEvent(time_s=float(time_text), zone=int(target_text[4:]))
                 )
-            )
+            else:
+                events.append(
+                    FailureEvent(
+                        time_s=float(time_text),
+                        slot=int(target_text) if target_text else 0,
+                    )
+                )
         except ValueError as error:
             raise ValueError(
-                f"malformed --kill {text!r}; expected TIME or TIME@SLOT"
+                f"malformed --kill {text!r}; expected TIME, TIME@SLOT or TIME@zoneZ"
             ) from error
     if args.failure_count > 0:
         seeded = FailurePlan.seeded(
@@ -149,7 +158,7 @@ def _parse_failure_plan(args: argparse.Namespace):
             horizon_s=args.failure_horizon,
         )
         events.extend(seeded.events)
-    return FailurePlan(events=tuple(events))
+    return FailurePlan(events=tuple(events), num_zones=num_zones)
 
 
 def _run_cluster_bench(args: argparse.Namespace) -> str:
@@ -162,6 +171,10 @@ def _run_cluster_bench(args: argparse.Namespace) -> str:
         admission=args.admission,
         failures=_parse_failure_plan(args),
         max_retries=args.max_retries,
+        migrate_on_drain=args.migrate_on_drain,
+        checkpoint_interval_s=(
+            None if args.checkpoint_interval <= 0 else args.checkpoint_interval
+        ),
         **_workload_kwargs(args),
     )
     report = run_cluster_bench(config)
@@ -310,6 +323,15 @@ def _format_listing() -> str:
     lines.append("  " + ", ".join(autoscaler_names()))
     lines.append("admission policies (cluster-bench --admission NAME[:KEY=VAL,...]):")
     lines.append("  " + ", ".join(admission_names()))
+    lines.append(
+        "sequence state (traffic-/cluster-bench --slo-class-mix FRAC --preempt; "
+        "cluster-bench --migrate-on-drain --checkpoint-interval S "
+        "[--failure-zones N, --kill TIME@zoneZ]):"
+    )
+    lines.append(
+        "  repro.seqstate checkpoints: SLO-class preemption, live KV "
+        "migration off draining replicas, periodic-checkpoint failure recovery"
+    )
     return "\n".join(lines)
 
 
@@ -408,9 +430,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(see `repro list`; e.g. queue_deadline:deadline_s=2.5)",
     )
     cluster.add_argument(
-        "--kill", action="append", metavar="TIME[@SLOT]",
+        "--kill", action="append", metavar="TIME[@SLOT|@zoneZ]",
         help="kill a replica at TIME seconds (optional live-replica slot), "
-        "repeatable",
+        "or with @zoneZ every replica of failure zone Z; repeatable",
+    )
+    cluster.add_argument(
+        "--failure-zones", type=int, default=0,
+        help="number of correlated failure zones replicas stripe across "
+        "(0 disables zone-targeted kills)",
     )
     cluster.add_argument(
         "--failure-count", type=int, default=0,
@@ -426,6 +453,16 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument(
         "--max-retries", type=int, default=3,
         help="failure re-dispatches a request may consume before giving up",
+    )
+    cluster.add_argument(
+        "--migrate-on-drain", action="store_true",
+        help="checkpoint-migrate in-flight requests off draining replicas "
+        "(repro.seqstate) instead of waiting for them to finish",
+    )
+    cluster.add_argument(
+        "--checkpoint-interval", type=float, default=0.0,
+        help="periodic per-replica checkpoint interval in seconds for "
+        "failure recovery (<= 0 disables; failures then retry from scratch)",
     )
     _add_workload_flags(cluster)
 
@@ -510,6 +547,16 @@ def _add_workload_flags(traffic: argparse.ArgumentParser) -> None:
     traffic.add_argument(
         "--prefix-block", type=int, default=32,
         help="radix-block size of the prefix cache, in tokens",
+    )
+    traffic.add_argument(
+        "--slo-class-mix", type=float, default=-1.0,
+        help="fraction of interactive-class traffic, the rest batch-class "
+        "(< 0 keeps everything interactive; pair with --router slo_aware)",
+    )
+    traffic.add_argument(
+        "--preempt", action="store_true",
+        help="let replicas checkpoint-preempt batch-class work for an "
+        "interactive queue head (repro.seqstate)",
     )
     traffic.add_argument(
         "--slo-ttft", type=float, default=2.5,

@@ -5,16 +5,21 @@ simulator's replica set — the layer that decides how much capacity
 exists, which requests get in, and what happens when a replica dies:
 
 * :mod:`~repro.cluster.autoscaler` — pluggable fleet-sizing policies
-  (``static``, ``queue_depth``, ``slo_attainment``) deciding on frozen
-  :class:`FleetView` snapshots; scale-ups pay a warm-up cost priced by
-  the perfmodel, scale-downs drain (finish in-flight work, then remove);
+  (``static``, ``queue_depth``, ``slo_attainment``, ``interactive_slo``)
+  deciding on frozen :class:`FleetView` snapshots; scale-ups pay a
+  warm-up cost priced by the perfmodel, scale-downs drain (finish
+  in-flight work, then remove) or — with ``migrate_on_drain`` —
+  checkpoint-migrate their in-flight requests to other replicas through
+  :mod:`repro.seqstate` and remove immediately;
 * :mod:`~repro.cluster.admission` — pluggable door policies (``always``,
-  ``token_budget``, ``queue_deadline``) that reject early instead of
-  blowing the tail, with rejections first-class in the report;
+  ``token_budget``, ``queue_deadline``, ``slo_class``) that reject early
+  instead of blowing the tail, with rejections first-class in the report;
 * :mod:`~repro.cluster.failures` — seeded :class:`FailurePlan` schedules
-  that kill replicas mid-run; lost requests are re-dispatched
-  deterministically from their prompts and reproduce their failure-free
-  outputs token for token.
+  that kill replicas (or, with ``num_zones``, whole correlated zones)
+  mid-run; lost requests re-dispatch deterministically from their
+  prompts — or, with ``checkpoint_interval_s``, resume from their last
+  periodic checkpoint with only the post-checkpoint tokens lost — and
+  reproduce their failure-free outputs token for token.
 
 Entry points: :func:`simulate_cluster` (also reachable through the
 cluster knobs of :func:`repro.api.simulate`), :func:`run_cluster_bench`
@@ -29,6 +34,7 @@ from .admission import (
     AdmissionPolicy,
     AlwaysAdmit,
     QueueDeadlineAdmission,
+    SLOClassAdmission,
     TokenBudgetAdmission,
     admission_names,
     build_admission,
@@ -37,6 +43,7 @@ from .admission import (
 )
 from .autoscaler import (
     Autoscaler,
+    InteractiveSLOAutoscaler,
     QueueDepthAutoscaler,
     ScaleDecision,
     SLOAttainmentAutoscaler,
@@ -60,6 +67,7 @@ __all__ = [
     "StaticAutoscaler",
     "QueueDepthAutoscaler",
     "SLOAttainmentAutoscaler",
+    "InteractiveSLOAutoscaler",
     "register_autoscaler",
     "build_autoscaler",
     "resolve_autoscaler",
@@ -69,6 +77,7 @@ __all__ = [
     "AlwaysAdmit",
     "TokenBudgetAdmission",
     "QueueDeadlineAdmission",
+    "SLOClassAdmission",
     "register_admission",
     "build_admission",
     "resolve_admission",

@@ -19,7 +19,10 @@ Policies self-register in a name registry mirroring
   property-style tests assert);
 * ``queue_deadline`` — admit only when the least-loaded accepting
   replica's estimated queue delay leaves the request a chance to meet
-  its TTFT deadline.
+  its TTFT deadline;
+* ``slo_class`` — class-aware gate: ``interactive`` requests always
+  admit, ``batch`` requests only when the fleet has KV-token headroom —
+  load-shedding that protects the latency-sensitive class first.
 """
 
 from __future__ import annotations
@@ -36,6 +39,7 @@ __all__ = [
     "AlwaysAdmit",
     "TokenBudgetAdmission",
     "QueueDeadlineAdmission",
+    "SLOClassAdmission",
     "register_admission",
     "build_admission",
     "resolve_admission",
@@ -68,8 +72,14 @@ class AdmissionPolicy:
     def reset(self) -> None:
         """Clear per-run state (called at the start of every run)."""
 
-    def consider(self, request_tokens: int, view: FleetView) -> AdmissionDecision:
-        """Admit or reject a request of ``request_tokens`` projected KV tokens."""
+    def consider(
+        self, request_tokens: int, view: FleetView, slo_class: str = "interactive"
+    ) -> AdmissionDecision:
+        """Admit or reject a request of ``request_tokens`` projected KV tokens.
+
+        ``slo_class`` is the request's service class (``"interactive"`` or
+        ``"batch"``); class-agnostic policies ignore it.
+        """
         raise NotImplementedError
 
     def describe(self) -> dict[str, object]:
@@ -124,7 +134,9 @@ def resolve_admission(value: "AdmissionPolicy | str") -> AdmissionPolicy:
 class AlwaysAdmit(AdmissionPolicy):
     """Admit every request (the plain traffic-simulator behaviour)."""
 
-    def consider(self, request_tokens: int, view: FleetView) -> AdmissionDecision:
+    def consider(
+        self, request_tokens: int, view: FleetView, slo_class: str = "interactive"
+    ) -> AdmissionDecision:
         """Unconditional admit."""
         return ADMIT
 
@@ -152,7 +164,9 @@ class TokenBudgetAdmission(AdmissionPolicy):
             raise ValueError("slack_tokens must be non-negative")
         self.slack_tokens = int(slack_tokens)
 
-    def consider(self, request_tokens: int, view: FleetView) -> AdmissionDecision:
+    def consider(
+        self, request_tokens: int, view: FleetView, slo_class: str = "interactive"
+    ) -> AdmissionDecision:
         """Admit iff the best accepting replica's headroom covers the request."""
         needed = request_tokens + self.slack_tokens
         headroom = view.max_headroom_tokens
@@ -204,7 +218,9 @@ class QueueDeadlineAdmission(AdmissionPolicy):
         self.deadline_s = float(deadline_s)
         self.service_tokens_per_s = float(service_tokens_per_s)
 
-    def consider(self, request_tokens: int, view: FleetView) -> AdmissionDecision:
+    def consider(
+        self, request_tokens: int, view: FleetView, slo_class: str = "interactive"
+    ) -> AdmissionDecision:
         """Admit iff the least-loaded accepting replica can start in time."""
         accepting = view.accepting
         if not accepting:
@@ -233,3 +249,52 @@ class QueueDeadlineAdmission(AdmissionPolicy):
             "deadline_s": self.deadline_s,
             "service_tokens_per_s": self.service_tokens_per_s,
         }
+
+
+@register_admission("slo_class")
+class SLOClassAdmission(AdmissionPolicy):
+    """Class-aware load shedding: protect interactive traffic first.
+
+    ``interactive`` requests are always admitted (their latency is the
+    product being sold; turning them away is the last resort, left to
+    stricter gates).  ``batch`` requests are throughput filler and admit
+    only when some accepting replica's uncommitted KV-token headroom
+    covers them with ``batch_slack_tokens`` to spare — under pressure the
+    batch class is shed at the door instead of competing with interactive
+    prefills for queue position.
+
+    Parameters
+    ----------
+    batch_slack_tokens:
+        Extra headroom a replica must keep free beyond a batch request
+        itself (0 admits batch work up to exactly full capacity).
+    """
+
+    def __init__(self, batch_slack_tokens: int = 0) -> None:
+        if batch_slack_tokens < 0:
+            raise ValueError("batch_slack_tokens must be non-negative")
+        self.batch_slack_tokens = int(batch_slack_tokens)
+
+    def consider(
+        self, request_tokens: int, view: FleetView, slo_class: str = "interactive"
+    ) -> AdmissionDecision:
+        """Admit interactive unconditionally, batch only with headroom."""
+        if slo_class != "batch":
+            return ADMIT
+        needed = request_tokens + self.batch_slack_tokens
+        headroom = view.max_headroom_tokens
+        if view.accepting and headroom >= needed:
+            return ADMIT
+        return AdmissionDecision(
+            admitted=False,
+            reason="batch_shed",
+            detail={
+                "needed_tokens": float(needed),
+                "max_headroom_tokens": float(headroom),
+                "accepting_replicas": float(len(view.accepting)),
+            },
+        )
+
+    def describe(self) -> dict[str, object]:
+        """Name plus batch-slack configuration."""
+        return {"name": self.name, "batch_slack_tokens": self.batch_slack_tokens}

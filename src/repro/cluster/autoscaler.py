@@ -23,7 +23,10 @@ available to :func:`build_autoscaler`, the ``repro cluster-bench
 * ``slo_attainment`` — closes the loop on the quantity that matters:
   scale up while the sliding-window SLO attainment of completed requests
   sits below ``target`` and work is waiting, scale down when attainment
-  holds and the fleet has gone quiet.
+  holds and the fleet has gone quiet;
+* ``interactive_slo`` — the class-aware variant: identical control law,
+  but its window sees only ``interactive``-class completions, so batch
+  work missing its (loose) deadlines never triggers a scale-up.
 """
 
 from __future__ import annotations
@@ -41,6 +44,7 @@ __all__ = [
     "StaticAutoscaler",
     "QueueDepthAutoscaler",
     "SLOAttainmentAutoscaler",
+    "InteractiveSLOAutoscaler",
     "register_autoscaler",
     "build_autoscaler",
     "resolve_autoscaler",
@@ -77,8 +81,12 @@ class Autoscaler:
     def reset(self) -> None:
         """Clear per-run state (called at the start of every run)."""
 
-    def observe(self, slo_met: bool) -> None:
-        """Feed one request completion (its SLO outcome) to the policy."""
+    def observe(self, slo_met: bool, slo_class: str = "interactive") -> None:
+        """Feed one request completion (its SLO outcome) to the policy.
+
+        ``slo_class`` is the completed request's service class; class-
+        agnostic policies ignore it.
+        """
 
     def decide(self, view: FleetView) -> ScaleDecision:
         """The scaling action to take given the current fleet view."""
@@ -255,7 +263,7 @@ class SLOAttainmentAutoscaler(Autoscaler):
         self._outcomes.clear()
         self._last_action_s = -float("inf")
 
-    def observe(self, slo_met: bool) -> None:
+    def observe(self, slo_met: bool, slo_class: str = "interactive") -> None:
         """Record one completion's SLO outcome into the sliding window."""
         self._outcomes.append(slo_met)
 
@@ -305,3 +313,21 @@ class SLOAttainmentAutoscaler(Autoscaler):
             "window": self.window,
             "cooldown_s": self.cooldown_s,
         }
+
+
+@register_autoscaler("interactive_slo")
+class InteractiveSLOAutoscaler(SLOAttainmentAutoscaler):
+    """SLO-attainment scaling driven by interactive completions only.
+
+    Batch-class requests carry loose (or no meaningful) deadlines; letting
+    their outcomes into the attainment window either masks interactive
+    pain (batch work sailing through off-hours) or triggers phantom
+    scale-ups (batch work missing interactive-grade deadlines by design).
+    This variant keeps the same control law as ``slo_attainment`` but its
+    window records ``interactive`` completions only.
+    """
+
+    def observe(self, slo_met: bool, slo_class: str = "interactive") -> None:
+        """Record only interactive completions into the sliding window."""
+        if slo_class == "interactive":
+            self._outcomes.append(slo_met)

@@ -44,6 +44,14 @@ class ClusterBenchConfig(TrafficBenchConfig):
         Failure-injection plan (empty by default).
     max_retries:
         Failure re-dispatch budget per request.
+    migrate_on_drain:
+        Checkpoint-migrate in-flight requests off draining replicas
+        instead of waiting for them to finish
+        (:attr:`~repro.cluster.ClusterConfig.migrate_on_drain`).
+    checkpoint_interval_s:
+        Periodic checkpoint interval for failure recovery
+        (:attr:`~repro.cluster.ClusterConfig.checkpoint_interval_s`;
+        ``None`` disables periodic checkpoints).
     """
 
     min_replicas: int = 1
@@ -52,6 +60,8 @@ class ClusterBenchConfig(TrafficBenchConfig):
     admission: AdmissionPolicy | str = "always"
     failures: FailurePlan = field(default_factory=FailurePlan)
     max_retries: int = 3
+    migrate_on_drain: bool = False
+    checkpoint_interval_s: float | None = None
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -75,6 +85,8 @@ class ClusterBenchConfig(TrafficBenchConfig):
             slo=self.slo,
             failures=self.failures,
             max_retries=self.max_retries,
+            migrate_on_drain=self.migrate_on_drain,
+            checkpoint_interval_s=self.checkpoint_interval_s,
         )
 
 
@@ -106,6 +118,11 @@ def format_cluster_report(report: TrafficReport) -> str:
         f"retries: {report.num_retries}  lost tokens: {report.lost_tokens}  "
         f"failures: {len(report.failures)}"
     )
+    if report.num_migrations or report.num_recoveries:
+        lines.append(
+            f"migrations: {report.num_migrations}  "
+            f"checkpoint recoveries: {report.num_recoveries}"
+        )
     if report.scaling:
         lines.append("scaling timeline:")
         for entry in report.scaling:

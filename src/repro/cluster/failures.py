@@ -13,6 +13,11 @@ is resolved at fire time as ``alive[slot % len(alive)]`` over the
 real failures do not wait for work).  A plan therefore stays valid
 whatever the autoscaler did in the meantime; an event firing when no
 such replica exists is recorded as skipped.
+
+Failures can also be *correlated*: a plan with ``num_zones > 0`` groups
+replicas into zones (replica ``index % num_zones``) and an event carrying
+``zone=z`` kills every live replica in zone ``z`` at once — the
+rack/power-domain failure mode single-victim plans cannot express.
 """
 
 from __future__ import annotations
@@ -38,20 +43,29 @@ class FailureEvent:
     slot:
         Deterministic victim selector: index into the live replicas
         (sorted by replica index) modulo their count at fire time.
+        Ignored for zone events.
+    zone:
+        ``None`` (the default) kills the single slot-selected replica.
+        Set to a zone index — meaningful only in a plan with
+        ``num_zones > 0`` — to kill every live replica whose
+        ``index % num_zones`` equals it (a correlated failure).
     """
 
     time_s: float
     slot: int = 0
+    zone: int | None = None
 
     def __post_init__(self) -> None:
         if self.time_s < 0:
             raise ValueError("time_s must be non-negative")
         if self.slot < 0:
             raise ValueError("slot must be non-negative")
+        if self.zone is not None and self.zone < 0:
+            raise ValueError("zone must be non-negative when set")
 
     def to_dict(self) -> dict[str, object]:
         """Plain-dict form (JSON-ready)."""
-        return {"time_s": self.time_s, "slot": self.slot}
+        return {"time_s": self.time_s, "slot": self.slot, "zone": self.zone}
 
 
 @dataclass(frozen=True)
@@ -60,15 +74,28 @@ class FailurePlan:
 
     The empty plan (the default) injects nothing, so every cluster run
     carries a plan and failure-free runs are just the degenerate case.
+
+    ``num_zones`` groups replicas into failure-correlation zones (replica
+    ``index % num_zones``); it must be positive for the plan to contain
+    zone events.
     """
 
     events: tuple[FailureEvent, ...] = ()
+    num_zones: int = 0
 
     def __post_init__(self) -> None:
+        if self.num_zones < 0:
+            raise ValueError("num_zones must be non-negative")
         ordered = tuple(
             sorted(self.events, key=lambda e: (e.time_s, e.slot))
         )
         object.__setattr__(self, "events", ordered)
+        if self.num_zones == 0 and any(e.zone is not None for e in ordered):
+            raise ValueError("zone events require num_zones > 0")
+        if self.num_zones and any(
+            e.zone is not None and e.zone >= self.num_zones for e in ordered
+        ):
+            raise ValueError("event zone must be < num_zones")
 
     def __bool__(self) -> bool:
         return bool(self.events)
@@ -112,5 +139,6 @@ class FailurePlan:
         """Identifying form of this plan (for reports)."""
         return {
             "num_events": len(self.events),
+            "num_zones": self.num_zones,
             "events": [e.to_dict() for e in self.events],
         }

@@ -17,7 +17,17 @@ over its replica set:
   mid-run — the in-flight requests of the victim are lost (their decoded
   tokens counted as wasted work) and deterministically re-dispatched from
   their prompts, so retried requests reproduce their failure-free outputs
-  token for token.
+  token for token.  Plans with ``num_zones > 0`` can kill a whole zone at
+  once (correlated failures);
+* **live migration and checkpoint recovery** ride on the
+  :mod:`repro.seqstate` subsystem: with ``migrate_on_drain`` a scale-down
+  checkpoints the draining replica's in-flight requests and restores them
+  on other replicas (priced as a host-to-host KV transfer on the virtual
+  clock, with all decoded work preserved); with ``checkpoint_interval_s``
+  every replica periodically checkpoints its active requests, and a
+  failure victim resumes from its last checkpoint instead of
+  re-prefilling — only the tokens decoded after the checkpoint count as
+  lost work.
 
 Event order extends the base simulator's total order and stays fully
 deterministic: at equal instants, replicas becoming ready beat failures,
@@ -34,6 +44,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..api import EngineSpec
+from ..seqstate import SequenceCheckpoint
 from ..serving import BatchedEngine
 from ..traffic.clock import StepClock
 from ..traffic.report import RejectedRequest, SLOSpec, TrafficReport
@@ -83,6 +94,20 @@ class ClusterConfig:
     max_retries:
         Failure re-dispatches a request may consume before it is given
         up on (recorded as rejected with reason ``"retries_exhausted"``).
+    migrate_on_drain:
+        When set, a scale-down does not wait for the draining replica to
+        finish: its in-flight requests are checkpointed out and restored
+        on other replicas (or parked until one accepts), the queued ones
+        re-dispatched, and the replica removed immediately.  Each restore
+        charges the target replica the clock's migration cost for the
+        checkpointed KV; no decoded token is lost and nothing is
+        re-prefilled.
+    checkpoint_interval_s:
+        When set, every replica checkpoints its active requests each
+        time this much simulation time has passed on its clock.  A
+        failure victim whose requests hold a checkpoint resumes from it
+        instead of re-prefilling; only the tokens decoded after the last
+        checkpoint count toward ``lost_tokens``.
     """
 
     engine: EngineSpec = field(default_factory=EngineSpec)
@@ -97,6 +122,8 @@ class ClusterConfig:
     slo: SLOSpec = field(default_factory=SLOSpec)
     failures: FailurePlan = field(default_factory=FailurePlan)
     max_retries: int = 3
+    migrate_on_drain: bool = False
+    checkpoint_interval_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.min_replicas < 1:
@@ -105,6 +132,8 @@ class ClusterConfig:
             raise ValueError("max_replicas must be >= min_replicas")
         if self.max_retries < 0:
             raise ValueError("max_retries must be non-negative")
+        if self.checkpoint_interval_s is not None and self.checkpoint_interval_s <= 0:
+            raise ValueError("checkpoint_interval_s must be positive when set")
 
     def traffic_config(self) -> TrafficConfig:
         """The base-simulator slice of this configuration."""
@@ -191,8 +220,15 @@ class ClusterSimulator(TrafficSimulator):
         self.replicas = self.fleet
         self._next_index = 0
         self._parked: deque[TrafficRequest] = deque()
+        self._parked_checkpoints: deque[SequenceCheckpoint] = deque()
         self._request_of: dict[str, TrafficRequest] = {}
         self._retry_counts: dict[str, int] = {}
+        self._migration_counts: dict[str, int] = {}
+        self._recovery_counts: dict[str, int] = {}
+        # Last periodic checkpoint of each in-flight request (purged at
+        # retirement) and each replica's last checkpoint instant.
+        self._checkpoints: dict[str, SequenceCheckpoint] = {}
+        self._last_ckpt_s: dict[int, float] = {}
         self._lost_tokens = 0
         self._rejected: list[RejectedRequest] = []
         self._failure_log: list[dict[str, object]] = []
@@ -290,7 +326,11 @@ class ClusterSimulator(TrafficSimulator):
         self._log_scale(now_s, "remove", replica.index, "drained empty")
 
     def _begin_drains(self, count: int, now_s: float, reason: str) -> None:
-        """Mark ``count`` least-loaded active replicas as draining."""
+        """Mark ``count`` least-loaded active replicas as draining.
+
+        With ``migrate_on_drain`` the replica does not linger: its work is
+        checkpoint-migrated out and it is removed at once.
+        """
         candidates = sorted(
             self._accepting(), key=lambda r: (r.queued + r.active, -r.index)
         )
@@ -298,8 +338,74 @@ class ClusterSimulator(TrafficSimulator):
             replica.state = ReplicaLifecycle.DRAINING
             replica.engine.drain()
             self._log_scale(now_s, "drain", replica.index, reason)
-            if not replica.has_work():
+            if self.cluster_config.migrate_on_drain:
+                self._migrate_out(replica, now_s)
+            elif not replica.has_work():
                 self._stop_replica(replica, now_s)
+
+    def _migrate_out(self, replica: ClusterReplica, now_s: float) -> None:
+        """Empty a draining replica through checkpoint migration, then remove it.
+
+        Active requests (and any parked preempted checkpoints) move as
+        :class:`~repro.seqstate.SequenceCheckpoint` objects — every decoded
+        token travels with them, so nothing is re-prefilled.  Queued
+        requests have no state yet and simply re-dispatch.  The replica is
+        removed immediately; its engine is never stepped again.
+        """
+        engine = replica.engine
+        queued = list(engine.snapshot().queued)
+        for request_id in list(engine.active_request_ids):
+            checkpoint = engine.checkpoint_request(request_id, keep=False)
+            self._migration_counts[request_id] = (
+                self._migration_counts.get(request_id, 0) + 1
+            )
+            self._place_checkpoint(checkpoint, now_s)
+        for checkpoint in engine.pop_preempted():
+            request_id = checkpoint.request_id
+            self._migration_counts[request_id] = (
+                self._migration_counts.get(request_id, 0) + 1
+            )
+            self._place_checkpoint(checkpoint, now_s)
+        for serve_request in queued:
+            request_id = serve_request.request_id
+            self._replica_of.pop(request_id, None)
+            self._dispatch(self._request_of[request_id], now_s)
+        # The engine may still list the migrated-away queued entries; it is
+        # discarded here, so bypass _stop_replica's empty assertion.
+        replica.state = ReplicaLifecycle.STOPPED
+        self._log_scale(now_s, "remove", replica.index, "migrated out")
+
+    def _place_checkpoint(self, checkpoint: SequenceCheckpoint, now_s: float) -> None:
+        """Restore a checkpoint on the least-loaded accepting replica.
+
+        Parks it when nothing accepts traffic (a warm-up or a healed fleet
+        restores it later — the run cannot end while checkpoints are
+        parked).
+        """
+        accepting = self._accepting()
+        if not accepting:
+            self._parked_checkpoints.append(checkpoint)
+            return
+        target = min(accepting, key=lambda r: (r.queued + r.active, r.index))
+        self._restore_checkpoint_on(target, checkpoint, now_s)
+
+    def _restore_checkpoint_on(
+        self, replica: ClusterReplica, checkpoint: SequenceCheckpoint, now_s: float
+    ) -> None:
+        """Restore one checkpoint on ``replica``, charging the transfer cost.
+
+        The migration cost (host-to-host movement of ``position`` tokens of
+        KV, priced by the step clock) advances the target's clock before
+        the restored request can step — the stall every request on that
+        replica observes.  Admission and first-token stamps are *not*
+        touched: unlike a retry, a migrated request keeps its history, so
+        its latencies grow only by the transfer, never by a re-prefill.
+        """
+        replica.clock_s = max(replica.clock_s, now_s) + self.clock.migration_seconds(
+            checkpoint.position
+        )
+        replica.engine.restore_request(checkpoint)
+        self._replica_of[checkpoint.request_id] = replica.index
 
     def _control(self, now_s: float) -> None:
         """Run the control plane after one event: heal, then autoscale."""
@@ -350,6 +456,7 @@ class ClusterSimulator(TrafficSimulator):
             max_new_tokens=request.max_new_tokens,
             policy=request.policy,
             arrival_time_s=request.arrival_time_s,
+            slo_class=request.slo_class,
         )
         self._replica_of[request.request_id] = replica.index
 
@@ -357,6 +464,8 @@ class ClusterSimulator(TrafficSimulator):
         """Dispatch parked requests once a replica accepts traffic again."""
         while self._parked and self._accepting():
             self._dispatch(self._parked.popleft(), now_s)
+        while self._parked_checkpoints and self._accepting():
+            self._place_checkpoint(self._parked_checkpoints.popleft(), now_s)
 
     def _reject(
         self, request: TrafficRequest, reason: str, detail: dict[str, float]
@@ -378,15 +487,51 @@ class ClusterSimulator(TrafficSimulator):
         """Admission-check one arrival, then dispatch or reject it."""
         self._request_of[request.request_id] = request
         decision = self.admission.consider(
-            self._projected_tokens(request), self._fleet_view(now_s)
+            self._projected_tokens(request),
+            self._fleet_view(now_s),
+            slo_class=request.slo_class,
         )
         if not decision.admitted:
             self._reject(request, decision.reason, dict(decision.detail))
             return
         self._dispatch(request, now_s)
 
+    def _retry_lost(self, request_id: str, now_s: float) -> bool:
+        """Re-dispatch one checkpoint-less lost request from its prompt.
+
+        The lost attempt's admission/first-token stamps are void; the
+        successful attempt re-stamps them, so TTFT and queue wait span the
+        whole failure detour.  Returns whether a retry was actually
+        dispatched (``False`` when the retry budget is exhausted and the
+        request is rejected instead — ``_retry_counts`` counts actual
+        re-dispatches, so a given-up request gets no phantom retry).
+        """
+        self._admitted_at_s.pop(request_id, None)
+        self._first_token_at_s.pop(request_id, None)
+        self._replica_of.pop(request_id, None)
+        request = self._request_of[request_id]
+        retries_so_far = self._retry_counts.get(request_id, 0)
+        if retries_so_far >= self.cluster_config.max_retries:
+            self._reject(
+                request, "retries_exhausted", {"retries": float(retries_so_far)}
+            )
+            return False
+        self._retry_counts[request_id] = retries_so_far + 1
+        self._dispatch(request, now_s)
+        return True
+
     def _fire_failure(self, event: FailureEvent, now_s: float) -> None:
-        """Kill one replica; re-dispatch its lost requests from the prompt."""
+        """Kill the event's victims; recover or re-dispatch their work.
+
+        A plain event kills the single slot-selected replica; a zone event
+        kills every live replica in its zone (correlated failure).  All
+        victims die *before* any lost work is re-placed, so nothing is
+        re-dispatched onto a replica doomed by the same event.  Active
+        requests holding a periodic checkpoint (and checkpoints parked by
+        preemption, which are current by construction) resume through the
+        checkpoint path — only the tokens decoded past the checkpoint are
+        lost; everything else re-dispatches from the prompt.
+        """
         pool = sorted(
             (
                 r
@@ -395,51 +540,95 @@ class ClusterSimulator(TrafficSimulator):
             ),
             key=lambda r: r.index,
         )
-        if not pool:
+        num_zones = self.cluster_config.failures.num_zones
+        if event.zone is not None and num_zones:
+            victims = [r for r in pool if r.index % num_zones == event.zone]
+        else:
+            victims = [pool[event.slot % len(pool)]] if pool else []
+        if not victims:
             self._failure_log.append(
-                {"time_s": now_s, "replica": -1, "slot": event.slot, "skipped": True}
+                {
+                    "time_s": now_s,
+                    "replica": -1,
+                    "slot": event.slot,
+                    "zone": event.zone,
+                    "skipped": True,
+                }
             )
             return
-        victim = pool[event.slot % len(pool)]
-        snapshot = victim.engine.snapshot()
-        victim.state = ReplicaLifecycle.FAILED
-        self._log_scale(now_s, "fail", victim.index, "failure injection")
-        self._lost_tokens += snapshot.tokens_in_flight
-        lost_ids: list[str] = []
-        retried: list[str] = []
-        lost_requests = list(snapshot.queued) + [req for req, _ in snapshot.active]
-        for serve_request in lost_requests:
-            request_id = serve_request.request_id
-            lost_ids.append(request_id)
-            # The lost attempt's admission/first-token stamps are void;
-            # the successful attempt re-stamps them, so TTFT and queue
-            # wait span the whole failure detour.
-            self._admitted_at_s.pop(request_id, None)
-            self._first_token_at_s.pop(request_id, None)
-            self._replica_of.pop(request_id, None)
-            request = self._request_of[request_id]
-            # _retry_counts counts actual re-dispatches; a request given
-            # up on does not get a phantom retry for the attempt that
-            # never happened (num_retries sums these counts).
-            retries_so_far = self._retry_counts.get(request_id, 0)
-            if retries_so_far >= self.cluster_config.max_retries:
-                self._reject(
-                    request, "retries_exhausted", {"retries": float(retries_so_far)}
+        inventories = []
+        for victim in victims:
+            snapshot = victim.engine.snapshot()
+            parked_checkpoints = victim.engine.pop_preempted()
+            victim.state = ReplicaLifecycle.FAILED
+            self._log_scale(now_s, "fail", victim.index, "failure injection")
+            inventories.append((victim, snapshot, parked_checkpoints))
+        for victim, snapshot, parked_checkpoints in inventories:
+            lost_ids: list[str] = []
+            retried: list[str] = []
+            recovered: list[str] = []
+            lost_tokens = 0
+            for serve_request in snapshot.queued:
+                request_id = serve_request.request_id
+                lost_ids.append(request_id)
+                if self._retry_lost(request_id, now_s):
+                    retried.append(request_id)
+            for serve_request, tokens_at_death in snapshot.active:
+                request_id = serve_request.request_id
+                checkpoint = self._checkpoints.get(request_id)
+                if checkpoint is not None:
+                    lost_tokens += max(
+                        0, tokens_at_death - checkpoint.tokens_generated
+                    )
+                    self._recovery_counts[request_id] = (
+                        self._recovery_counts.get(request_id, 0) + 1
+                    )
+                    recovered.append(request_id)
+                    self._place_checkpoint(checkpoint, now_s)
+                    continue
+                lost_ids.append(request_id)
+                lost_tokens += tokens_at_death
+                if self._retry_lost(request_id, now_s):
+                    retried.append(request_id)
+            for checkpoint in parked_checkpoints:
+                request_id = checkpoint.request_id
+                self._recovery_counts[request_id] = (
+                    self._recovery_counts.get(request_id, 0) + 1
                 )
-                continue
-            self._retry_counts[request_id] = retries_so_far + 1
-            retried.append(request_id)
-            self._dispatch(request, now_s)
-        self._failure_log.append(
-            {
-                "time_s": now_s,
-                "replica": victim.index,
-                "slot": event.slot,
-                "lost_requests": lost_ids,
-                "retried": retried,
-                "lost_tokens": snapshot.tokens_in_flight,
-            }
-        )
+                recovered.append(request_id)
+                self._place_checkpoint(checkpoint, now_s)
+            self._lost_tokens += lost_tokens
+            self._failure_log.append(
+                {
+                    "time_s": now_s,
+                    "replica": victim.index,
+                    "slot": event.slot,
+                    "zone": event.zone,
+                    "lost_requests": lost_ids,
+                    "retried": retried,
+                    "recovered": recovered,
+                    "lost_tokens": lost_tokens,
+                }
+            )
+
+    def _maybe_checkpoint(self, replica: ClusterReplica, now_s: float) -> None:
+        """Periodically checkpoint a replica's active requests.
+
+        Runs after every engine step once ``checkpoint_interval_s`` of
+        simulation time has passed on the replica's clock since its last
+        round; each active request's latest checkpoint replaces the
+        previous one (purged at retirement).
+        """
+        interval = self.cluster_config.checkpoint_interval_s
+        if interval is None:
+            return
+        if now_s - self._last_ckpt_s.get(replica.index, 0.0) < interval:
+            return
+        self._last_ckpt_s[replica.index] = now_s
+        for request_id in replica.engine.active_request_ids:
+            self._checkpoints[request_id] = replica.engine.checkpoint_request(
+                request_id, keep=True
+            )
 
     # ------------------------------------------------------------------
     # event loop
@@ -474,7 +663,7 @@ class ClusterSimulator(TrafficSimulator):
             self._boot_replica(0.0, warm=False, reason="initial fleet")
         self._peak_provisioned = self._provisioned()
 
-        while pending or self._parked or self._has_live_work():
+        while pending or self._parked or self._parked_checkpoints or self._has_live_work():
             # Candidate next events as (time, kind priority, tiebreak):
             # ready < failure < arrival < step at equal instants.
             candidates: list[tuple[float, int, int, str, object]] = []
@@ -523,7 +712,9 @@ class ClusterSimulator(TrafficSimulator):
                 retired, step_end_s = self._step_replica(replica)
                 for record in retired:
                     self._recent_slo.append(record.slo_met)
-                    self.autoscaler.observe(record.slo_met)
+                    self.autoscaler.observe(record.slo_met, slo_class=record.slo_class)
+                    self._checkpoints.pop(record.request_id, None)
+                self._maybe_checkpoint(replica, step_end_s)
                 if replica.state is ReplicaLifecycle.DRAINING and not replica.has_work():
                     self._stop_replica(replica, step_end_s)
                 self._control(step_end_s)
@@ -537,6 +728,14 @@ class ClusterSimulator(TrafficSimulator):
         """Failure re-dispatches the request consumed before completing."""
         return self._retry_counts.get(request_id, 0)
 
+    def _migrations_of(self, request_id: str) -> int:
+        """Drain migrations the request went through before completing."""
+        return self._migration_counts.get(request_id, 0)
+
+    def _recoveries_of(self, request_id: str) -> int:
+        """Checkpoint recoveries the request went through before completing."""
+        return self._recovery_counts.get(request_id, 0)
+
     def _build_report(self) -> TrafficReport:
         """The base report plus the cluster-layer outcome records."""
         report = super()._build_report()
@@ -544,6 +743,8 @@ class ClusterSimulator(TrafficSimulator):
         report.rejected = self._rejected
         report.num_retries = sum(self._retry_counts.values())
         report.lost_tokens = self._lost_tokens
+        report.num_migrations = sum(self._migration_counts.values())
+        report.num_recoveries = sum(self._recovery_counts.values())
         report.autoscaler = {
             **self.autoscaler.describe(),
             "min_replicas": self.cluster_config.min_replicas,

@@ -806,6 +806,45 @@ class EngineCore:
         return result
 
     # ------------------------------------------------------------------
+    # checkpoint / restore (sequence migration, preemption, recovery)
+    # ------------------------------------------------------------------
+    def checkpoint_request(self, seq: SequenceState):
+        """Capture the complete decoding state of one live sequence.
+
+        Returns a :class:`repro.seqstate.SequenceCheckpoint` that, passed to
+        :meth:`restore_request`, resumes the request bit-identically to
+        never having been interrupted.  The sequence itself is unaffected.
+        """
+        from ..seqstate import checkpoint_sequence
+
+        return checkpoint_sequence(self.model, self.generation_config, seq)
+
+    def restore_request(
+        self,
+        checkpoint,
+        selector: KVSelectorFactory,
+        offload: OffloadManager,
+        buffer_prefix: str = "",
+    ) -> SequenceState:
+        """Rebuild a live sequence from a checkpoint, bit-identical.
+
+        ``selector`` must carry the same configuration signature the
+        checkpoint was captured under, and ``offload`` is the (possibly
+        different) memory manager the restored KV buffers register on —
+        restoring onto another engine's manager is what migration is.
+        """
+        from ..seqstate import restore_sequence
+
+        return restore_sequence(
+            self.model,
+            self.generation_config,
+            checkpoint,
+            selector,
+            offload,
+            buffer_prefix=buffer_prefix,
+        )
+
+    # ------------------------------------------------------------------
     # instrumentation helpers
     # ------------------------------------------------------------------
     def _mix_copy(

@@ -147,6 +147,27 @@ class CopyHead:
         np.add.at(distribution, successor_tokens, weights)
         return distribution
 
+    def export_state(self) -> dict[str, object]:
+        """Snapshot of the mutable pointer state (token and key history).
+
+        The weights are shared and immutable, so the token-id list plus
+        the per-token signature vectors are the head's *entire* mutable
+        state; :meth:`restore_state` on a fresh head of the same model
+        reproduces it exactly.  Used by :mod:`repro.seqstate` checkpoints.
+        """
+        return {
+            "token_ids": list(self._token_ids),
+            "copy_keys": [key.copy() for key in self._copy_keys],
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Adopt a snapshot produced by :meth:`export_state`."""
+        token_ids = state["token_ids"]
+        copy_keys = state["copy_keys"]
+        assert isinstance(token_ids, list) and isinstance(copy_keys, list)
+        self._token_ids = [int(token) for token in token_ids]
+        self._copy_keys = [np.asarray(key, dtype=np.float64).copy() for key in copy_keys]
+
     def reset(self) -> None:
         """Clear the token history."""
         self._token_ids.clear()

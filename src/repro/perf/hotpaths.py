@@ -298,6 +298,37 @@ def deterministic_counters(config: PerfBenchConfig | None = None) -> dict[str, o
         prefix_report = prefix_engine.run()
     prefix_stats = prefix_engine.prefix_cache_stats()
 
+    # Migration scenario: the serve workload again, but every active
+    # request is checkpoint-migrated to a second engine mid-decode
+    # (repro.seqstate).  The pinned invariant is the differential:
+    # migrated_prefill_gemms == baseline_prefill_gemms — a migration moves
+    # KV and never replays a prefill.  A regression that re-prefills on
+    # restore (or drops the migrated-in fast path) breaks the equality.
+    def _migration_engine():
+        return BatchedEngine(
+            model,
+            selector,
+            gen,
+            SchedulerConfig(max_batch_size=4, max_prefills_per_step=4),
+        )
+
+    baseline_engine = _migration_engine()
+    for prompt in prompts:
+        baseline_engine.submit(prompt)
+    with count_ops() as baseline_ops:
+        baseline_report = baseline_engine.run()
+
+    source, target = _migration_engine(), _migration_engine()
+    for prompt in prompts:
+        source.submit(prompt)
+    with count_ops() as migration_ops:
+        migrated_report = None
+        for _ in range(3):  # prefill, then a couple of decode steps
+            source.step()
+        for request_id in list(source.active_request_ids):
+            target.restore_request(source.checkpoint_request(request_id, keep=False))
+        migrated_report = target.run()
+
     return {
         "serve": {
             "engine_steps": report.engine_steps,
@@ -314,6 +345,14 @@ def deterministic_counters(config: PerfBenchConfig | None = None) -> dict[str, o
         "kmeans": {
             "n_iters": [r.n_iters for r in results],
             "counters": kmeans_ops.as_dict(),
+        },
+        "migration_serve": {
+            "baseline_prefill_gemms": baseline_ops.get("gemm.attention_prefill"),
+            "migrated_prefill_gemms": migration_ops.get("gemm.attention_prefill"),
+            "migrated_in": migration_ops.get("seqstate.migrated_in"),
+            "baseline_tokens": baseline_report.total_generated_tokens,
+            "migrated_tokens": migrated_report.total_generated_tokens,
+            "counters": migration_ops.as_dict(),
         },
     }
 
@@ -382,6 +421,16 @@ def format_perf_bench(payload: dict[str, object]) -> str:
         f"tokens={serve['total_tokens']} gemm={serve['counters']} "
         f"kmeans iters={deterministic['kmeans']['n_iters']}"
     )
+    migration = deterministic.get("migration_serve")
+    if migration:
+        lines.append(
+            f"migration: prefill gemms baseline/migrated "
+            f"{migration['baseline_prefill_gemms']}"
+            f"/{migration['migrated_prefill_gemms']} "
+            f"(migrated_in={migration['migrated_in']}, "
+            f"tokens {migration['baseline_tokens']}"
+            f"/{migration['migrated_tokens']})"
+        )
     return "\n".join(lines)
 
 

@@ -190,6 +190,25 @@ class StepCostModel:
         scaled = num_tokens * self.context_scale
         return kv_bytes(self.arch, scaled) / self.hardware.pcie_bandwidth
 
+    def migration_seconds(self, num_tokens: int) -> float:
+        """Cost of migrating one in-flight request's sequence state.
+
+        A live migration moves the request's complete KV cache —
+        ``num_tokens`` context tokens across all layers — between replica
+        hosts.  Under ClusterKV the full KV is host-resident already, so
+        the transfer is host-to-host and priced at the same PCIe/NIC
+        bandwidth as a prefix attach; selector metadata (centroids, page
+        bounds) is orders of magnitude smaller than the KV itself and
+        rides along for free.  This is the term that makes migration pay:
+        moving the KV costs microseconds per token where re-prefilling
+        from token zero costs milliseconds, which is exactly the paper's
+        host-memory economics applied to elasticity.
+        """
+        if num_tokens <= 0:
+            return 0.0
+        scaled = num_tokens * self.context_scale
+        return kv_bytes(self.arch, scaled) / self.hardware.pcie_bandwidth
+
     def replica_warmup_seconds(self) -> float:
         """Cold-start cost of provisioning one serving replica.
 

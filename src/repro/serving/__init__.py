@@ -35,10 +35,17 @@ from .engine import (
     serve_prompts,
 )
 from .queue import RequestQueue
-from .request import ActiveRequest, CompletedRequest, RequestStatus, ServeRequest
+from .request import (
+    SLO_CLASSES,
+    ActiveRequest,
+    CompletedRequest,
+    RequestStatus,
+    ServeRequest,
+)
 from .scheduler import ContinuousBatchingScheduler, SchedulerConfig
 
 __all__ = [
+    "SLO_CLASSES",
     "BatchedEngine",
     "EngineSnapshot",
     "ServeReport",

@@ -26,6 +26,7 @@ for bit.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import time
 from dataclasses import dataclass, field
@@ -41,6 +42,7 @@ from ..model.transformer import TransformerModel
 from ..perf import counters
 from ..policies import PolicySpec, build_policy, resolve_policy_spec
 from ..prefixcache import PrefixCacheConfig, PrefixMatch, RadixPrefixCache
+from ..seqstate import SequenceCheckpoint
 from .queue import RequestQueue
 from .request import ActiveRequest, CompletedRequest, RequestStatus, ServeRequest
 from .scheduler import ContinuousBatchingScheduler, SchedulerConfig
@@ -325,6 +327,12 @@ class BatchedEngine:
         # Live matches of in-flight requests; released at retirement so the
         # cache never evicts blocks a request still reads.
         self._prefix_matches: dict[str, PrefixMatch] = {}
+        # Checkpoints of preempted batch-class requests, FIFO; resumed by
+        # _resume_preempted once slots and KV budget free up.
+        self._preempted: list[SequenceCheckpoint] = []
+        # Lifetime preemption count of this engine (the cluster report
+        # sums it over replicas).
+        self.num_preemptions_total = 0
 
     # ------------------------------------------------------------------
     # submission
@@ -337,6 +345,7 @@ class BatchedEngine:
         seed: int | None = None,
         policy: PolicySpec | str | None = None,
         arrival_time_s: float = 0.0,
+        slo_class: str = "interactive",
     ) -> ServeRequest:
         """Enqueue a generation request; it runs at the next :meth:`step`.
 
@@ -350,6 +359,9 @@ class BatchedEngine:
         ``arrival_time_s`` stamps the request with its arrival instant on
         the caller's clock (virtual or wall); the engine carries it through
         to the report so latency metrics can be computed against it.
+        ``slo_class`` tags the request ``"interactive"`` or ``"batch"``;
+        under :attr:`SchedulerConfig.preemption` only batch-class requests
+        may be preempted.
 
         Raises
         ------
@@ -400,6 +412,7 @@ class BatchedEngine:
             seed=seed,
             policy=policy_spec,
             arrival_time_s=arrival_time_s,
+            slo_class=slo_class,
         )
         self._submitted_at_step[request.request_id] = self._engine_step
         self._request_selectors[request.request_id] = selector
@@ -409,6 +422,16 @@ class BatchedEngine:
     def num_active(self) -> int:
         """Requests currently holding a decode slot."""
         return len(self._active)
+
+    @property
+    def num_preempted(self) -> int:
+        """Preempted requests parked as checkpoints, awaiting resume."""
+        return len(self._preempted)
+
+    @property
+    def preempted_request_ids(self) -> list[str]:
+        """Ids of the parked preempted requests, in preemption order."""
+        return [c.request_id for c in self._preempted]
 
     @property
     def active_request_ids(self) -> list[str]:
@@ -467,6 +490,212 @@ class BatchedEngine:
             ),
         )
 
+    def pop_preempted(self) -> list[SequenceCheckpoint]:
+        """Take ownership of the parked preempted checkpoints.
+
+        Empties the engine's preempted list and returns the checkpoints in
+        preemption order.  The cluster layer calls this when the replica is
+        drained-with-migration or killed: parked checkpoints are exactly as
+        mobile as freshly taken ones, so they restore on another replica
+        with no work lost.
+        """
+        taken = list(self._preempted)
+        self._preempted.clear()
+        return taken
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore (migration, preemption, failure recovery)
+    # ------------------------------------------------------------------
+    def checkpoint_request(
+        self, request_id: str, *, keep: bool = True
+    ) -> SequenceCheckpoint:
+        """Checkpoint one in-flight request into a mobile, restorable object.
+
+        The returned :class:`~repro.seqstate.SequenceCheckpoint` carries the
+        full request identity and progress; :meth:`restore_request` on this
+        engine or any compatible one (same model, generation configuration
+        and policy configuration) resumes it bit-identically to never having
+        been interrupted.  With ``keep=False`` the request is simultaneously
+        removed from the engine — its decode slot, KV buffers and budget
+        reservation are released (the checkpoint owns copies), which is the
+        migrate-out and preempt primitive.
+
+        Raises
+        ------
+        ValueError
+            If ``request_id`` is not in flight.  Queued requests need no
+            checkpoint — they re-dispatch from their
+            :class:`~repro.serving.request.ServeRequest` unchanged.
+        """
+        active = next(
+            (a for a in self._active if a.request.request_id == request_id), None
+        )
+        if active is None:
+            raise ValueError(f"request {request_id!r} is not in flight on this engine")
+        request = active.request
+        checkpoint = dataclasses.replace(
+            self.core.checkpoint_request(active.sequence),
+            request_id=request.request_id,
+            prompt_ids=request.prompt_ids,
+            max_new_tokens=active.max_new_tokens,
+            seed=request.seed,
+            policy=request.policy,
+            arrival_order=request.arrival_order,
+            arrival_time_s=request.arrival_time_s,
+            slo_class=request.slo_class,
+            current_token=active.current_token,
+            decode_step=active.decode_step,
+            prefill_pos=active.prefill_pos,
+            first_token_step=active.first_token_step,
+            status=active.status.value,
+        )
+        if not keep:
+            self._active.remove(active)
+            active.status = RequestStatus.PREEMPTED
+            active.sequence.release()
+            self._reserved_bytes.pop(request_id, None)
+            match = self._prefix_matches.pop(request_id, None)
+            if match is not None and self.prefix_cache is not None:
+                self.prefix_cache.release(match)
+        return checkpoint
+
+    def restore_request(self, checkpoint: SequenceCheckpoint) -> ServeRequest:
+        """Resume a checkpointed request directly into the active set.
+
+        The request bypasses the queue (it was already admitted once — its
+        id is reserved with the queue so uniqueness stays enforced) and
+        rejoins exactly where it left off: a mid-prefill checkpoint
+        continues its remaining chunks, a decoding one rejoins the decode
+        batch.  The checkpoint's policy is rebuilt from its spec and
+        validated against the captured policy signature; its KV registers
+        on *this* engine's offload manager, which is what makes restoring
+        on another replica a migration.
+
+        Raises
+        ------
+        ValueError
+            If the checkpoint carries no request id (engine-level
+            checkpoints need the identity fields filled by
+            :meth:`checkpoint_request`), if a request with the same id is
+            already in flight here, or if the checkpoint is incompatible
+            with this engine (model / generation config / policy signature
+            mismatch).
+        """
+        request_id = checkpoint.request_id
+        if not request_id:
+            raise ValueError("checkpoint carries no request identity")
+        if any(a.request.request_id == request_id for a in self._active):
+            raise ValueError(f"request {request_id!r} is already in flight")
+        assert checkpoint.prompt_ids is not None and checkpoint.max_new_tokens is not None
+        self.queue.reserve_id(request_id)
+        request = ServeRequest(
+            request_id=request_id,
+            prompt_ids=checkpoint.prompt_ids,
+            max_new_tokens=checkpoint.max_new_tokens,
+            seed=checkpoint.seed,
+            policy=checkpoint.policy,
+            arrival_order=checkpoint.arrival_order,
+            arrival_time_s=checkpoint.arrival_time_s,
+            slo_class=checkpoint.slo_class,
+        )
+        selector = (
+            build_policy(checkpoint.policy)
+            if checkpoint.policy is not None
+            else self.selector
+        )
+        sequence = self.core.restore_request(
+            checkpoint, selector, self.offload, buffer_prefix=f"{request_id}/"
+        )
+        active = ActiveRequest(
+            request=request,
+            sequence=sequence,
+            max_new_tokens=checkpoint.max_new_tokens,
+            current_token=checkpoint.current_token,
+            decode_step=checkpoint.decode_step,
+            admitted_at_step=self._engine_step,
+            first_token_step=checkpoint.first_token_step,
+            prefill_pos=checkpoint.prefill_pos,
+            status=RequestStatus(checkpoint.status),
+        )
+        self._reserved_bytes[request_id] = self.scheduler.projected_bytes(
+            request, self._kv_bytes_per_token, self.generation_config.max_new_tokens
+        )
+        self._submitted_at_step.setdefault(request_id, self._engine_step)
+        self._active.append(active)
+        counters.record("seqstate.migrated_in", 1)
+        return request
+
+    def _preempt_for_queue_head(self) -> None:
+        """Checkpoint batch-class requests until the interactive head fits.
+
+        Only runs under :attr:`SchedulerConfig.preemption`, and only for an
+        ``interactive`` head blocked on slots or KV budget.  Victims are the
+        most recently admitted batch-class requests (LIFO — the least sunk
+        work), checkpointed with ``keep=False`` and parked on the engine;
+        :meth:`_resume_preempted` restores them once pressure clears.
+        """
+        config = self.scheduler.config
+        if not config.preemption or not self.queue:
+            return
+        head = self.queue.peek()
+        assert head is not None
+        if head.slo_class != "interactive":
+            return
+        projected = self.scheduler.projected_bytes(
+            head, self._kv_bytes_per_token, self.generation_config.max_new_tokens
+        )
+        budget = config.kv_budget_bytes
+        while True:
+            fits_slots = len(self._active) < config.max_batch_size
+            fits_bytes = (
+                budget is None or self.reserved_kv_bytes() + projected <= budget
+            )
+            if fits_slots and fits_bytes:
+                return
+            victim = next(
+                (
+                    a
+                    for a in reversed(self._active)
+                    if a.request.slo_class == "batch"
+                ),
+                None,
+            )
+            if victim is None:
+                return
+            checkpoint = self.checkpoint_request(
+                victim.request.request_id, keep=False
+            )
+            self._preempted.append(checkpoint)
+            self.num_preemptions_total += 1
+            counters.record("seqstate.preemptions", 1)
+
+    def _resume_preempted(self) -> None:
+        """Restore parked preempted requests that fit again, FIFO.
+
+        Queued requests take precedence: as long as anything is waiting for
+        first admission, parked batch work stays parked (its KV is free, so
+        it costs nothing to hold), keeping interactive latency first.
+        """
+        config = self.scheduler.config
+        while self._preempted and not self.queue:
+            checkpoint = self._preempted[0]
+            if len(self._active) >= config.max_batch_size:
+                return
+            budget = config.kv_budget_bytes
+            if budget is not None:
+                assert checkpoint.prompt_ids is not None
+                assert checkpoint.max_new_tokens is not None
+                projected = self.scheduler.projected_bytes_for(
+                    int(checkpoint.prompt_ids.shape[0]),
+                    checkpoint.max_new_tokens,
+                    self._kv_bytes_per_token,
+                )
+                if self.reserved_kv_bytes() + projected > budget:
+                    return
+            self._preempted.pop(0)
+            self.restore_request(checkpoint)
+            counters.record("seqstate.resumes", 1)
+
     def in_flight_result(self, request_id: str) -> GenerationResult | None:
         """Partial result of an in-flight request, ``None`` when not active.
 
@@ -493,6 +722,8 @@ class BatchedEngine:
         """
         step_start = time.perf_counter()
         trace = StepTrace(engine_step=self._engine_step)
+        self._resume_preempted()
+        self._preempt_for_queue_head()
         admitted = self.scheduler.admit(
             self.queue,
             num_active=len(self._active),
@@ -566,7 +797,7 @@ class BatchedEngine:
         """Drain the queue: step until no request is queued or in flight."""
         report = ServeReport()
         start = time.perf_counter()
-        while self.queue or self._active:
+        while self.queue or self._active or self._preempted:
             completed = self.step()
             report.completed.extend(completed)
             report.occupancy.append(self._last_occupancy)

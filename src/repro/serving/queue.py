@@ -41,6 +41,7 @@ class RequestQueue:
         seed: int | None = None,
         policy: PolicySpec | None = None,
         arrival_time_s: float = 0.0,
+        slo_class: str = "interactive",
     ) -> ServeRequest:
         """Enqueue a new request and return it.
 
@@ -71,10 +72,24 @@ class RequestQueue:
             policy=policy,
             arrival_order=self._next_arrival,
             arrival_time_s=arrival_time_s,
+            slo_class=slo_class,
         )
         self._next_arrival += 1
         self._pending.append(request)
         return request
+
+    def reserve_id(self, request_id: str) -> None:
+        """Mark ``request_id`` as issued without enqueueing anything.
+
+        The restore path of the serving engine re-creates a request from a
+        :class:`repro.seqstate.SequenceCheckpoint` directly into the active
+        set, bypassing :meth:`submit`; reserving the id here keeps the
+        queue the single authority on id uniqueness — a later explicit
+        submission of the same id is still rejected.  Reserving an id that
+        is already issued is a no-op (a request resumed on the engine that
+        originally issued it keeps its id).
+        """
+        self._issued_ids.add(request_id)
 
     def peek(self) -> ServeRequest | None:
         """The request at the head of the queue, without removing it."""

@@ -22,6 +22,7 @@ from ..model.generation import GenerationResult, SequenceState
 from ..policies import PolicySpec
 
 __all__ = [
+    "SLO_CLASSES",
     "RequestStatus",
     "ServeRequest",
     "ActiveRequest",
@@ -35,7 +36,12 @@ class RequestStatus(enum.Enum):
     QUEUED = "queued"
     PREFILLING = "prefilling"
     DECODING = "decoding"
+    PREEMPTED = "preempted"
     FINISHED = "finished"
+
+
+#: Valid values of :attr:`ServeRequest.slo_class`.
+SLO_CLASSES = ("interactive", "batch")
 
 
 @dataclass(frozen=True)
@@ -73,6 +79,12 @@ class ServeRequest:
         :class:`CompletedRequest` so latency metrics (TTFT, queue wait)
         can be computed against the arrival instant.  Defaults to 0.0 for
         closed-loop callers that do not track time.
+    slo_class:
+        Service class of the request: ``"interactive"`` (latency-bound,
+        never preempted) or ``"batch"`` (throughput work that a preempting
+        scheduler may checkpoint under KV pressure and resume later).
+        Class-aware admission, routing and autoscaling read it in the
+        cluster layer.
     """
 
     request_id: str
@@ -82,6 +94,7 @@ class ServeRequest:
     policy: PolicySpec | None = None
     arrival_order: int = 0
     arrival_time_s: float = 0.0
+    slo_class: str = "interactive"
 
     def __post_init__(self) -> None:
         prompt = np.asarray(self.prompt_ids, dtype=np.int64)
@@ -90,6 +103,10 @@ class ServeRequest:
         object.__setattr__(self, "prompt_ids", prompt)
         if self.max_new_tokens is not None and self.max_new_tokens <= 0:
             raise ValueError("max_new_tokens must be positive when set")
+        if self.slo_class not in SLO_CLASSES:
+            raise ValueError(
+                f"slo_class must be one of {SLO_CLASSES}, got {self.slo_class!r}"
+            )
 
     def prompt_length(self) -> int:
         """Number of prompt tokens."""

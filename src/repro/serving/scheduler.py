@@ -67,6 +67,15 @@ class SchedulerConfig:
         Whether the prefix cache also stores and restores per-policy
         semantic state (ClusterKV's per-segment clustering), see
         :class:`repro.prefixcache.PrefixCacheConfig`.
+    preemption:
+        Whether the engine may preempt ``batch``-class in-flight requests
+        to make room for an ``interactive``-class request blocked at the
+        head of the queue.  A preempted request is checkpointed
+        (:mod:`repro.seqstate`), its slot and KV reservation freed, and it
+        resumes bit-identically once capacity frees up — so interactive
+        latency is bought without discarding batch work.  Off by default:
+        preemption reorders completions, which the strict-FCFS fairness
+        tests assert never happens unless asked for.
     """
 
     max_batch_size: int = 8
@@ -76,6 +85,7 @@ class SchedulerConfig:
     prefix_cache_tokens: int | None = None
     prefix_block_tokens: int = 32
     prefix_semantic_reuse: bool = True
+    preemption: bool = False
 
     def __post_init__(self) -> None:
         if self.max_batch_size <= 0:

@@ -50,6 +50,7 @@ from .router import (
     ReplicaView,
     RoundRobinRouter,
     Router,
+    SLOAwareRouter,
     build_router,
     register_router,
     router_names,
@@ -78,6 +79,7 @@ __all__ = [
     "JoinShortestQueueRouter",
     "LeastKVBytesRouter",
     "PrefixAffineRouter",
+    "SLOAwareRouter",
     "register_router",
     "build_router",
     "router_names",

@@ -57,6 +57,12 @@ class TrafficBenchConfig:
     (:mod:`repro.prefixcache`; ``None`` disables it) with radix blocks of
     ``prefix_block`` tokens; pair it with ``router="prefix_affine"`` so
     requests sharing a preamble land on the same replica-local cache.
+    ``slo_class_mix`` splits the workload into service classes: that
+    fraction of traffic (in expectation, seeded draw) is
+    ``interactive``-class and the rest ``batch``-class (``None`` keeps
+    everything interactive); pair it with ``preemption`` — which lets
+    replicas checkpoint-preempt batch work for an interactive queue head
+    (:mod:`repro.seqstate`) — and ``router="slo_aware"``.
     """
 
     model: str = "serve-sim"
@@ -80,6 +86,8 @@ class TrafficBenchConfig:
     prefill_chunk: int | None = None
     prefix_cache: int | None = None
     prefix_block: int = 32
+    slo_class_mix: float | None = None
+    preemption: bool = False
     slo: SLOSpec = field(default_factory=SLOSpec)
     seed: int = 0
     trace: str | None = None
@@ -91,6 +99,8 @@ class TrafficBenchConfig:
             raise ValueError("num_requests must be positive")
         if self.rate <= 0:
             raise ValueError("rate must be positive")
+        if self.slo_class_mix is not None and not 0.0 <= self.slo_class_mix <= 1.0:
+            raise ValueError("slo_class_mix must lie in [0, 1]")
         resolved = tuple(
             spec
             if isinstance(spec, PolicySpec) and spec.kwargs
@@ -116,6 +126,7 @@ class TrafficBenchConfig:
             prefill_chunk_tokens=self.prefill_chunk,
             prefix_cache_tokens=self.prefix_cache,
             prefix_block_tokens=self.prefix_block,
+            preemption=self.preemption,
         )
 
     def traffic_config(self) -> TrafficConfig:
@@ -158,13 +169,28 @@ def build_bench_requests(config: TrafficBenchConfig) -> list[TrafficRequest]:
     else:
         process = build_arrivals(config.arrivals, rate=config.rate)
     times = process.times(config.num_requests, seed=config.seed)
+    # With a class mix, every policy contributes one shape per service
+    # class, weighted by the interactive fraction (degenerate fractions
+    # collapse to a single class — a RequestShape weight must be positive).
+    mix = config.slo_class_mix
+    if mix is None:
+        class_weights = [("interactive", 1.0)]
+    elif mix <= 0.0:
+        class_weights = [("batch", 1.0)]
+    elif mix >= 1.0:
+        class_weights = [("interactive", 1.0)]
+    else:
+        class_weights = [("interactive", mix), ("batch", 1.0 - mix)]
     shapes = [
         RequestShape(
             prompt_len_range=(config.prompt_len_min, config.prompt_len_max),
             max_new_tokens=config.max_new_tokens,
             policy=spec,
+            weight=weight,
+            slo_class=slo_class,
         )
         for spec in config.policies
+        for slo_class, weight in class_weights
     ]
     return generate_traffic(shapes, times, vocab_size=vocab_size, seed=config.seed)
 
@@ -217,6 +243,17 @@ def format_traffic_report(report: TrafficReport) -> str:
         lines.append(
             f"{metric:12s} {row['p50']:9.3f} {row['p95']:9.3f} {row['p99']:9.3f}"
         )
+    classes = report.class_summary()
+    if len(classes) > 1 or report.num_preemptions:
+        for name, row in sorted(classes.items()):
+            ttft = row["ttft_s"]
+            lines.append(
+                f"class {name:11s} requests: {row['num_requests']:>4}  "
+                f"TTFT p50/p99: {ttft['p50']:.3f}/{ttft['p99']:.3f}s  "
+                f"goodput: {float(row['goodput_tokens_per_s']):.2f} tok/s"
+            )
+        if report.num_preemptions:
+            lines.append(f"preemptions: {report.num_preemptions}")
     per_replica: dict[int, int] = {}
     for item in report.requests:
         per_replica[item.replica] = per_replica.get(item.replica, 0) + 1

@@ -38,6 +38,16 @@ class StepClock:
         """
         return 0.0
 
+    def migration_seconds(self, num_tokens: int) -> float:
+        """Cost of moving one in-flight request's KV between replicas.
+
+        Charged by the cluster layer when a checkpointed request restores
+        on a different replica (live migration).  Clocks that cannot price
+        transfers (wall time) report 0 — migration then costs nothing but
+        still preserves the decoded work.
+        """
+        return 0.0
+
     def describe(self) -> dict[str, object]:
         """Identifying configuration of this clock (for reports)."""
         return {"name": self.name}
@@ -71,6 +81,10 @@ class PerfModelClock(StepClock):
     def warmup_seconds(self) -> float:
         """Roofline-model price of booting one replica (weights + warm pass)."""
         return self.cost_model.replica_warmup_seconds()
+
+    def migration_seconds(self, num_tokens: int) -> float:
+        """Roofline-model price of a host-to-host KV transfer (migration)."""
+        return self.cost_model.migration_seconds(num_tokens)
 
     def describe(self) -> dict[str, object]:
         """Clock name plus the priced architecture/hardware/scale."""

@@ -120,6 +120,19 @@ class RequestMetrics:
         cache instead of being prefilled (0 on a miss or with the cache
         disabled) — what splits the report's with-cache vs. without-cache
         TTFT aggregates.
+    slo_class:
+        Service class of the request (``"interactive"`` or ``"batch"``),
+        splitting the report's per-class latency aggregates.
+    migrations:
+        How many times the request's live state was checkpoint-migrated
+        to another replica (drain migration; 0 without
+        ``migrate_on_drain``).  A migrated request keeps its decoded
+        tokens, so — unlike a retry — its latencies include only the
+        transfer cost, not a re-prefill.
+    recoveries:
+        How many times the request resumed from a periodic checkpoint
+        after its replica failed (0 without ``checkpoint_interval_s``).
+        Only the tokens decoded after the last checkpoint are lost.
     """
 
     request_id: str
@@ -135,6 +148,9 @@ class RequestMetrics:
     slo_met: bool
     retries: int = 0
     cached_prefix_tokens: int = 0
+    slo_class: str = "interactive"
+    migrations: int = 0
+    recoveries: int = 0
 
     def to_dict(self) -> dict[str, object]:
         """Plain-dict form (JSON-ready), keys in declaration order."""
@@ -152,6 +168,9 @@ class RequestMetrics:
             "slo_met": self.slo_met,
             "retries": self.retries,
             "cached_prefix_tokens": self.cached_prefix_tokens,
+            "slo_class": self.slo_class,
+            "migrations": self.migrations,
+            "recoveries": self.recoveries,
         }
 
 
@@ -230,6 +249,20 @@ class TrafficReport:
         Total failure-triggered re-dispatches across all requests.
     lost_tokens:
         Decoded tokens thrown away by replica failures (wasted work).
+        With periodic checkpointing only the tokens decoded *after* the
+        last checkpoint count — the lost-work accounting the recovery
+        tests pin down.
+    num_migrations:
+        Total drain-triggered live migrations across all requests
+        (checkpointed on the draining replica, restored elsewhere with
+        all decoded work preserved).
+    num_recoveries:
+        Total checkpoint restores after failures (victims that resumed
+        from a periodic checkpoint instead of re-prefilling from
+        scratch).
+    num_preemptions:
+        Total checkpoint preemptions across all replicas (batch-class
+        requests parked to unblock an interactive queue head).
     autoscaler / admission:
         ``describe()`` dicts of the cluster control plane (empty for
         plain traffic runs).
@@ -257,6 +290,9 @@ class TrafficReport:
     rejected: list[RejectedRequest] = field(default_factory=list)
     num_retries: int = 0
     lost_tokens: int = 0
+    num_migrations: int = 0
+    num_recoveries: int = 0
+    num_preemptions: int = 0
     autoscaler: dict[str, object] = field(default_factory=dict)
     admission: dict[str, object] = field(default_factory=dict)
     failures: list[dict[str, object]] = field(default_factory=list)
@@ -327,6 +363,33 @@ class TrafficReport:
             for name, values in series.items()
         }
 
+    def class_summary(self) -> dict[str, dict[str, object]]:
+        """Per-SLO-class latency and goodput split.
+
+        For each service class present in the run: request/token counts,
+        p50/p95/p99 TTFT and end-to-end latency, SLO attainment, and
+        goodput — the quantities the preemption benchmark compares
+        (interactive tail latency at equal batch-class goodput).
+        """
+        classes = sorted({m.slo_class for m in self.requests})
+        summary: dict[str, dict[str, object]] = {}
+        for cls in classes:
+            members = [m for m in self.requests if m.slo_class == cls]
+            ttfts = [m.ttft_s for m in members]
+            e2es = [m.e2e_s for m in members]
+            good = sum(m.output_tokens for m in members if m.slo_met)
+            summary[cls] = {
+                "num_requests": len(members),
+                "output_tokens": sum(m.output_tokens for m in members),
+                "ttft_s": {f"p{q:g}": percentile(ttfts, q) for q in PERCENTILES},
+                "e2e_s": {f"p{q:g}": percentile(e2es, q) for q in PERCENTILES},
+                "slo_attainment": sum(1 for m in members if m.slo_met) / len(members),
+                "goodput_tokens_per_s": (
+                    good / self.duration_s if self.duration_s > 0 else 0.0
+                ),
+            }
+        return summary
+
     # ------------------------------------------------------------------
     # serialisation
     # ------------------------------------------------------------------
@@ -351,11 +414,15 @@ class TrafficReport:
             "goodput_tokens_per_s": self.goodput_tokens_per_s,
             "slo_attainment": self.slo_attainment,
             "latency": self.latency_summary(),
+            "classes": self.class_summary(),
             "requests": [m.to_dict() for m in self.requests],
             "num_rejected": self.num_rejected,
             "rejected": [r.to_dict() for r in self.rejected],
             "num_retries": self.num_retries,
             "lost_tokens": self.lost_tokens,
+            "num_migrations": self.num_migrations,
+            "num_recoveries": self.num_recoveries,
+            "num_preemptions": self.num_preemptions,
             "autoscaler": self.autoscaler,
             "admission": self.admission,
             "failures": self.failures,

@@ -19,7 +19,11 @@ flag and `repro list` at once.  Built-ins:
   reserve more) rather than request *count*;
 * ``prefix_affine`` — hash the request's leading prompt block to a
   replica, so requests sharing a prompt prefix land on the same
-  replica-local prefix cache.
+  replica-local prefix cache;
+* ``slo_aware`` — class-aware placement: interactive requests join the
+  shortest queue, batch requests join the replica with the most
+  batch-class work, concentrating preemptible filler on few replicas so
+  the rest stay responsive.
 """
 
 from __future__ import annotations
@@ -38,6 +42,7 @@ __all__ = [
     "JoinShortestQueueRouter",
     "LeastKVBytesRouter",
     "PrefixAffineRouter",
+    "SLOAwareRouter",
     "register_router",
     "build_router",
     "router_names",
@@ -201,3 +206,29 @@ class PrefixAffineRouter(Router):
     def describe(self) -> dict[str, object]:
         """Router name plus the hashed block length."""
         return {"name": self.name, "block_tokens": self.block_tokens}
+
+
+@register_router("slo_aware")
+class SLOAwareRouter(Router):
+    """Class-aware placement: spread interactive, concentrate batch.
+
+    Interactive requests join the shortest queue (their TTFT is the
+    product).  Batch requests prefer the replica already holding the most
+    in-system work — packing the preemptible filler onto few replicas
+    keeps the remaining ones lightly loaded for interactive traffic, and
+    on preemption-enabled engines the packed batch work is exactly what
+    gets checkpointed out of an interactive head's way.  Both halves are
+    deterministic with ties toward the lowest index.
+    """
+
+    def choose(self, replicas: Sequence[ReplicaView], request: TrafficRequest) -> int:
+        """Shortest queue for interactive, fullest replica for batch."""
+        if getattr(request, "slo_class", "interactive") == "batch":
+            return min(
+                range(len(replicas)),
+                key=lambda i: (-(replicas[i].queued + replicas[i].active), i),
+            )
+        return min(
+            range(len(replicas)),
+            key=lambda i: (replicas[i].queued + replicas[i].active, i),
+        )

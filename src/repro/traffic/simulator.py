@@ -110,8 +110,12 @@ class Replica:
         return self.engine.reserved_kv_bytes() + self.engine.queued_kv_bytes()
 
     def has_work(self) -> bool:
-        """Whether the replica has queued or in-flight requests."""
-        return bool(self.engine.queue) or self.engine.num_active > 0
+        """Whether the replica has queued, in-flight or preempted requests."""
+        return (
+            bool(self.engine.queue)
+            or self.engine.num_active > 0
+            or self.engine.num_preempted > 0
+        )
 
 
 class TrafficSimulator:
@@ -196,6 +200,7 @@ class TrafficSimulator:
             max_new_tokens=request.max_new_tokens,
             policy=request.policy,
             arrival_time_s=request.arrival_time_s,
+            slo_class=request.slo_class,
         )
         self._replica_of[request.request_id] = replica.index
 
@@ -279,6 +284,9 @@ class TrafficSimulator:
             duration_s=self._duration_s,
             engine_steps=sum(replica.steps for replica in self.replicas),
             mean_occupancy=(sum(occupancy) / len(occupancy)) if occupancy else 0.0,
+            num_preemptions=sum(
+                replica.engine.num_preemptions_total for replica in self.replicas
+            ),
             prefix_cache=self._prefix_cache_summary(),
         )
 
@@ -325,6 +333,14 @@ class TrafficSimulator:
         """Failure-retry count of a request (always 0 without failures)."""
         return 0
 
+    def _migrations_of(self, request_id: str) -> int:
+        """Drain-migration count of a request (always 0 without a cluster)."""
+        return 0
+
+    def _recoveries_of(self, request_id: str) -> int:
+        """Checkpoint-recovery count of a request (always 0 without failures)."""
+        return 0
+
     def _metrics_of(self, item: CompletedRequest, finish_s: float) -> RequestMetrics:
         """Convert one retirement into its :class:`RequestMetrics` record."""
         request_id = item.request.request_id
@@ -349,6 +365,9 @@ class TrafficSimulator:
             cached_prefix_tokens=int(
                 getattr(item.result, "cached_prefix_tokens", 0)
             ),
+            slo_class=item.request.slo_class,
+            migrations=self._migrations_of(request_id),
+            recoveries=self._recoveries_of(request_id),
         )
 
 

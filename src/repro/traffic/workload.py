@@ -24,6 +24,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..policies import PolicySpec, resolve_policy_spec
+from ..serving.request import SLO_CLASSES
 
 __all__ = ["TrafficRequest", "RequestShape", "generate_traffic"]
 
@@ -48,6 +49,10 @@ class TrafficRequest:
     policy:
         Optional per-request KV compression policy; ``None`` uses the
         replica engine's default selector.
+    slo_class:
+        Service class (``"interactive"`` or ``"batch"``): interactive
+        requests are latency-sensitive and may preempt batch-class work
+        on preemption-enabled replicas.
     """
 
     request_id: str
@@ -55,6 +60,7 @@ class TrafficRequest:
     prompt_ids: np.ndarray
     max_new_tokens: int
     policy: PolicySpec | None = None
+    slo_class: str = "interactive"
 
     def __post_init__(self) -> None:
         prompt = np.asarray(self.prompt_ids, dtype=np.int64)
@@ -65,6 +71,10 @@ class TrafficRequest:
             raise ValueError("max_new_tokens must be positive")
         if self.arrival_time_s < 0:
             raise ValueError("arrival_time_s must be non-negative")
+        if self.slo_class not in SLO_CLASSES:
+            raise ValueError(
+                f"slo_class must be one of {SLO_CLASSES}, got {self.slo_class!r}"
+            )
 
     def prompt_length(self) -> int:
         """Number of prompt tokens."""
@@ -88,6 +98,9 @@ class RequestShape:
         default.
     weight:
         Relative frequency of this shape in the mix.
+    slo_class:
+        Service class of requests of this shape (``"interactive"`` or
+        ``"batch"``).
     prompt_sampler:
         Optional override producing the prompt token ids from the seeded
         generator and the drawn length; defaults to uniform ids over the
@@ -98,6 +111,7 @@ class RequestShape:
     max_new_tokens: int = 32
     policy: PolicySpec | str | None = None
     weight: float = 1.0
+    slo_class: str = "interactive"
     prompt_sampler: PromptSampler | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
@@ -108,6 +122,10 @@ class RequestShape:
             raise ValueError("max_new_tokens must be positive")
         if self.weight <= 0:
             raise ValueError("weight must be positive")
+        if self.slo_class not in SLO_CLASSES:
+            raise ValueError(
+                f"slo_class must be one of {SLO_CLASSES}, got {self.slo_class!r}"
+            )
         if self.policy is not None:
             object.__setattr__(self, "policy", resolve_policy_spec(self.policy))
 
@@ -170,6 +188,7 @@ def generate_traffic(
                 prompt_ids=prompt_ids,
                 max_new_tokens=shape.max_new_tokens,
                 policy=shape.policy,  # type: ignore[arg-type]
+                slo_class=shape.slo_class,
             )
         )
     return requests
