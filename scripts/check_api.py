@@ -35,6 +35,7 @@ PUBLIC_MODULES = (
     "repro.core",
     "repro.model",
     "repro.memory",
+    "repro.capacity",
     "repro.metrics",
     "repro.perf",
     "repro.serving",

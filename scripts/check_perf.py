@@ -29,6 +29,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_PATH = REPO_ROOT / "BENCH_hotpaths.json"
+CAPACITY_BENCH_PATH = REPO_ROOT / "BENCH_capacity.json"
 SOURCE_ROOT = REPO_ROOT / "src"
 
 if str(SOURCE_ROOT) not in sys.path:
@@ -70,12 +71,55 @@ def counter_diff() -> list[str]:
     return lines
 
 
+def load_capacity_baseline() -> dict:
+    """The checked-in ``BENCH_capacity.json`` payload."""
+    return json.loads(CAPACITY_BENCH_PATH.read_text(encoding="utf-8"))
+
+
+def current_capacity() -> dict:
+    """Freshly computed capacity-frontier report on the pinned sweep.
+
+    Like the hot-path counters, every value (frontier contexts,
+    per-direction transfer bytes, virtual-clock seconds) is a
+    deterministic function of seeds and configuration, so the comparison
+    is exact and machine-independent.
+    """
+    from repro.capacity import deterministic_capacity
+
+    return deterministic_capacity()
+
+
+def capacity_diff() -> list[str]:
+    """Mismatch lines between the baseline and the live capacity report."""
+    baseline: dict = {}
+    live: dict = {}
+    _flatten("", load_capacity_baseline().get("deterministic", {}), baseline)
+    _flatten("", current_capacity(), live)
+    lines = []
+    for key in sorted(set(baseline) | set(live)):
+        if baseline.get(key) != live.get(key):
+            lines.append(
+                f"{key}: baseline={baseline.get(key)!r} current={live.get(key)!r}"
+            )
+    return lines
+
+
 def update() -> None:
-    """Re-run the full benchmark (timings included) and rewrite the file."""
+    """Re-run both benchmarks and rewrite their baseline files."""
     from repro.perf import run_perf_bench, write_bench_file
 
     write_bench_file(str(BENCH_PATH), run_perf_bench())
     print(f"wrote {BENCH_PATH}")
+    update_capacity()
+
+
+def update_capacity() -> None:
+    """Re-run the pinned capacity sweep and rewrite ``BENCH_capacity.json``."""
+    payload = {"deterministic": current_capacity()}
+    CAPACITY_BENCH_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {CAPACITY_BENCH_PATH}")
 
 
 def main(argv: list[str]) -> int:
@@ -83,6 +127,10 @@ def main(argv: list[str]) -> int:
     if "--update" in argv:
         update()
         return 0
+    if "--update-capacity" in argv:
+        update_capacity()
+        return 0
+    failed = False
     if not BENCH_PATH.exists():
         print(f"missing {BENCH_PATH}; create it with: python scripts/check_perf.py --update")
         return 1
@@ -92,9 +140,25 @@ def main(argv: list[str]) -> int:
         for line in mismatches:
             print(f"  {line}")
         print("intentional? run: python scripts/check_perf.py --update")
+        failed = True
+    else:
+        print("hot-path counters match BENCH_hotpaths.json")
+    if not CAPACITY_BENCH_PATH.exists():
+        print(
+            f"missing {CAPACITY_BENCH_PATH}; create it with: "
+            "python scripts/check_perf.py --update-capacity"
+        )
         return 1
-    print("hot-path counters match BENCH_hotpaths.json")
-    return 0
+    mismatches = capacity_diff()
+    if mismatches:
+        print("capacity frontier drifted from BENCH_capacity.json:")
+        for line in mismatches:
+            print(f"  {line}")
+        print("intentional? run: python scripts/check_perf.py --update-capacity")
+        failed = True
+    else:
+        print("capacity frontier matches BENCH_capacity.json")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

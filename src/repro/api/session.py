@@ -95,6 +95,7 @@ class Session:
             selector=base.build_policy(),
             generation_config=base.generation_config(),
             scheduler_config=base.scheduler_config(),
+            tiers=base.tiers,
         )
         self._completed: list[CompletedRequest] = []
         self._completed_by_id: dict[str, CompletedRequest] = {}

@@ -15,6 +15,7 @@ import json
 from dataclasses import dataclass, field, fields
 from typing import Mapping
 
+from ..memory import TierBudgets
 from ..model import GenerationConfig, TransformerModel, get_model_config
 from ..policies import PolicySpec, build_policy, resolve_policy_spec
 from ..serving import SchedulerConfig
@@ -68,6 +69,13 @@ class EngineSpec:
         Whether replicas may checkpoint-preempt ``batch``-class requests
         to unblock an ``interactive``-class queue head, also part of
         :class:`~repro.serving.SchedulerConfig`.
+    tiers:
+        Optional :class:`~repro.memory.TierBudgets` bounding the
+        GPU/host/SSD memory hierarchy of every engine built from this
+        spec (capacity mode — see :class:`repro.serving.BatchedEngine`).
+        Accepts a budgets object, its dict form, or the CLI string
+        ``"gpu=320KiB,host=448KiB,ssd=4MiB"``; ``None`` keeps all tiers
+        unbounded.
     """
 
     model: str = "serve-sim"
@@ -88,9 +96,14 @@ class EngineSpec:
     prefix_semantic_reuse: bool = True
     kv_capacity_tokens: int | None = None
     preemption: bool = False
+    tiers: TierBudgets | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "policy", resolve_policy_spec(self.policy))
+        if isinstance(self.tiers, str):
+            object.__setattr__(self, "tiers", TierBudgets.parse(self.tiers))
+        elif isinstance(self.tiers, Mapping):
+            object.__setattr__(self, "tiers", TierBudgets.from_dict(self.tiers))
 
     # ------------------------------------------------------------------
     # builders
@@ -137,6 +150,8 @@ class EngineSpec:
             spec_field.name: getattr(self, spec_field.name) for spec_field in fields(self)
         }
         payload["policy"] = self.policy.to_dict()  # type: ignore[union-attr]
+        if self.tiers is not None:
+            payload["tiers"] = self.tiers.to_dict()
         return payload
 
     @classmethod

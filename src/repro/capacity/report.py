@@ -1,0 +1,173 @@
+"""Deterministic capacity reports: feasible regions and transfer accounting.
+
+A :class:`CapacityReport` is the artifact a sweep-to-failure scenario
+emits: every probed serving point (policy, context length, concurrency
+and/or offered rate) with its feasibility verdict, virtual-clock latency
+and per-direction transfer bytes, plus the derived frontier.  Reports are
+built exclusively from seeded simulation state on the virtual clock, so
+``to_json()`` is byte-identical across machines and runs — the property
+``BENCH_capacity.json`` pins and ``scripts/check_perf.py`` enforces.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+__all__ = ["CapacityPoint", "CapacityReport"]
+
+
+@dataclass(frozen=True)
+class CapacityPoint:
+    """Outcome of probing one serving point against the tier budgets.
+
+    Attributes
+    ----------
+    policy:
+        Name of the KV compression policy probed.
+    concurrency:
+        Number of concurrent requests of the probe.
+    context_tokens:
+        Prompt length per request (the upper bound of the sweep's prompt
+        range for rate probes).
+    feasible:
+        Whether the workload drained without tier exhaustion.
+    failed_tier:
+        Tier that raised :class:`~repro.memory.CapacityExceeded` for an
+        infeasible point (``None`` when feasible).
+    rate:
+        Offered request rate (``latency_curve`` probes only).
+    duration_s:
+        Virtual-clock makespan of a feasible probe.
+    ttft_p50_s:
+        Median time-to-first-token across the probe's requests.
+    slo_attainment:
+        Fraction of requests meeting the SLO deadlines.
+    transfers:
+        Ledger byte totals by direction (``h2d``/``d2h``/``h2s``/``s2h``)
+        — the SSD directions are exactly the spill traffic the virtual
+        clock priced into the latency numbers above.
+    peak_bytes:
+        Per-tier high-water marks (``gpu``/``cpu``/``ssd``).
+    """
+
+    policy: str
+    concurrency: int
+    context_tokens: int
+    feasible: bool
+    failed_tier: str | None = None
+    rate: float | None = None
+    duration_s: float = 0.0
+    ttft_p50_s: float = 0.0
+    slo_attainment: float = 0.0
+    transfers: dict[str, int] = field(default_factory=dict)
+    peak_bytes: dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-compatible dict form (inverse of :meth:`from_dict`)."""
+        return {
+            "policy": self.policy,
+            "concurrency": self.concurrency,
+            "context_tokens": self.context_tokens,
+            "feasible": self.feasible,
+            "failed_tier": self.failed_tier,
+            "rate": self.rate,
+            "duration_s": self.duration_s,
+            "ttft_p50_s": self.ttft_p50_s,
+            "slo_attainment": self.slo_attainment,
+            "transfers": dict(self.transfers),
+            "peak_bytes": dict(self.peak_bytes),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "CapacityPoint":
+        """Rebuild a point from :meth:`to_dict` output."""
+        known = set(cls.__dataclass_fields__)  # type: ignore[attr-defined]
+        return cls(**{k: v for k, v in payload.items() if k in known})  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class CapacityReport:
+    """Everything one capacity scenario learned about the tier budgets.
+
+    Attributes
+    ----------
+    scenario:
+        Registry name of the scenario that produced the report.
+    policies:
+        Policy names swept, in sweep order.
+    tiers:
+        The :class:`~repro.memory.TierBudgets` dict the probes ran under.
+    engine:
+        Identifying engine/workload configuration (model, KV budget,
+        decode length, priced architecture and context scale, seed).
+    points:
+        Every probe executed, in deterministic sweep order.
+    frontier:
+        Scenario-specific feasibility boundary, keyed by policy.  For
+        context sweeps: ``{policy: {str(concurrency): max feasible
+        context tokens}}``; for ``latency_curve``: ``{policy:
+        {"max_rate": last sustained offered rate}}``.
+    """
+
+    scenario: str
+    policies: tuple[str, ...]
+    tiers: dict[str, object]
+    engine: dict[str, object]
+    points: tuple[CapacityPoint, ...]
+    frontier: dict[str, dict[str, object]]
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-compatible dict form (inverse of :meth:`from_dict`)."""
+        return {
+            "scenario": self.scenario,
+            "policies": list(self.policies),
+            "tiers": dict(self.tiers),
+            "engine": dict(self.engine),
+            "points": [point.to_dict() for point in self.points],
+            "frontier": {k: dict(v) for k, v in self.frontier.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "CapacityReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        return cls(
+            scenario=str(payload["scenario"]),
+            policies=tuple(payload.get("policies", ())),  # type: ignore[arg-type]
+            tiers=dict(payload.get("tiers", {})),  # type: ignore[arg-type]
+            engine=dict(payload.get("engine", {})),  # type: ignore[arg-type]
+            points=tuple(
+                CapacityPoint.from_dict(point)
+                for point in payload.get("points", ())  # type: ignore[union-attr]
+            ),
+            frontier={
+                str(k): dict(v)
+                for k, v in dict(payload.get("frontier", {})).items()  # type: ignore[arg-type]
+            },
+        )
+
+    def to_json(self) -> str:
+        """Canonical JSON form: sorted keys, so equal reports are equal bytes."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CapacityReport":
+        """Rebuild a report from :meth:`to_json` output."""
+        payload = json.loads(text)
+        if not isinstance(payload, dict):
+            raise ValueError("capacity report JSON must be an object")
+        return cls.from_dict(payload)
+
+    def transfer_totals(self) -> dict[str, dict[str, int]]:
+        """Per-policy ledger byte totals summed over the feasible points."""
+        totals: dict[str, dict[str, int]] = {}
+        for point in self.points:
+            if not point.feasible:
+                continue
+            bucket = totals.setdefault(
+                point.policy, {"h2d": 0, "d2h": 0, "h2s": 0, "s2h": 0}
+            )
+            for direction, nbytes in point.transfers.items():
+                bucket[direction] = bucket.get(direction, 0) + int(nbytes)
+        return totals

@@ -183,6 +183,61 @@ def _run_cluster_bench(args: argparse.Namespace) -> str:
     return format_cluster_report(report)
 
 
+def _run_capacity_bench(args: argparse.Namespace) -> str:
+    from .capacity import (
+        CapacityBenchConfig,
+        CapacityScenarioConfig,
+        format_capacity_report,
+        run_capacity_bench,
+    )
+    from .policies import PolicySpec
+    from .traffic import SLOSpec
+
+    policies = tuple(PolicySpec.parse(text) for text in args.policy or ()) or (
+        "clusterkv",
+        "full",
+    )
+    try:
+        lo_text, hi_text, step_text = args.sweep.split(":")
+        context_min, context_max, context_step = (
+            int(lo_text),
+            int(hi_text),
+            int(step_text),
+        )
+    except ValueError as error:
+        raise ValueError(
+            f"malformed --sweep {args.sweep!r}; expected MIN:MAX:STEP token counts"
+        ) from error
+    config = CapacityBenchConfig(
+        scenario=args.scenario,
+        config=CapacityScenarioConfig(
+            model=args.model,
+            policies=policies,
+            tiers=args.tiers,
+            budget=args.budget,
+            max_new_tokens=args.new_tokens,
+            concurrencies=tuple(args.concurrency or (1, 2, 3)),
+            context_min=context_min,
+            context_max=context_max,
+            context_step=context_step,
+            rates=tuple(args.rates),
+            num_requests=args.requests,
+            arch=args.arch,
+            context_scale=args.context_scale,
+            slo=SLOSpec(
+                ttft_s=None if args.slo_ttft <= 0 else args.slo_ttft,
+                tpot_s=None if args.slo_tpot <= 0 else args.slo_tpot,
+            ),
+            slo_floor=args.slo_floor,
+            seed=args.seed,
+        ),
+    )
+    report = run_capacity_bench(config)
+    if args.json:
+        return report.to_json()
+    return format_capacity_report(report)
+
+
 def _run_perf_bench(args: argparse.Namespace) -> str:
     from .perf import format_perf_bench, run_perf_bench, write_bench_file
 
@@ -273,6 +328,10 @@ _SERVING_COMMANDS = {
         "failure injection",
         _run_cluster_bench,
     ),
+    "capacity-bench": (
+        "sweep-to-failure capacity scenarios over GPU/host/SSD tier budgets",
+        _run_capacity_bench,
+    ),
     "perf-bench": (
         "hot-path benchmark: prefill/decode/clustering/serving timings + "
         "deterministic op counters (BENCH_hotpaths.json)",
@@ -317,6 +376,13 @@ def _format_listing() -> str:
         "  per-replica radix cache of prompt-prefix KV; pair with "
         "--router prefix_affine"
     )
+    from .capacity import scenario_names
+
+    lines.append(
+        "capacity scenarios (capacity-bench --scenario NAME "
+        "--tiers gpu=SIZE,host=SIZE,ssd=SIZE --sweep MIN:MAX:STEP):"
+    )
+    lines.append("  " + ", ".join(scenario_names()))
     lines.append("arrival processes (traffic-bench --arrivals NAME):")
     lines.append("  " + ", ".join(arrival_names()))
     lines.append("autoscalers (cluster-bench --autoscaler NAME[:KEY=VAL,...]):")
@@ -465,6 +531,75 @@ def build_parser() -> argparse.ArgumentParser:
         "failure recovery (<= 0 disables; failures then retry from scratch)",
     )
     _add_workload_flags(cluster)
+
+    capacity = subparsers.add_parser(
+        "capacity-bench", help=_SERVING_COMMANDS["capacity-bench"][0]
+    )
+    capacity.add_argument(
+        "--scenario", type=str, default="capacity_frontier",
+        help="sweep strategy, resolved through the scenario registry "
+        "(see `repro list`)",
+    )
+    capacity.add_argument(
+        "--model", type=str, default="serve-sim", help="model config (default serve-sim)"
+    )
+    capacity.add_argument(
+        "--policy",
+        action="append",
+        metavar="NAME[:KEY=VAL,...]",
+        help="policy spec, repeatable; each is swept independently "
+        "(default: serving-tuned clusterkv and full)",
+    )
+    capacity.add_argument(
+        "--tiers", type=str, default="gpu=320KiB,host=448KiB,ssd=4MiB",
+        metavar="gpu=SIZE,host=SIZE,ssd=SIZE",
+        help="per-tier capacity budgets (binary/decimal size suffixes; "
+        "'none' leaves a tier unbounded)",
+    )
+    capacity.add_argument(
+        "--sweep", type=str, default="64:192:64", metavar="MIN:MAX:STEP",
+        help="context-length grid swept by the scenario, in prompt tokens",
+    )
+    capacity.add_argument(
+        "--concurrency", type=int, action="append", default=None,
+        help="concurrency level to probe, repeatable (default 1 2 3)",
+    )
+    capacity.add_argument(
+        "--rates", type=float, nargs="+", default=[0.25, 0.5, 1.0, 2.0],
+        help="offered request rates swept by latency_curve",
+    )
+    capacity.add_argument(
+        "--requests", type=int, default=12,
+        help="requests per latency_curve probe",
+    )
+    capacity.add_argument("--new-tokens", type=int, default=16, help="decode tokens")
+    capacity.add_argument("--budget", type=int, default=48, help="KV budget per head")
+    capacity.add_argument(
+        "--arch", type=str, default="llama-3.1-8b",
+        help="reference architecture priced by the perfmodel clock",
+    )
+    capacity.add_argument(
+        "--context-scale", type=int, default=64,
+        help="factor mapping simulated token counts to paper scale",
+    )
+    capacity.add_argument(
+        "--slo-ttft", type=float, default=8.0,
+        help="TTFT deadline in seconds (<= 0 disables)",
+    )
+    capacity.add_argument(
+        "--slo-tpot", type=float, default=0.5,
+        help="TPOT deadline in seconds (<= 0 disables)",
+    )
+    capacity.add_argument(
+        "--slo-floor", type=float, default=0.5,
+        help="latency_curve stops once SLO attainment drops below this",
+    )
+    capacity.add_argument("--seed", type=int, default=0, help="workload seed")
+    capacity.add_argument(
+        "--json", action="store_true",
+        help="print the CapacityReport as canonical JSON instead of a table",
+    )
+    capacity.add_argument("--out", type=str, default=None, help="write output to a file")
 
     perf = subparsers.add_parser("perf-bench", help=_SERVING_COMMANDS["perf-bench"][0])
     perf.add_argument(

@@ -301,6 +301,7 @@ class ClusterSimulator(TrafficSimulator):
             selector=spec.build_policy(),
             generation_config=spec.generation_config(),
             scheduler_config=spec.scheduler_config(),
+            tiers=spec.tiers,
         )
         replica = ClusterReplica(self._next_index, engine)
         self._next_index += 1

@@ -1,23 +1,31 @@
-"""Memory-tier substrate: GPU/CPU tiers, offloading and transfer accounting.
+"""Memory-tier substrate: GPU/CPU/SSD tiers, offloading and transfer accounting.
 
 The paper's system offloads the full KV cache to CPU memory after prefill and
 loads only the KV of selected tokens back to the GPU at every decoding step
-(paper Fig. 5).  This package models the two memory tiers explicitly and
+(paper Fig. 5).  This package models the memory tiers explicitly and
 keeps a ledger of every transfer so that the performance model
 (:mod:`repro.perfmodel`) can charge PCIe time for exactly the bytes that the
-algorithms actually move.
+algorithms actually move.  The capacity harness (:mod:`repro.capacity`)
+extends the hierarchy downward: bounded per-tier budgets
+(:class:`TierBudgets`), an SSD tier behind the host cache, and the typed
+:class:`CapacityExceeded` raised at tier exhaustion.
 """
 
-from .tiers import MemoryTier, TierKind, MemoryCapacityError
+from .tiers import CapacityExceeded, MemoryCapacityError, MemoryTier, TierKind
 from .ledger import TransferDirection, TransferEvent, TransferLedger
-from .offload import OffloadManager
+from .offload import MemoryLedgerDrift, OffloadManager
+from .budgets import TierBudgets, parse_size
 
 __all__ = [
     "MemoryTier",
     "TierKind",
     "MemoryCapacityError",
+    "CapacityExceeded",
+    "MemoryLedgerDrift",
     "TransferDirection",
     "TransferEvent",
     "TransferLedger",
     "OffloadManager",
+    "TierBudgets",
+    "parse_size",
 ]

@@ -1,0 +1,145 @@
+"""Per-tier capacity budgets for capacity-bounded serving.
+
+A :class:`TierBudgets` is the user-facing description of the
+GPU -> host -> SSD hierarchy: one optional byte budget per tier
+(``None`` means unbounded) plus the spill-page granularity used by the
+host-to-SSD pager (:mod:`repro.capacity.spill`).  It parses the CLI's
+``gpu=320KiB,host=448KiB,ssd=4MiB`` syntax, round-trips through JSON as
+part of :class:`repro.api.EngineSpec`, and builds the
+:class:`~repro.memory.offload.OffloadManager` a capacity-bounded engine
+runs against.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from .offload import OffloadManager
+from .tiers import MemoryTier, TierKind
+
+__all__ = ["TierBudgets", "parse_size"]
+
+_SIZE_SUFFIXES: tuple[tuple[str, int], ...] = (
+    ("TiB", 1024**4),
+    ("GiB", 1024**3),
+    ("MiB", 1024**2),
+    ("KiB", 1024),
+    ("TB", 1000**4),
+    ("GB", 1000**3),
+    ("MB", 1000**2),
+    ("KB", 1000),
+    ("B", 1),
+)
+
+_TIER_FIELDS = {"gpu": "gpu_bytes", "host": "host_bytes", "ssd": "ssd_bytes"}
+
+
+def parse_size(text: str) -> int | None:
+    """Parse a human-readable byte size (``"448KiB"``, ``"4MiB"``, ``"none"``).
+
+    Binary suffixes (KiB/MiB/GiB/TiB) are powers of 1024, decimal ones
+    (KB/MB/GB/TB) powers of 1000; a bare integer is bytes.  ``"none"`` and
+    ``"unbounded"`` map to ``None`` (no budget).
+    """
+    cleaned = text.strip()
+    if cleaned.lower() in {"none", "unbounded", ""}:
+        return None
+    for suffix, multiplier in _SIZE_SUFFIXES:
+        if cleaned.lower().endswith(suffix.lower()):
+            number = cleaned[: -len(suffix)].strip()
+            return int(float(number) * multiplier)
+    return int(cleaned)
+
+
+@dataclass(frozen=True)
+class TierBudgets:
+    """Capacity budgets of the GPU -> host -> SSD memory hierarchy.
+
+    Attributes
+    ----------
+    gpu_bytes / host_bytes / ssd_bytes:
+        Byte capacity of each tier; ``None`` leaves that tier unbounded.
+    spill_page_tokens:
+        Granularity (in KV tokens) of the pages the host tier spills to
+        SSD under pressure.
+    """
+
+    gpu_bytes: int | None = None
+    host_bytes: int | None = None
+    ssd_bytes: int | None = None
+    spill_page_tokens: int = 32
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("gpu_bytes", self.gpu_bytes),
+            ("host_bytes", self.host_bytes),
+            ("ssd_bytes", self.ssd_bytes),
+        ):
+            if value is not None and value < 0:
+                raise ValueError(f"{label} must be non-negative, got {value}")
+        if self.spill_page_tokens <= 0:
+            raise ValueError("spill_page_tokens must be positive")
+
+    @classmethod
+    def parse(cls, text: str, spill_page_tokens: int = 32) -> "TierBudgets":
+        """Parse the CLI syntax ``"gpu=320KiB,host=448KiB,ssd=4MiB"``.
+
+        Omitted tiers stay unbounded; tier names are ``gpu``, ``host``
+        (alias ``cpu``) and ``ssd``.
+        """
+        values: dict[str, int | None] = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(f"expected tier=size, got {part!r}")
+            key, _, raw = part.partition("=")
+            key = key.strip().lower()
+            if key == "cpu":
+                key = "host"
+            if key not in _TIER_FIELDS:
+                raise ValueError(f"unknown tier {key!r} (expected gpu, host or ssd)")
+            values[_TIER_FIELDS[key]] = parse_size(raw)
+        return cls(spill_page_tokens=spill_page_tokens, **values)
+
+    def to_dict(self) -> dict[str, int | None]:
+        """JSON-compatible dict (inverse of :meth:`from_dict`)."""
+        return {
+            "gpu_bytes": self.gpu_bytes,
+            "host_bytes": self.host_bytes,
+            "ssd_bytes": self.ssd_bytes,
+            "spill_page_tokens": self.spill_page_tokens,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "TierBudgets":
+        """Rebuild budgets from :meth:`to_dict` output."""
+        known = {name for name in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        kwargs = {key: value for key, value in payload.items() if key in known}
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    def build_manager(self) -> OffloadManager:
+        """Build an :class:`OffloadManager` whose tiers enforce these budgets."""
+        return OffloadManager(
+            gpu=MemoryTier(TierKind.GPU, self.gpu_bytes),
+            cpu=MemoryTier(TierKind.CPU, self.host_bytes),
+            ssd=MemoryTier(TierKind.SSD, self.ssd_bytes),
+        )
+
+    def describe(self) -> str:
+        """Compact human-readable form, e.g. ``gpu=320KiB,host=448KiB,ssd=4MiB``."""
+
+        def fmt(value: int | None) -> str:
+            if value is None:
+                return "none"
+            for suffix, multiplier in (("GiB", 1024**3), ("MiB", 1024**2), ("KiB", 1024)):
+                if value and value % multiplier == 0:
+                    return f"{value // multiplier}{suffix}"
+            return str(value)
+
+        return (
+            f"gpu={fmt(self.gpu_bytes)},host={fmt(self.host_bytes)},"
+            f"ssd={fmt(self.ssd_bytes)}"
+        )

@@ -7,10 +7,17 @@ from dataclasses import dataclass, field
 
 
 class TransferDirection(enum.Enum):
-    """Direction of a host/device transfer."""
+    """Direction of a transfer between two adjacent memory tiers.
+
+    ``HOST_TO_DEVICE``/``DEVICE_TO_HOST`` cross the PCIe link between GPU
+    and host; ``HOST_TO_SSD``/``SSD_TO_HOST`` cross the NVMe link between
+    host DRAM and the SSD tier.
+    """
 
     HOST_TO_DEVICE = "h2d"
     DEVICE_TO_HOST = "d2h"
+    HOST_TO_SSD = "h2s"
+    SSD_TO_HOST = "s2h"
 
 
 @dataclass(frozen=True)

@@ -1,27 +1,40 @@
-"""Offload manager: models moving KV tensors between GPU and CPU tiers."""
+"""Offload manager: models moving KV tensors across GPU, CPU and SSD tiers."""
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
 
 from .ledger import TransferDirection, TransferLedger
 from .tiers import MemoryTier, TierKind
 
 # Default tier sizes mirror the paper's testbed: an NVIDIA Ada 6000 with
-# 48 GB of device memory and a host with ample DRAM.
+# 48 GB of device memory, a host with ample DRAM and a capacious NVMe SSD.
 DEFAULT_GPU_BYTES = 48 * 1024**3
 DEFAULT_CPU_BYTES = 512 * 1024**3
+DEFAULT_SSD_BYTES = 4 * 1024**4
+
+
+class MemoryLedgerDrift(RuntimeError):
+    """Raised by :meth:`OffloadManager.check_invariants` on accounting drift."""
 
 
 @dataclass
 class OffloadManager:
-    """Coordinates residency of named buffers across GPU and CPU tiers.
+    """Coordinates residency of named buffers across GPU, CPU and SSD tiers.
 
     The manager tracks which tier each named buffer lives on, enforces tier
     capacities, and records every movement into a :class:`TransferLedger`.
     The actual NumPy arrays are stored by callers (e.g. the KV cache store);
     the manager only does the accounting, which is what the performance
     model needs.
+
+    A buffer has one *primary* residency (GPU or CPU).  A CPU-resident
+    buffer may additionally have a cold fraction spilled to the SSD tier
+    (:meth:`spill_to_ssd` / :meth:`recall_from_ssd`); the manager keeps a
+    per-buffer shadow count of spilled bytes so that :meth:`resize` —
+    driven by the buffer's *logical* size — charges the host tier only for
+    the bytes actually resident there.
     """
 
     gpu: MemoryTier = field(
@@ -30,8 +43,12 @@ class OffloadManager:
     cpu: MemoryTier = field(
         default_factory=lambda: MemoryTier(TierKind.CPU, DEFAULT_CPU_BYTES)
     )
+    ssd: MemoryTier = field(
+        default_factory=lambda: MemoryTier(TierKind.SSD, DEFAULT_SSD_BYTES)
+    )
     ledger: TransferLedger = field(default_factory=TransferLedger)
     _residency: dict[str, TierKind] = field(default_factory=dict, init=False)
+    _ssd_bytes: dict[str, int] = field(default_factory=dict, init=False)
 
     def register(self, name: str, nbytes: int, tier: TierKind) -> None:
         """Register a new buffer of ``nbytes`` on the given tier."""
@@ -40,15 +57,93 @@ class OffloadManager:
         self._residency[name] = tier
 
     def resize(self, name: str, nbytes: int) -> None:
-        """Resize a registered buffer in place (no transfer recorded)."""
+        """Resize a registered buffer to a *logical* size of ``nbytes``.
+
+        No transfer is recorded.  Any fraction of the buffer currently
+        spilled to SSD stays there; only the remainder is charged to the
+        primary tier.  Shrinking below the spilled fraction is a caller
+        bug and raises ``ValueError``.
+        """
         tier = self._require(name)
-        self._tier(tier).resize(name, nbytes)
+        spilled = self._ssd_bytes.get(name, 0)
+        resident = nbytes - spilled
+        if resident < 0:
+            raise ValueError(
+                f"cannot resize {name!r} to {nbytes} bytes: {spilled} bytes "
+                "are spilled to SSD"
+            )
+        self._tier(tier).resize(name, resident)
 
     def release(self, name: str) -> None:
-        """Release a registered buffer."""
+        """Release a registered buffer (its SSD-spilled fraction included)."""
         tier = self._require(name)
         self._tier(tier).free(name)
+        if self._ssd_bytes.pop(name, 0):
+            self.ssd.free(name)
         del self._residency[name]
+
+    def spill_to_ssd(self, name: str, nbytes: int, step: int = -1, tag: str = "kv_spill") -> int:
+        """Move ``nbytes`` of a CPU-resident buffer down to the SSD tier.
+
+        Records an ``h2s`` transfer and returns the bytes moved.  The
+        buffer keeps its CPU primary residency; the spilled fraction is
+        tracked in the shadow count consulted by :meth:`resize`.
+        """
+        tier = self._require(name)
+        if tier is not TierKind.CPU:
+            raise ValueError(f"can only spill CPU-resident buffers, {name!r} is on {tier.value}")
+        if nbytes <= 0:
+            return 0
+        resident = self.cpu.allocation_bytes(name)
+        if nbytes > resident:
+            raise ValueError(
+                f"cannot spill {nbytes} bytes of {name!r}: only {resident} resident"
+            )
+        # Grow SSD first (may raise CapacityExceeded), then shrink the host
+        # side — shrinking never fails, so the operation is exception-safe.
+        if self.ssd.has_allocation(name):
+            self.ssd.resize(name, self.ssd.allocation_bytes(name) + nbytes)
+        else:
+            self.ssd.allocate(name, nbytes)
+        self.cpu.resize(name, resident - nbytes)
+        self._ssd_bytes[name] = self._ssd_bytes.get(name, 0) + nbytes
+        self.ledger.record(TransferDirection.HOST_TO_SSD, nbytes, tag, step)
+        return nbytes
+
+    def recall_from_ssd(self, name: str, nbytes: int, step: int = -1, tag: str = "kv_recall") -> int:
+        """Move ``nbytes`` of a buffer's spilled fraction back to the host.
+
+        Records an ``s2h`` transfer and returns the bytes moved.  Raises
+        :class:`~repro.memory.tiers.CapacityExceeded` if the host tier has
+        no room — callers make room by spilling colder data first.
+        """
+        tier = self._require(name)
+        if tier is not TierKind.CPU:
+            raise ValueError(f"can only recall CPU-resident buffers, {name!r} is on {tier.value}")
+        if nbytes <= 0:
+            return 0
+        spilled = self._ssd_bytes.get(name, 0)
+        if nbytes > spilled:
+            raise ValueError(
+                f"cannot recall {nbytes} bytes of {name!r}: only {spilled} spilled"
+            )
+        # Grow the host side first (may raise CapacityExceeded), then
+        # shrink the SSD side.
+        self.cpu.resize(name, self.cpu.allocation_bytes(name) + nbytes)
+        remaining = spilled - nbytes
+        if remaining:
+            self.ssd.resize(name, remaining)
+            self._ssd_bytes[name] = remaining
+        else:
+            self.ssd.free(name)
+            del self._ssd_bytes[name]
+        self.ledger.record(TransferDirection.SSD_TO_HOST, nbytes, tag, step)
+        return nbytes
+
+    def ssd_bytes(self, name: str) -> int:
+        """Bytes of the named buffer currently spilled to the SSD tier."""
+        self._require(name)
+        return self._ssd_bytes.get(name, 0)
 
     def residency(self, name: str) -> TierKind:
         """Tier on which the named buffer currently resides."""
@@ -98,8 +193,85 @@ class OffloadManager:
         """Record a D2H transfer of newly produced KV entries."""
         self.ledger.record(TransferDirection.DEVICE_TO_HOST, nbytes, tag, step)
 
+    def check_invariants(
+        self,
+        stores: Iterable[object] = (),
+        extra_allocations: Mapping[str, int] | None = None,
+    ) -> dict[str, int]:
+        """Reconcile tier accounting against live :class:`KVCacheStore` buffers.
+
+        ``stores`` are live KV cache stores (anything exposing ``layers``,
+        ``token_nbytes()`` and ``_buffer_name``); ``extra_allocations`` maps
+        additional expected registrations (e.g. the engine's GPU staging
+        reservations) to their byte sizes.  The check asserts, exactly:
+
+        - every live layer buffer is registered and its primary-tier bytes
+          plus SSD-spilled bytes equal ``len(layer) * token_nbytes``;
+        - every extra allocation is registered with the expected size;
+        - no *other* registrations exist (a released store that was never
+          deregistered — the classic ledger-drift leak — is caught here);
+        - each tier's ``used_bytes`` equals the sum of its allocations and
+          respects its capacity.
+
+        Returns per-tier used-byte totals on success; raises
+        :class:`MemoryLedgerDrift` with a line per discrepancy otherwise.
+        """
+        problems: list[str] = []
+        expected: dict[str, int] = {}
+        for store in stores:
+            token_nbytes = store.token_nbytes()  # type: ignore[attr-defined]
+            for layer_idx, layer in enumerate(store.layers):  # type: ignore[attr-defined]
+                name = store._buffer_name(layer_idx)  # type: ignore[attr-defined]
+                expected[name] = len(layer) * token_nbytes
+        for name, nbytes in (extra_allocations or {}).items():
+            expected[name] = int(nbytes)
+        for name, nbytes in sorted(expected.items()):
+            if name not in self._residency:
+                problems.append(f"live buffer {name!r} is not registered")
+                continue
+            tier = self._tier(self._residency[name])
+            recorded = tier.allocation_bytes(name) + self._ssd_bytes.get(name, 0)
+            if recorded != nbytes:
+                problems.append(
+                    f"buffer {name!r}: registered {recorded} bytes, live size {nbytes}"
+                )
+        for name in sorted(self._residency):
+            if name not in expected:
+                problems.append(
+                    f"orphan registration {name!r} on "
+                    f"{self._residency[name].value} (released store not deregistered?)"
+                )
+        for tier in (self.gpu, self.cpu, self.ssd):
+            total = sum(tier._allocations.values())
+            if total != tier.used_bytes:
+                problems.append(
+                    f"{tier.kind.value} tier used_bytes {tier.used_bytes} != "
+                    f"sum of allocations {total}"
+                )
+            if tier.capacity_bytes is not None and tier.used_bytes > tier.capacity_bytes:
+                problems.append(
+                    f"{tier.kind.value} tier over capacity: "
+                    f"{tier.used_bytes} > {tier.capacity_bytes}"
+                )
+        for name, nbytes in sorted(self._ssd_bytes.items()):
+            if not self.ssd.has_allocation(name) or self.ssd.allocation_bytes(name) != nbytes:
+                problems.append(f"SSD shadow count for {name!r} out of sync")
+        if problems:
+            raise MemoryLedgerDrift(
+                "memory ledger drift:\n" + "\n".join(f"  - {line}" for line in problems)
+            )
+        return {
+            "gpu": self.gpu.used_bytes,
+            "cpu": self.cpu.used_bytes,
+            "ssd": self.ssd.used_bytes,
+        }
+
     def _tier(self, kind: TierKind) -> MemoryTier:
-        return self.gpu if kind is TierKind.GPU else self.cpu
+        if kind is TierKind.GPU:
+            return self.gpu
+        if kind is TierKind.CPU:
+            return self.cpu
+        return self.ssd
 
     def _require(self, name: str) -> TierKind:
         if name not in self._residency:

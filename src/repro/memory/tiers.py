@@ -1,4 +1,4 @@
-"""Memory tier abstraction (GPU device memory and CPU host memory)."""
+"""Memory tier abstraction (GPU device, CPU host and SSD memory)."""
 
 from __future__ import annotations
 
@@ -11,10 +11,53 @@ class TierKind(enum.Enum):
 
     GPU = "gpu"
     CPU = "cpu"
+    SSD = "ssd"
 
 
 class MemoryCapacityError(RuntimeError):
     """Raised when an allocation would exceed a tier's capacity."""
+
+
+class CapacityExceeded(MemoryCapacityError):
+    """Typed tier-exhaustion error carrying the exact accounting state.
+
+    Raised by :meth:`MemoryTier.allocate` / :meth:`MemoryTier.resize` when a
+    bounded tier cannot fit a request.  The structured fields let the
+    capacity harness (:mod:`repro.capacity`) attribute an infeasible
+    serving point to the tier that hit its wall, and let tests pin the
+    off-by-one: an allocation landing exactly on ``capacity_bytes``
+    succeeds, one byte more raises.
+
+    Attributes
+    ----------
+    tier:
+        Kind of the exhausted tier.
+    name:
+        Buffer whose allocation or growth failed.
+    needed_bytes:
+        Bytes the failed operation tried to add to the tier.
+    used_bytes:
+        Bytes allocated on the tier at the time of the failure.
+    capacity_bytes:
+        The tier's configured capacity.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        tier: TierKind,
+        name: str,
+        needed_bytes: int,
+        used_bytes: int,
+        capacity_bytes: int,
+    ) -> None:
+        super().__init__(message)
+        self.tier = tier
+        self.name = name
+        self.needed_bytes = int(needed_bytes)
+        self.used_bytes = int(used_bytes)
+        self.capacity_bytes = int(capacity_bytes)
 
 
 @dataclass
@@ -62,7 +105,7 @@ class MemoryTier:
 
         Raises
         ------
-        MemoryCapacityError
+        CapacityExceeded
             If the allocation would exceed the tier capacity.
         ValueError
             If ``name`` is already allocated or ``nbytes`` is negative.
@@ -72,9 +115,14 @@ class MemoryTier:
         if name in self._allocations:
             raise ValueError(f"allocation {name!r} already exists on {self.kind.value}")
         if self.capacity_bytes is not None and self._used_bytes + nbytes > self.capacity_bytes:
-            raise MemoryCapacityError(
+            raise CapacityExceeded(
                 f"{self.kind.value} tier cannot fit {nbytes} bytes "
-                f"(used {self._used_bytes} of {self.capacity_bytes})"
+                f"(used {self._used_bytes} of {self.capacity_bytes})",
+                tier=self.kind,
+                name=name,
+                needed_bytes=nbytes,
+                used_bytes=self._used_bytes,
+                capacity_bytes=self.capacity_bytes,
             )
         self._allocations[name] = nbytes
         self._used_bytes += nbytes
@@ -90,8 +138,14 @@ class MemoryTier:
             and delta > 0
             and self._used_bytes + delta > self.capacity_bytes
         ):
-            raise MemoryCapacityError(
-                f"{self.kind.value} tier cannot grow {name!r} by {delta} bytes"
+            raise CapacityExceeded(
+                f"{self.kind.value} tier cannot grow {name!r} by {delta} bytes "
+                f"(used {self._used_bytes} of {self.capacity_bytes})",
+                tier=self.kind,
+                name=name,
+                needed_bytes=delta,
+                used_bytes=self._used_bytes,
+                capacity_bytes=self.capacity_bytes,
             )
         self._allocations[name] = nbytes
         self._used_bytes += delta

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..memory import OffloadManager, TierKind
+from ..memory import CapacityExceeded, OffloadManager, TierKind
 
 __all__ = ["LayerKVCache", "KVCacheStore"]
 
@@ -127,6 +127,31 @@ class LayerKVCache:
         gathered = self._kv[:, rows, index_matrix, :]
         return gathered[0], gathered[1], out_lengths
 
+    def evict_span(self, start: int, end: int) -> bytes:
+        """Serialize tokens ``[start, end)`` to bytes and zero them in place.
+
+        Models writing a cold page out to a lower tier: the returned bytes
+        are the page's payload (``(2, n_kv_heads, t, head_dim)`` float64,
+        C order) and the live buffer genuinely loses the data — a read
+        before :meth:`restore_span` would see zeros, which is how the
+        spill round-trip tests prove recall is exact rather than cosmetic.
+        """
+        if not 0 <= start <= end <= self._length:
+            raise IndexError(f"span [{start}, {end}) outside [0, {self._length})")
+        span = np.ascontiguousarray(self._kv[:, :, start:end, :])
+        self._kv[:, :, start:end, :] = 0.0
+        return span.tobytes()
+
+    def restore_span(self, start: int, end: int, payload: bytes) -> None:
+        """Write a payload produced by :meth:`evict_span` back in place."""
+        if not 0 <= start <= end <= self._length:
+            raise IndexError(f"span [{start}, {end}) outside [0, {self._length})")
+        shape = (2, self.n_kv_heads, end - start, self.head_dim)
+        expected = int(np.prod(shape)) * 8
+        if len(payload) != expected:
+            raise ValueError(f"payload holds {len(payload)} bytes, span needs {expected}")
+        self._kv[:, :, start:end, :] = np.frombuffer(payload, dtype=np.float64).reshape(shape)
+
     def _ensure_capacity(self, needed: int) -> None:
         if needed <= self._capacity:
             return
@@ -174,6 +199,10 @@ class KVCacheStore:
         self.buffer_prefix = buffer_prefix
         self._policy = _ResidencyPolicy(residency)
         self._released = False
+        # Optional host->SSD pager (repro.capacity.spill).  When set, reads
+        # recall any spilled pages first and appends that overflow the host
+        # tier make room by spilling cold pages instead of failing.
+        self.pager: object | None = None
         self.layers = [
             LayerKVCache(layer_idx, n_kv_heads, head_dim) for layer_idx in range(n_layers)
         ]
@@ -201,7 +230,15 @@ class KVCacheStore:
         if self.offload is not None:
             name = self._buffer_name(layer_idx)
             nbytes = len(layer) * self.token_nbytes()
-            self.offload.resize(name, nbytes)
+            try:
+                self.offload.resize(name, nbytes)
+            except CapacityExceeded:
+                if self.pager is None:
+                    raise
+                # Ask the pager to spill cold pages to the SSD tier, then
+                # retry once; a second failure is the real capacity wall.
+                self.pager.make_room(self, keys.shape[1] * self.token_nbytes(), step)
+                self.offload.resize(name, nbytes)
             if self._policy.tier is TierKind.CPU:
                 # Newly produced KV is generated on the GPU and written back to
                 # host memory (paper Fig. 5, "Offload K & V").
@@ -223,22 +260,30 @@ class KVCacheStore:
 
     def keys(self, layer_idx: int) -> np.ndarray:
         """Keys of a layer, shape ``(n_kv_heads, length, head_dim)``."""
+        if self.pager is not None:
+            self.pager.before_read(self, layer_idx, None)
         return self.layers[layer_idx].keys
 
     def values(self, layer_idx: int) -> np.ndarray:
         """Values of a layer, shape ``(n_kv_heads, length, head_dim)``."""
+        if self.pager is not None:
+            self.pager.before_read(self, layer_idx, None)
         return self.layers[layer_idx].values
 
     def gather(
         self, layer_idx: int, head_idx: int, indices: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
         """Keys and values of selected tokens for one layer and kv head."""
+        if self.pager is not None:
+            self.pager.before_read(self, layer_idx, [np.asarray(indices, dtype=np.int64)])
         return self.layers[layer_idx].gather(head_idx, indices)
 
     def gather_many(
         self, layer_idx: int, indices_per_head: list[np.ndarray]
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
         """Stacked per-head selections of one layer (see :meth:`LayerKVCache.gather_many`)."""
+        if self.pager is not None:
+            self.pager.before_read(self, layer_idx, indices_per_head)
         return self.layers[layer_idx].gather_many(indices_per_head)
 
     def total_nbytes(self) -> int:

@@ -43,6 +43,11 @@ class HardwareConfig:
     kernel_efficiency: float  # fraction of peak reached by eager kernels
     layer_sync_overhead_s: float  # per-layer scheduling overhead (offloading stacks)
     gpu_memory_bytes: int
+    # NVMe link of the SSD tier behind host memory (PCIe 4.0 x4 class
+    # drive): sequential read/write bandwidth the capacity harness prices
+    # host<->SSD KV page spills and recalls at.
+    ssd_read_gbps: float = 7.0
+    ssd_write_gbps: float = 5.0
 
     def __post_init__(self) -> None:
         if self.compute_tflops <= 0 or self.memory_bandwidth_gbps <= 0:
@@ -82,6 +87,8 @@ ADA_6000 = HardwareConfig(
     kernel_efficiency=0.6,
     layer_sync_overhead_s=2.0e-4,
     gpu_memory_bytes=48 * 1024**3,
+    ssd_read_gbps=7.0,
+    ssd_write_gbps=5.0,
 )
 
 _HARDWARE = {ADA_6000.name: ADA_6000}

@@ -226,6 +226,34 @@ class StepCostModel:
         warmup_pass = roofline_time(linear_layers_cost(self.arch, 1), self.hardware)
         return load_seconds + warmup_pass
 
+    def spill_seconds(self, num_tokens: int) -> float:
+        """Cost of writing ``num_tokens`` of per-layer KV pages to the SSD tier.
+
+        Host-tier pressure demotes cold cluster pages one level further
+        down; the pages are contiguous spans, so the write streams at the
+        drive's sequential bandwidth.  ``num_tokens`` counts *layer* tokens
+        (a page of one layer), priced at the per-layer share of the
+        architecture's KV bytes.
+        """
+        if num_tokens <= 0:
+            return 0.0
+        scaled = num_tokens * self.context_scale
+        nbytes = kv_bytes(self.arch, scaled) / self.arch.n_layers
+        return nbytes / (self.hardware.ssd_write_gbps * 1e9)
+
+    def recall_seconds(self, num_tokens: int) -> float:
+        """Cost of reading ``num_tokens`` of per-layer KV pages back from SSD.
+
+        The recall price is what ClusterKV pays for touching a cluster
+        whose page went cold — the capacity harness charges it on the very
+        step whose selection re-accessed the page.
+        """
+        if num_tokens <= 0:
+            return 0.0
+        scaled = num_tokens * self.context_scale
+        nbytes = kv_bytes(self.arch, scaled) / self.arch.n_layers
+        return nbytes / (self.hardware.ssd_read_gbps * 1e9)
+
     def dense_seconds(self, batch_size: int) -> float:
         """Cost of the batched dense projections of one decode step.
 

@@ -35,7 +35,7 @@ import numpy as np
 
 from ..baselines.base import KVSelectorFactory
 from ..baselines.full import FullKVSelector
-from ..memory import OffloadManager, TransferLedger
+from ..memory import OffloadManager, TierBudgets, TierKind, TransferLedger
 from ..model.config import GenerationConfig
 from ..model.generation import EngineCore, GenerationResult, SequenceState
 from ..model.transformer import TransformerModel
@@ -155,6 +155,11 @@ class StepTrace:
     # of attached tokens (priced as a KV transfer, not as prefill compute).
     attaches: list[StepRequestTrace] = field(default_factory=list)
     wall_seconds: float = 0.0
+    # KV tokens the host->SSD pager moved during this step (capacity mode
+    # only; zero otherwise).  The perfmodel clock prices them at NVMe
+    # bandwidth on top of the step's compute and PCIe costs.
+    spilled_tokens: int = 0
+    recalled_tokens: int = 0
 
 
 @dataclass
@@ -175,7 +180,7 @@ class ServeReport:
         continuous-batching utilisation.
     ledger:
         The shared transfer ledger covering all requests.
-    peak_gpu_bytes / peak_cpu_bytes:
+    peak_gpu_bytes / peak_cpu_bytes / peak_ssd_bytes:
         High-water marks of the shared memory tiers.
     wall_time_seconds:
         Wall-clock duration of the :meth:`BatchedEngine.run` call.
@@ -192,6 +197,7 @@ class ServeReport:
     ledger: TransferLedger | None = None
     peak_gpu_bytes: int = 0
     peak_cpu_bytes: int = 0
+    peak_ssd_bytes: int = 0
     wall_time_seconds: float = 0.0
     prefix_cache: dict[str, object] = field(default_factory=dict)
 
@@ -275,6 +281,16 @@ class BatchedEngine:
         :class:`~repro.memory.OffloadManager`.  All requests register their
         KV buffers here, which is what makes the scheduler's KV budget and
         the report's peak-bytes numbers global rather than per-request.
+    tiers:
+        Optional :class:`~repro.memory.TierBudgets` switching the engine
+        into *capacity mode*: the offload manager is built with bounded
+        GPU/host/SSD tiers, CPU-resident requests additionally reserve a
+        GPU staging allocation for the KV they recall each step, a
+        host->SSD pager spills cold cluster pages under host pressure, and
+        a step that genuinely cannot fit raises
+        :class:`~repro.memory.CapacityExceeded` instead of silently
+        growing.  ``None`` (the default) keeps the historical unbounded
+        behaviour bit for bit.
     """
 
     def __init__(
@@ -284,6 +300,7 @@ class BatchedEngine:
         generation_config: GenerationConfig | None = None,
         scheduler_config: SchedulerConfig | None = None,
         offload: OffloadManager | None = None,
+        tiers: TierBudgets | None = None,
     ) -> None:
         self.model = model
         if selector is None:
@@ -293,7 +310,21 @@ class BatchedEngine:
         else:
             self.selector = build_policy(selector)
         self.generation_config = generation_config or GenerationConfig()
+        self.tiers = tiers
+        if offload is None and tiers is not None:
+            offload = tiers.build_manager()
         self.offload = offload if offload is not None else OffloadManager()
+        self.spill = None
+        if tiers is not None:
+            # Imported lazily: repro.capacity sits above repro.serving in
+            # the layering, so a module-level import would be circular.
+            from ..capacity.spill import HostSpillManager
+
+            self.spill = HostSpillManager(
+                self.offload, page_tokens=tiers.spill_page_tokens
+            )
+        # GPU staging reservations of CPU-resident requests, by request id.
+        self._staging: dict[str, int] = {}
         self.scheduler = ContinuousBatchingScheduler(scheduler_config)
         self.queue = RequestQueue()
         self.core = EngineCore(model, self.generation_config)
@@ -532,6 +563,10 @@ class BatchedEngine:
         )
         if active is None:
             raise ValueError(f"request {request_id!r} is not in flight on this engine")
+        if self.spill is not None and self.spill.managed(request_id):
+            # A checkpoint copies the live KV; recall any SSD-resident
+            # pages first so the copy is the true cache content.
+            self.spill.recall_all(request_id, step=self._engine_step)
         request = active.request
         checkpoint = dataclasses.replace(
             self.core.checkpoint_request(active.sequence),
@@ -552,6 +587,7 @@ class BatchedEngine:
         if not keep:
             self._active.remove(active)
             active.status = RequestStatus.PREEMPTED
+            self._release_capacity(request_id)
             active.sequence.release()
             self._reserved_bytes.pop(request_id, None)
             match = self._prefix_matches.pop(request_id, None)
@@ -620,6 +656,7 @@ class BatchedEngine:
         self._reserved_bytes[request_id] = self.scheduler.projected_bytes(
             request, self._kv_bytes_per_token, self.generation_config.max_new_tokens
         )
+        self._register_capacity(active)
         self._submitted_at_step.setdefault(request_id, self._engine_step)
         self._active.append(active)
         counters.record("seqstate.migrated_in", 1)
@@ -763,6 +800,10 @@ class BatchedEngine:
         completed = self._retire_finished()
         self._engine_step += 1
         trace.wall_seconds = time.perf_counter() - step_start
+        if self.spill is not None:
+            trace.spilled_tokens, trace.recalled_tokens = (
+                self.spill.drain_step_counters()
+            )
         self.last_step_trace = trace
         return completed
 
@@ -809,6 +850,7 @@ class BatchedEngine:
         report.ledger = self.offload.ledger
         report.peak_gpu_bytes = self.offload.gpu.peak_bytes
         report.peak_cpu_bytes = self.offload.cpu.peak_bytes
+        report.peak_ssd_bytes = self.offload.ssd.peak_bytes
         report.prefix_cache = self.prefix_cache_stats()
         return report
 
@@ -817,6 +859,83 @@ class BatchedEngine:
         if self.prefix_cache is None:
             return {}
         return self.prefix_cache.stats()
+
+    # ------------------------------------------------------------------
+    # capacity mode (bounded memory tiers)
+    # ------------------------------------------------------------------
+    def _staging_nbytes(self, active: ActiveRequest) -> int:
+        """Projected GPU working set of one CPU-resident request.
+
+        Full-attention layers stage their whole projected context on the
+        GPU every step; compressed layers stage at most the KV budget
+        (the whole context when the engine runs without a budget).  This
+        is what makes the GPU frontier honest for host-resident policies:
+        admission fails when the *recall* working sets no longer fit, not
+        only when whole caches do.
+        """
+        store = active.sequence.kv_store
+        per_layer_token = store.token_nbytes()
+        n_layers = self.model.config.n_layers
+        full_layers = min(self.generation_config.num_full_layers, n_layers)
+        projected = int(active.request.prompt_ids.shape[0]) + active.max_new_tokens
+        budget = self.generation_config.budget
+        selected = projected if budget is None else min(budget, projected)
+        return per_layer_token * (
+            full_layers * projected + (n_layers - full_layers) * selected
+        )
+
+    def _register_capacity(self, active: ActiveRequest) -> None:
+        """Reserve GPU staging and enable SSD paging for one request.
+
+        No-op outside capacity mode and for GPU-resident policies (their
+        whole KV already counts against the GPU tier).  Raises
+        :class:`~repro.memory.CapacityExceeded` when the GPU tier cannot
+        hold the request's staging working set — the admission-time
+        capacity wall.
+        """
+        if self.tiers is None:
+            return
+        store = active.sequence.kv_store
+        if store.residency is not TierKind.CPU:
+            return
+        request_id = active.request.request_id
+        nbytes = self._staging_nbytes(active)
+        self.offload.register(f"{request_id}/staging", nbytes, TierKind.GPU)
+        self._staging[request_id] = nbytes
+        if self.spill is not None:
+            eligible = tuple(
+                range(
+                    min(self.generation_config.num_full_layers, self.model.config.n_layers),
+                    self.model.config.n_layers,
+                )
+            )
+            self.spill.manage(request_id, store, eligible)
+
+    def _release_capacity(self, request_id: str) -> None:
+        """Drop a request's staging reservation and pager registration."""
+        if self.tiers is None:
+            return
+        if self._staging.pop(request_id, None) is not None:
+            self.offload.release(f"{request_id}/staging")
+        if self.spill is not None:
+            self.spill.unmanage(request_id)
+
+    def check_memory_invariants(self) -> dict[str, int]:
+        """Reconcile tier accounting against the engine's live KV buffers.
+
+        Delegates to :meth:`repro.memory.OffloadManager.check_invariants`
+        with the active requests' stores and the engine's staging
+        reservations: every live buffer registered at its true size, no
+        orphan registrations, tiers internally consistent.  Returns the
+        per-tier used-byte totals; raises
+        :class:`~repro.memory.MemoryLedgerDrift` on any discrepancy.
+        """
+        stores = [active.sequence.kv_store for active in self._active]
+        staging = {
+            f"{request_id}/staging": nbytes
+            for request_id, nbytes in self._staging.items()
+        }
+        return self.offload.check_invariants(stores, extra_allocations=staging)
 
     # ------------------------------------------------------------------
     # internals
@@ -863,6 +982,7 @@ class BatchedEngine:
         self._reserved_bytes[request.request_id] = self.scheduler.projected_bytes(
             request, self._kv_bytes_per_token, self.generation_config.max_new_tokens
         )
+        self._register_capacity(active)
         if self.prefix_cache is not None:
             match = self.prefix_cache.match(request.prompt_ids)
             if match is not None:
@@ -991,6 +1111,7 @@ class BatchedEngine:
                 continue
             active.status = RequestStatus.FINISHED
             result = self.core.finalise(active.sequence)
+            self._release_capacity(active.request.request_id)
             active.sequence.release()
             self._reserved_bytes.pop(active.request.request_id, None)
             match = self._prefix_matches.pop(active.request.request_id, None)

@@ -73,10 +73,19 @@ class PerfModelClock(StepClock):
         )
 
     def step_seconds(self, trace: StepTrace) -> float:
-        """Roofline-model price of the traced step (prefills + decode batch)."""
-        return self.cost_model.step_seconds(
+        """Roofline-model price of the traced step (prefills + decode batch).
+
+        Steps run in capacity mode additionally carry the KV tokens the
+        host->SSD pager moved; those are priced at NVMe bandwidth on top
+        of the compute and PCIe terms, which is what makes a serving point
+        that survives only by spilling *pay* for its spills in latency.
+        """
+        seconds = self.cost_model.step_seconds(
             trace.prefills, trace.decodes, getattr(trace, "attaches", ())
         )
+        seconds += self.cost_model.spill_seconds(getattr(trace, "spilled_tokens", 0))
+        seconds += self.cost_model.recall_seconds(getattr(trace, "recalled_tokens", 0))
+        return seconds
 
     def warmup_seconds(self) -> float:
         """Roofline-model price of booting one replica (weights + warm pass)."""

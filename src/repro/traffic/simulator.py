@@ -171,6 +171,7 @@ class TrafficSimulator:
                     selector=spec.build_policy(),
                     generation_config=spec.generation_config(),
                     scheduler_config=spec.scheduler_config(),
+                    tiers=spec.tiers,
                 ),
             )
             for index in range(self.config.num_replicas)
