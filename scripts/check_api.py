@@ -39,6 +39,7 @@ PUBLIC_MODULES = (
     "repro.metrics",
     "repro.perf",
     "repro.serving",
+    "repro.execbackend",
     "repro.seqstate",
     "repro.prefixcache",
     "repro.traffic",

@@ -41,6 +41,7 @@ def simulate(
     min_replicas=None,
     max_replicas=None,
     max_retries=None,
+    workers=None,
 ):
     """Run one open-loop traffic simulation, static or elastic.
 
@@ -59,6 +60,11 @@ def simulate(
       (defaults: ``config.num_replicas`` and twice that);
     * ``max_retries`` — failure re-dispatch budget per request.
 
+    ``workers`` selects the multiprocess execution backend with that many
+    worker processes (see :mod:`repro.execbackend`) — valid for both the
+    static and elastic paths; reports are byte-identical to the serial
+    default.
+
     Imported lazily because :mod:`repro.traffic` and
     :mod:`repro.cluster` build their replicas from this module's
     :class:`EngineSpec`.
@@ -67,9 +73,9 @@ def simulate(
     if all(knob is None for knob in cluster_knobs):
         from ..traffic import simulate as _simulate
 
-        return _simulate(requests, config, router=router, clock=clock)
+        return _simulate(requests, config, router=router, clock=clock, workers=workers)
 
-    from ..cluster import ClusterConfig, ClusterSimulator
+    from ..cluster import ClusterConfig, simulate_cluster as _simulate_cluster
     from ..traffic import TrafficConfig
 
     base = config or TrafficConfig()
@@ -88,11 +94,14 @@ def simulate(
         slo=base.slo,
         failures=failures if failures is not None else _empty_failure_plan(),
         max_retries=max_retries if max_retries is not None else 3,
+        workers=base.workers,
     )
-    return ClusterSimulator(cluster_config, router=router, clock=clock).run(requests)
+    return _simulate_cluster(
+        requests, cluster_config, router=router, clock=clock, workers=workers
+    )
 
 
-def simulate_cluster(requests, config=None, router=None, clock=None):
+def simulate_cluster(requests, config=None, router=None, clock=None, *, workers=None):
     """Run one elastic cluster simulation (see :func:`repro.cluster.simulate_cluster`).
 
     Takes a full :class:`~repro.cluster.ClusterConfig`; for the common
@@ -100,7 +109,7 @@ def simulate_cluster(requests, config=None, router=None, clock=None):
     """
     from ..cluster import simulate_cluster as _simulate_cluster
 
-    return _simulate_cluster(requests, config, router=router, clock=clock)
+    return _simulate_cluster(requests, config, router=router, clock=clock, workers=workers)
 
 
 def _empty_failure_plan():

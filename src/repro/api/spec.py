@@ -76,6 +76,12 @@ class EngineSpec:
         Accepts a budgets object, its dict form, or the CLI string
         ``"gpu=320KiB,host=448KiB,ssd=4MiB"``; ``None`` keeps all tiers
         unbounded.
+    backend:
+        Execution backend engines built from this spec run on:
+        ``"serial"`` (in-process, the default) or ``"multiprocess"``
+        (persistent worker pool sharing one read-only weight arena, see
+        :mod:`repro.execbackend`).  Virtual-clock results are
+        byte-identical across backends; only wall-clock changes.
     """
 
     model: str = "serve-sim"
@@ -97,8 +103,14 @@ class EngineSpec:
     kv_capacity_tokens: int | None = None
     preemption: bool = False
     tiers: TierBudgets | None = None
+    backend: str = "serial"
 
     def __post_init__(self) -> None:
+        if self.backend not in ("serial", "multiprocess"):
+            raise ValueError(
+                f"unknown execution backend {self.backend!r}; "
+                "expected 'serial' or 'multiprocess'"
+            )
         object.__setattr__(self, "policy", resolve_policy_spec(self.policy))
         if isinstance(self.tiers, str):
             object.__setattr__(self, "tiers", TierBudgets.parse(self.tiers))

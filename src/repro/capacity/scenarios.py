@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..api import EngineSpec
-from ..memory import CapacityExceeded, TierBudgets, TransferDirection
+from ..memory import CapacityExceeded, TierBudgets
 from ..model import get_model_config
 from ..policies import PolicySpec
 from ..serving.bench import serving_policy_spec
@@ -97,6 +97,8 @@ class CapacityScenarioConfig:
     slo: SLOSpec = field(default_factory=lambda: SLOSpec(ttft_s=8.0, tpot_s=0.5))
     slo_floor: float = 0.5
     seed: int = 0
+    backend: str = "serial"
+    workers: int | None = None
 
     def __post_init__(self) -> None:
         if not self.policies:
@@ -153,6 +155,7 @@ class CapacityScenarioConfig:
             max_batch_size=concurrency,
             max_prefills_per_step=concurrency,
             tiers=self.tier_budgets,
+            backend=self.backend,
         )
 
     def traffic_config(self, policy: PolicySpec, concurrency: int) -> TrafficConfig:
@@ -165,6 +168,7 @@ class CapacityScenarioConfig:
             arch=self.arch,
             context_scale=self.context_scale,
             slo=self.slo,
+            workers=self.workers,
         )
 
     def describe(self) -> dict[str, object]:
@@ -249,31 +253,26 @@ def probe_point(
         requests = _burst_requests(config, context_tokens, concurrency)
     else:
         requests = _rate_requests(config, policy, rate)
-    sim = TrafficSimulator(config.traffic_config(policy, concurrency))
     feasible = True
     failed_tier: str | None = None
     duration_s = 0.0
     ttft_p50_s = 0.0
     slo_attainment = 0.0
-    try:
-        report = sim.run(requests)
-    except CapacityExceeded as exc:
-        feasible = False
-        failed_tier = exc.tier.value
-    else:
-        duration_s = report.duration_s
-        ttft_p50_s = float(report.latency_summary()["ttft_s"]["p50"])
-        slo_attainment = report.slo_attainment
-    offload = sim.replicas[0].engine.offload
-    transfers = {
-        direction.value: offload.ledger.total_bytes(direction)
-        for direction in TransferDirection
-    }
-    peak_bytes = {
-        "gpu": offload.gpu.peak_bytes,
-        "cpu": offload.cpu.peak_bytes,
-        "ssd": offload.ssd.peak_bytes,
-    }
+    with TrafficSimulator(config.traffic_config(policy, concurrency)) as sim:
+        try:
+            report = sim.run(requests)
+        except CapacityExceeded as exc:
+            feasible = False
+            failed_tier = exc.tier.value
+        else:
+            duration_s = report.duration_s
+            ttft_p50_s = float(report.latency_summary()["ttft_s"]["p50"])
+            slo_attainment = report.slo_attainment
+        # Read through the replica handle so worker-resident engines
+        # report the same accounting as in-process ones.
+        stats = sim.replicas[0].handle.offload_stats()
+    transfers = dict(stats["transfers"])
+    peak_bytes = dict(stats["peak_bytes"])
     return CapacityPoint(
         policy=policy.name,
         concurrency=concurrency,

@@ -114,6 +114,8 @@ def _workload_kwargs(args: argparse.Namespace) -> dict:
         ),
         seed=args.seed,
         trace=args.trace,
+        backend=args.backend,
+        workers=None if args.workers <= 0 else args.workers,
     )
 
 
@@ -230,6 +232,8 @@ def _run_capacity_bench(args: argparse.Namespace) -> str:
             ),
             slo_floor=args.slo_floor,
             seed=args.seed,
+            backend=args.backend,
+            workers=None if args.workers <= 0 else args.workers,
         ),
     )
     report = run_capacity_bench(config)
@@ -397,6 +401,15 @@ def _format_listing() -> str:
     lines.append(
         "  repro.seqstate checkpoints: SLO-class preemption, live KV "
         "migration off draining replicas, periodic-checkpoint failure recovery"
+    )
+    lines.append(
+        "execution backends (traffic-/cluster-/capacity-bench "
+        "--backend {serial,multiprocess} [--workers N]):"
+    )
+    lines.append(
+        "  repro.execbackend replica workers: --workers N runs engines in N "
+        "worker processes sharing read-only weights; reports byte-identical "
+        "to serial, wall-clock scales with cores"
     )
     return "\n".join(lines)
 
@@ -595,6 +608,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="latency_curve stops once SLO attainment drops below this",
     )
     capacity.add_argument("--seed", type=int, default=0, help="workload seed")
+    _add_backend_flags(capacity)
     capacity.add_argument(
         "--json", action="store_true",
         help="print the CapacityReport as canonical JSON instead of a table",
@@ -702,11 +716,27 @@ def _add_workload_flags(traffic: argparse.ArgumentParser) -> None:
         help="TPOT deadline in seconds (<= 0 disables)",
     )
     traffic.add_argument("--seed", type=int, default=0, help="workload seed")
+    _add_backend_flags(traffic)
     traffic.add_argument(
         "--json", action="store_true",
         help="print the TrafficReport as canonical JSON instead of a table",
     )
     traffic.add_argument("--out", type=str, default=None, help="write output to a file")
+
+
+def _add_backend_flags(command: argparse.ArgumentParser) -> None:
+    """Register the execution-backend flags (traffic/cluster/capacity-bench)."""
+    command.add_argument(
+        "--backend", type=str, default="serial", choices=("serial", "multiprocess"),
+        help="execution backend replicas run on: serial (in-process) or "
+        "multiprocess (worker pool with shared read-only weights); "
+        "reports are byte-identical either way",
+    )
+    command.add_argument(
+        "--workers", type=int, default=0,
+        help="worker-process count for the multiprocess backend (implies "
+        "--backend multiprocess; <= 0 derives min(replicas, cpu_count))",
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:

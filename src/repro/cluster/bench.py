@@ -87,6 +87,7 @@ class ClusterBenchConfig(TrafficBenchConfig):
             max_retries=self.max_retries,
             migrate_on_drain=self.migrate_on_drain,
             checkpoint_interval_s=self.checkpoint_interval_s,
+            workers=self.workers,
         )
 
 

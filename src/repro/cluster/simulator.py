@@ -39,11 +39,13 @@ including the scaling timeline, the failure log and every rejection.
 
 from __future__ import annotations
 
+import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from ..api import EngineSpec
+from ..execbackend import ReplicaHandle
 from ..seqstate import SequenceCheckpoint
 from ..serving import BatchedEngine
 from ..traffic.clock import StepClock
@@ -108,6 +110,10 @@ class ClusterConfig:
         failure victim whose requests hold a checkpoint resumes from it
         instead of re-prefilling; only the tokens decoded after the last
         checkpoint count toward ``lost_tokens``.
+    workers:
+        Worker-process count for the ``multiprocess`` execution backend
+        (as in :class:`~repro.traffic.simulator.TrafficConfig`); reports
+        stay byte-identical to the serial default.
     """
 
     engine: EngineSpec = field(default_factory=EngineSpec)
@@ -124,6 +130,7 @@ class ClusterConfig:
     max_retries: int = 3
     migrate_on_drain: bool = False
     checkpoint_interval_s: float | None = None
+    workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.min_replicas < 1:
@@ -145,6 +152,7 @@ class ClusterConfig:
             arch=self.arch,
             context_scale=self.context_scale,
             slo=self.slo,
+            workers=self.workers,
         )
 
     def capacity_tokens(self, kv_bytes_per_token: int) -> int:
@@ -168,7 +176,7 @@ class ClusterReplica(Replica):
     def __init__(
         self,
         index: int,
-        engine: BatchedEngine,
+        engine: BatchedEngine | ReplicaHandle,
         state: ReplicaLifecycle = ReplicaLifecycle.ACTIVE,
         ready_at_s: float = 0.0,
     ) -> None:
@@ -295,15 +303,7 @@ class ClusterSimulator(TrafficSimulator):
     # ------------------------------------------------------------------
     def _boot_replica(self, now_s: float, warm: bool, reason: str) -> ClusterReplica:
         """Provision one replica; ``warm`` boots pay the clock's warm-up lag."""
-        spec = self.config.engine
-        engine = BatchedEngine(
-            self.model,
-            selector=spec.build_policy(),
-            generation_config=spec.generation_config(),
-            scheduler_config=spec.scheduler_config(),
-            tiers=spec.tiers,
-        )
-        replica = ClusterReplica(self._next_index, engine)
+        replica = ClusterReplica(self._next_index, self._backend.create_handle())
         self._next_index += 1
         if warm:
             replica.state = ReplicaLifecycle.STARTING
@@ -337,7 +337,7 @@ class ClusterSimulator(TrafficSimulator):
         )
         for replica in candidates[:count]:
             replica.state = ReplicaLifecycle.DRAINING
-            replica.engine.drain()
+            replica.handle.drain()
             self._log_scale(now_s, "drain", replica.index, reason)
             if self.cluster_config.migrate_on_drain:
                 self._migrate_out(replica, now_s)
@@ -353,15 +353,15 @@ class ClusterSimulator(TrafficSimulator):
         requests have no state yet and simply re-dispatch.  The replica is
         removed immediately; its engine is never stepped again.
         """
-        engine = replica.engine
-        queued = list(engine.snapshot().queued)
-        for request_id in list(engine.active_request_ids):
-            checkpoint = engine.checkpoint_request(request_id, keep=False)
+        handle = replica.handle
+        queued = list(handle.snapshot().queued)
+        for request_id in list(handle.active_request_ids):
+            checkpoint = handle.checkpoint_request(request_id, keep=False)
             self._migration_counts[request_id] = (
                 self._migration_counts.get(request_id, 0) + 1
             )
             self._place_checkpoint(checkpoint, now_s)
-        for checkpoint in engine.pop_preempted():
+        for checkpoint in handle.pop_preempted():
             request_id = checkpoint.request_id
             self._migration_counts[request_id] = (
                 self._migration_counts.get(request_id, 0) + 1
@@ -405,7 +405,7 @@ class ClusterSimulator(TrafficSimulator):
         replica.clock_s = max(replica.clock_s, now_s) + self.clock.migration_seconds(
             checkpoint.position
         )
-        replica.engine.restore_request(checkpoint)
+        replica.handle.restore_request(checkpoint)
         self._replica_of[checkpoint.request_id] = replica.index
 
     def _control(self, now_s: float) -> None:
@@ -451,7 +451,7 @@ class ClusterSimulator(TrafficSimulator):
         # Fast-forward an idle replica to the dispatch instant (a retry
         # dispatches at the failure instant, later than its arrival).
         replica.clock_s = max(replica.clock_s, now_s)
-        replica.engine.submit(
+        replica.handle.submit(
             request.prompt_ids,
             request_id=request.request_id,
             max_new_tokens=request.max_new_tokens,
@@ -559,8 +559,8 @@ class ClusterSimulator(TrafficSimulator):
             return
         inventories = []
         for victim in victims:
-            snapshot = victim.engine.snapshot()
-            parked_checkpoints = victim.engine.pop_preempted()
+            snapshot = victim.handle.snapshot()
+            parked_checkpoints = victim.handle.pop_preempted()
             victim.state = ReplicaLifecycle.FAILED
             self._log_scale(now_s, "fail", victim.index, "failure injection")
             inventories.append((victim, snapshot, parked_checkpoints))
@@ -626,8 +626,8 @@ class ClusterSimulator(TrafficSimulator):
         if now_s - self._last_ckpt_s.get(replica.index, 0.0) < interval:
             return
         self._last_ckpt_s[replica.index] = now_s
-        for request_id in replica.engine.active_request_ids:
-            self._checkpoints[request_id] = replica.engine.checkpoint_request(
+        for request_id in replica.handle.active_request_ids:
+            self._checkpoints[request_id] = replica.handle.checkpoint_request(
                 request_id, keep=True
             )
 
@@ -653,6 +653,7 @@ class ClusterSimulator(TrafficSimulator):
         self.router.reset()
         self.autoscaler.reset()
         self.admission.reset()
+        self._backend.reset()
         self._reset_run_state()
         self._reset_cluster_state()
 
@@ -663,64 +664,105 @@ class ClusterSimulator(TrafficSimulator):
         for _ in range(self.cluster_config.min_replicas):
             self._boot_replica(0.0, warm=False, reason="initial fleet")
         self._peak_provisioned = self._provisioned()
+        # Step-compute speculation is sound only while no control-plane
+        # path can mutate a replica between its step being posted and its
+        # outcome being processed: drain-migration checkpoints replicas
+        # out mid-window, and parked work can be dispatched onto one at a
+        # mid-window ready event.  Everything else (drain flags, failure
+        # kills, periodic checkpoints) only fires once every earlier step
+        # outcome has been consumed — see repro.execbackend.base.
+        may_speculate = not self.cluster_config.migrate_on_drain
+        run_start = time.perf_counter()
 
-        while pending or self._parked or self._parked_checkpoints or self._has_live_work():
-            # Candidate next events as (time, kind priority, tiebreak):
-            # ready < failure < arrival < step at equal instants.
-            candidates: list[tuple[float, int, int, str, object]] = []
-            starting = [r for r in self.fleet if r.state is ReplicaLifecycle.STARTING]
-            if starting:
-                replica = min(starting, key=lambda r: (r.ready_at_s, r.index))
-                candidates.append((replica.ready_at_s, 0, replica.index, "ready", replica))
-            if failures:
-                event = failures[0]
-                candidates.append((event.time_s, 1, event.slot, "fail", event))
-            if pending:
-                order, request = pending[0]
-                candidates.append((request.arrival_time_s, 2, order, "arrival", request))
-            working = [
-                r
-                for r in self.fleet
-                if r.state in (ReplicaLifecycle.ACTIVE, ReplicaLifecycle.DRAINING)
-                and r.has_work()
-            ]
-            if working:
-                replica = min(working, key=lambda r: (r.clock_s, r.index))
-                candidates.append((replica.clock_s, 3, replica.index, "step", replica))
-            if not candidates:
-                raise RuntimeError(
-                    "cluster simulation stalled with requests outstanding"
+        try:
+            while (
+                pending or self._parked or self._parked_checkpoints or self._has_live_work()
+            ):
+                # Candidate next events as (time, kind priority, tiebreak):
+                # ready < failure < arrival < step at equal instants.
+                candidates: list[tuple[float, int, int, str, object]] = []
+                starting = [r for r in self.fleet if r.state is ReplicaLifecycle.STARTING]
+                if starting:
+                    replica = min(starting, key=lambda r: (r.ready_at_s, r.index))
+                    candidates.append(
+                        (replica.ready_at_s, 0, replica.index, "ready", replica)
+                    )
+                if failures:
+                    event = failures[0]
+                    candidates.append((event.time_s, 1, event.slot, "fail", event))
+                if pending:
+                    order, request = pending[0]
+                    candidates.append(
+                        (request.arrival_time_s, 2, order, "arrival", request)
+                    )
+                working = [
+                    r
+                    for r in self.fleet
+                    if r.state in (ReplicaLifecycle.ACTIVE, ReplicaLifecycle.DRAINING)
+                    and r.has_work()
+                ]
+                if working:
+                    if may_speculate and not self._parked and not self._parked_checkpoints:
+                        # Every working replica strictly before the next
+                        # non-step event must step before that event can
+                        # observe or touch it — start those steps now so
+                        # backend workers compute them concurrently.
+                        gate_s = min((c[0] for c in candidates), default=None)
+                        for candidate in working:
+                            if gate_s is None or candidate.clock_s < gate_s:
+                                candidate.handle.start_step()
+                    replica = min(working, key=lambda r: (r.clock_s, r.index))
+                    candidates.append((replica.clock_s, 3, replica.index, "step", replica))
+                if not candidates:
+                    raise RuntimeError(
+                        "cluster simulation stalled with requests outstanding"
+                    )
+                time_s, _, _, kind, payload = min(
+                    candidates, key=lambda c: (c[0], c[1], c[2])
                 )
-            time_s, _, _, kind, payload = min(candidates, key=lambda c: (c[0], c[1], c[2]))
 
-            if kind == "ready":
-                replica = payload
-                replica.state = ReplicaLifecycle.ACTIVE
-                replica.clock_s = max(replica.clock_s, time_s)
-                self._log_scale(time_s, "ready", replica.index, "warm-up complete")
-                self._drain_parked(time_s)
-                self._control(time_s)
-            elif kind == "fail":
-                failures.popleft()
-                self._fire_failure(payload, time_s)
-                self._control(time_s)
-            elif kind == "arrival":
-                pending.popleft()
-                self._handle_arrival(payload, time_s)
-                self._control(time_s)
-            else:  # step
-                replica = payload
-                retired, step_end_s = self._step_replica(replica)
-                for record in retired:
-                    self._recent_slo.append(record.slo_met)
-                    self.autoscaler.observe(record.slo_met, slo_class=record.slo_class)
-                    self._checkpoints.pop(record.request_id, None)
-                self._maybe_checkpoint(replica, step_end_s)
-                if replica.state is ReplicaLifecycle.DRAINING and not replica.has_work():
-                    self._stop_replica(replica, step_end_s)
-                self._control(step_end_s)
+                self._run_event(kind, payload, time_s, pending, failures)
+        finally:
+            self._backend.drain_counters()
+            self._run_wall_s = time.perf_counter() - run_start
 
         return self._build_report()
+
+    def _run_event(
+        self,
+        kind: str,
+        payload: object,
+        time_s: float,
+        pending: deque,
+        failures: deque,
+    ) -> None:
+        """Process one scheduled event (the body of the run() loop)."""
+        if kind == "ready":
+            replica = payload
+            replica.state = ReplicaLifecycle.ACTIVE
+            replica.clock_s = max(replica.clock_s, time_s)
+            self._log_scale(time_s, "ready", replica.index, "warm-up complete")
+            self._drain_parked(time_s)
+            self._control(time_s)
+        elif kind == "fail":
+            failures.popleft()
+            self._fire_failure(payload, time_s)
+            self._control(time_s)
+        elif kind == "arrival":
+            pending.popleft()
+            self._handle_arrival(payload, time_s)
+            self._control(time_s)
+        else:  # step
+            replica = payload
+            retired, step_end_s = self._step_replica(replica)
+            for record in retired:
+                self._recent_slo.append(record.slo_met)
+                self.autoscaler.observe(record.slo_met, slo_class=record.slo_class)
+                self._checkpoints.pop(record.request_id, None)
+            self._maybe_checkpoint(replica, step_end_s)
+            if replica.state is ReplicaLifecycle.DRAINING and not replica.has_work():
+                self._stop_replica(replica, step_end_s)
+            self._control(step_end_s)
 
     # ------------------------------------------------------------------
     # report
@@ -762,11 +804,18 @@ def simulate_cluster(
     config: ClusterConfig | None = None,
     router: Router | None = None,
     clock: StepClock | None = None,
+    *,
+    workers: int | None = None,
 ) -> TrafficReport:
     """Run one elastic cluster simulation and return its report.
 
     The cluster counterpart of :func:`repro.traffic.simulate` (also
     reachable through the ``autoscaler``/``admission``/``failures`` knobs
-    of :func:`repro.api.simulate`).
+    of :func:`repro.api.simulate`).  ``workers`` selects the multiprocess
+    execution backend; the report is byte-identical to the serial default.
     """
-    return ClusterSimulator(config, router=router, clock=clock).run(requests)
+    config = config or ClusterConfig()
+    if workers is not None:
+        config = replace(config, workers=workers)
+    with ClusterSimulator(config, router=router, clock=clock) as simulator:
+        return simulator.run(requests)

@@ -1,0 +1,35 @@
+"""Execution backends: where replica engines live and how steps run.
+
+``serial`` keeps every :class:`~repro.serving.BatchedEngine` in the
+simulator's process and reproduces the pre-backend simulators bit for
+bit.  ``multiprocess`` hosts engines in a persistent worker pool sharing
+one read-only weight arena, overlapping step compute across cores while
+keeping reports, tokens, logprobs and GEMM counters byte-identical (the
+determinism argument lives in :mod:`repro.execbackend.base`).
+"""
+
+from .base import (
+    ExecutionBackend,
+    ReplicaHandle,
+    ReplicaStateView,
+    StepOutcome,
+    WorkerCrashed,
+    engine_offload_stats,
+    engine_state_view,
+)
+from .mp import MultiprocessBackend
+from .serial import LocalReplicaHandle, SerialBackend, build_engine
+
+__all__ = [
+    "ExecutionBackend",
+    "ReplicaHandle",
+    "ReplicaStateView",
+    "StepOutcome",
+    "WorkerCrashed",
+    "SerialBackend",
+    "LocalReplicaHandle",
+    "MultiprocessBackend",
+    "build_engine",
+    "engine_state_view",
+    "engine_offload_stats",
+]

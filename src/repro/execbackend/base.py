@@ -1,0 +1,311 @@
+"""Execution-backend interface: where replica engines live and step.
+
+The traffic and cluster simulators drive their replicas exclusively
+through this layer.  A :class:`ReplicaHandle` is the simulator-facing
+surface of one :class:`~repro.serving.BatchedEngine` — it may wrap the
+engine in-process (:class:`~repro.execbackend.SerialBackend`, bit-for-bit
+today's behaviour) or proxy it to a persistent worker process
+(:class:`~repro.execbackend.MultiprocessBackend`), in which case every
+call crosses a command pipe and the engine's state is mirrored back into
+a cached :class:`ReplicaStateView`.
+
+Determinism contract
+--------------------
+The simulators process events (ready < failure < arrival < step at equal
+instants) in exactly the serial order regardless of backend; only the
+*compute* of engine steps is allowed to run ahead on workers
+(speculation, see :meth:`ReplicaHandle.start_step`).  Speculation is
+sound because engines are fully isolated per replica: a replica's next
+step depends only on its own engine state, which no other replica's
+processing can touch.  The simulators disable speculation in the narrow
+cases where the control plane may mutate another replica between steps
+(drain-migration, parked work) — those runs execute steps one at a time
+through the same handles and stay byte-identical.
+
+A remote handle's cached state view is refreshed only when the
+corresponding outcome is *processed* by the simulator (submit, restore,
+checkpoint, pop-preempted responses, and :meth:`ReplicaHandle.finish_step`),
+never when a speculated step merely finishes computing — so routers,
+admission control and autoscalers observe exactly the replica state the
+serial backend would show them at the same event.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # imported lazily to keep this module dependency-light
+    import numpy as np
+
+    from ..policies import PolicySpec
+    from ..seqstate import SequenceCheckpoint
+    from ..serving import BatchedEngine, CompletedRequest, EngineSnapshot
+    from ..serving.engine import ServeRequest, StepTrace
+
+__all__ = [
+    "ReplicaStateView",
+    "StepOutcome",
+    "ReplicaHandle",
+    "ExecutionBackend",
+    "WorkerCrashed",
+    "engine_state_view",
+    "engine_offload_stats",
+]
+
+
+class WorkerCrashed(RuntimeError):
+    """A backend worker process died (or its pipe broke) mid-conversation.
+
+    Raised instead of hanging on a dead pipe; carries which worker and
+    which command was in flight so the failure is attributable.
+    """
+
+    def __init__(self, worker: int, command: str) -> None:
+        super().__init__(
+            f"execution-backend worker {worker} crashed "
+            f"while serving command {command!r}"
+        )
+        self.worker = worker
+        self.command = command
+
+
+@dataclass(frozen=True)
+class ReplicaStateView:
+    """Snapshot of the scheduler-visible state of one replica engine.
+
+    This is everything the simulators, routers and control-plane policies
+    read between steps.  The serial backend computes it live from the
+    engine; the multiprocess backend mirrors it across the process
+    boundary with every state-changing reply.
+    """
+
+    queued: int = 0
+    active: int = 0
+    num_preempted: int = 0
+    reserved_kv_bytes: int = 0
+    queued_kv_bytes: int = 0
+    num_preemptions_total: int = 0
+    is_draining: bool = False
+    active_request_ids: tuple[str, ...] = ()
+    preempted_request_ids: tuple[str, ...] = ()
+
+    def has_work(self) -> bool:
+        """Queued, in-flight or preempted requests present."""
+        return bool(self.queued or self.active or self.num_preempted)
+
+
+@dataclass
+class StepOutcome:
+    """Result of one engine step, however it was computed.
+
+    ``wall_s`` is the host wall time the step's compute took (in the
+    worker for the multiprocess backend) — observability only, never part
+    of the byte-reproducible report body.
+    """
+
+    finished: "list[CompletedRequest]"
+    trace: "StepTrace"
+    wall_s: float
+
+
+def engine_state_view(engine: "BatchedEngine") -> ReplicaStateView:
+    """Freeze a live engine's scheduler-visible state into a view."""
+    return ReplicaStateView(
+        queued=len(engine.queue),
+        active=engine.num_active,
+        num_preempted=engine.num_preempted,
+        reserved_kv_bytes=engine.reserved_kv_bytes(),
+        queued_kv_bytes=engine.queued_kv_bytes(),
+        num_preemptions_total=engine.num_preemptions_total,
+        is_draining=engine.is_draining,
+        active_request_ids=tuple(engine.active_request_ids),
+        preempted_request_ids=tuple(engine.preempted_request_ids),
+    )
+
+
+def engine_offload_stats(engine: "BatchedEngine") -> dict[str, dict[str, int]]:
+    """Tier-transfer and peak-residency accounting of one engine.
+
+    The capacity harness reads this after a run (or after a
+    :class:`~repro.memory.CapacityExceeded` abort) — through the handle,
+    so it works identically for worker-resident engines.
+    """
+    from ..memory import TransferDirection
+
+    ledger = engine.offload.ledger
+    return {
+        "transfers": {
+            direction.value: ledger.total_bytes(direction)
+            for direction in TransferDirection
+        },
+        "peak_bytes": {
+            "gpu": engine.offload.gpu.peak_bytes,
+            "cpu": engine.offload.cpu.peak_bytes,
+            "ssd": engine.offload.ssd.peak_bytes,
+        },
+    }
+
+
+class ReplicaHandle(ABC):
+    """Simulator-facing surface of one replica engine.
+
+    Mirrors the :class:`~repro.serving.BatchedEngine` methods the traffic
+    and cluster layers use, plus the split ``start_step``/``finish_step``
+    pair that lets a backend overlap step compute across replicas.
+    """
+
+    # ------------------------------------------------------------------
+    # scheduler-visible state (routers / control plane / report)
+    # ------------------------------------------------------------------
+    @property
+    @abstractmethod
+    def queued(self) -> int:
+        """Requests waiting in the admission queue."""
+
+    @property
+    @abstractmethod
+    def active(self) -> int:
+        """Requests currently holding a decode slot."""
+
+    @property
+    @abstractmethod
+    def num_preempted(self) -> int:
+        """Preempted requests parked as checkpoints."""
+
+    @property
+    @abstractmethod
+    def reserved_kv_bytes(self) -> int:
+        """Projected KV bytes of the in-flight requests."""
+
+    @property
+    @abstractmethod
+    def queued_kv_bytes(self) -> int:
+        """Projected KV bytes of the queued requests."""
+
+    @property
+    @abstractmethod
+    def num_preemptions_total(self) -> int:
+        """Checkpoint preemptions the engine performed so far."""
+
+    @property
+    @abstractmethod
+    def is_draining(self) -> bool:
+        """Whether the engine stopped accepting submissions."""
+
+    @property
+    @abstractmethod
+    def active_request_ids(self) -> tuple[str, ...]:
+        """Ids of the in-flight requests, in admission order."""
+
+    @property
+    @abstractmethod
+    def preempted_request_ids(self) -> tuple[str, ...]:
+        """Ids of the parked preempted requests, in preemption order."""
+
+    def has_work(self) -> bool:
+        """Whether the replica has queued, in-flight or preempted requests."""
+        return bool(self.queued or self.active or self.num_preempted)
+
+    @property
+    def engine(self) -> "BatchedEngine":
+        """The wrapped in-process engine (serial backend only)."""
+        raise RuntimeError(
+            "this replica's engine is worker-resident; drive it through the "
+            "handle methods instead of touching the engine directly"
+        )
+
+    # ------------------------------------------------------------------
+    # engine commands
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def submit(
+        self,
+        prompt_ids: "np.ndarray",
+        request_id: str,
+        max_new_tokens: int,
+        policy: "PolicySpec | str | None",
+        arrival_time_s: float,
+        slo_class: str,
+    ) -> None:
+        """Enqueue one request on the replica engine."""
+
+    @abstractmethod
+    def start_step(self) -> None:
+        """Begin computing the replica's next engine step.
+
+        For the multiprocess backend this posts the step command and
+        returns immediately, letting several replicas compute
+        concurrently; the serial backend defers all work to
+        :meth:`finish_step` so engine state never runs ahead of the
+        simulator (bit-for-bit today's behaviour).
+        """
+
+    @abstractmethod
+    def finish_step(self) -> StepOutcome:
+        """Complete the step begun by :meth:`start_step` and return it."""
+
+    @abstractmethod
+    def drain(self) -> None:
+        """Flip the engine's submission gate (work in flight continues)."""
+
+    @abstractmethod
+    def snapshot(self) -> "EngineSnapshot":
+        """Inventory queued and in-flight work (read-only)."""
+
+    @abstractmethod
+    def pop_preempted(self) -> "list[SequenceCheckpoint]":
+        """Take ownership of the parked preempted checkpoints."""
+
+    @abstractmethod
+    def checkpoint_request(
+        self, request_id: str, keep: bool = True
+    ) -> "SequenceCheckpoint":
+        """Checkpoint one in-flight request (evicting it when not kept)."""
+
+    @abstractmethod
+    def restore_request(self, checkpoint: "SequenceCheckpoint") -> None:
+        """Restore a checkpointed request onto this replica."""
+
+    @abstractmethod
+    def prefix_cache_stats(self) -> dict[str, object]:
+        """The engine's prefix-cache counters (empty when disabled)."""
+
+    @abstractmethod
+    def offload_stats(self) -> dict[str, dict[str, int]]:
+        """Tier-transfer/peak accounting (see :func:`engine_offload_stats`)."""
+
+
+class ExecutionBackend(ABC):
+    """Factory and lifecycle owner of a set of replica handles."""
+
+    name: str = "?"
+
+    @abstractmethod
+    def create_handle(self) -> ReplicaHandle:
+        """Build one fresh replica engine and return its handle."""
+
+    def reset(self) -> None:
+        """Discard all engines (handles become dead); keep the substrate."""
+
+    def drain_counters(self) -> None:
+        """Fold worker-side perf counters into the caller's active counter.
+
+        No-op for the serial backend, whose engines record straight into
+        the process-local counter.  Summation is order-independent, so
+        the merged counts are byte-identical to a serial run.
+        """
+
+    def describe(self) -> dict[str, object]:
+        """Identifying configuration (observability only, never reported)."""
+        return {"name": self.name}
+
+    def close(self) -> None:
+        """Release all backend resources (processes, shared memory)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -118,6 +118,14 @@ def rope_frequencies(head_dim: int, base: float = 10000.0) -> np.ndarray:
 # call was one of the measured hot-path costs this cache removes.  Entries for
 # integer positions are bit-identical to direct evaluation: the table stores
 # ``cos(p * inv_freq)`` for the same float64 product the direct path computes.
+#
+# Fork safety (repro.execbackend multiprocess backend): this cache is plain
+# process-local memoisation of a pure function of ``(inv_freq, needed)``.  A
+# forked worker inherits a snapshot and a spawned worker starts empty; either
+# way every process recomputes identical float64 tables on demand, so cached
+# vs freshly computed entries can never diverge across processes.  The
+# backend's parity tests assert this by byte-comparing serial and
+# multiprocess reports.
 _ROPE_TABLE_CACHE: dict[bytes, tuple[np.ndarray, np.ndarray]] = {}
 
 

@@ -46,6 +46,10 @@ class TransformerModel:
         # group replaces the per-head einsum / split matmuls on the decode
         # hot path; each output column block is the same matrix product, so
         # results match the unfused computation (suite-verified).
+        # Fork safety: multiprocess-backend workers rebuild these fused
+        # arrays from the shared read-only weight arena with this exact
+        # concatenation, so they are bit-identical across processes
+        # (asserted by MultiprocessBackend.model_digests()).
         self._q_cols = config.n_heads * config.head_dim
         self._kv_cols = config.n_kv_heads * config.head_dim
         self._wqkv = [

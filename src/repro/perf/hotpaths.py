@@ -72,6 +72,9 @@ class PerfBenchConfig:
     serve_batch: int = 8
     serve_prompt_len: int = 64
     serve_new_tokens: int = 96
+    parallel_replicas: int = 4
+    parallel_requests: int = 8
+    parallel_new_tokens: int = 16
     repeats: int = 3
     seed: int = 0
 
@@ -221,6 +224,69 @@ def _serve_section(config: PerfBenchConfig) -> dict[str, object]:
     return section
 
 
+def _parallel_bench_config(config: PerfBenchConfig, workers: int | None = None):
+    """The pinned multi-replica traffic workload of the parallel-serve bench."""
+    from ..traffic.bench import TrafficBenchConfig
+
+    return TrafficBenchConfig(
+        model=config.model,
+        policies=("clusterkv",),
+        num_requests=config.parallel_requests,
+        num_replicas=config.parallel_replicas,
+        rate=2.0,
+        prompt_len_min=32,
+        prompt_len_max=48,
+        max_new_tokens=config.parallel_new_tokens,
+        budget=config.budget,
+        num_sink_tokens=config.num_sink_tokens,
+        num_full_layers=config.num_full_layers,
+        seed=config.seed,
+        workers=workers,
+    )
+
+
+def _parallel_serve_section(config: PerfBenchConfig) -> dict[str, object]:
+    """Wall-clock speedup of the multiprocess backend over serial stepping.
+
+    Runs the pinned ``parallel_serve`` workload once on the serial
+    backend and once over ``min(parallel_replicas, cpu_count)`` worker
+    processes, and records both walls plus their ratio.  The reports are
+    byte-compared as a side effect (``reports_identical``).  Speedup is
+    machine-dependent: it approaches the worker count on a box with that
+    many free cores and can drop below 1.0 on a single-core host, where
+    the IPC overhead has no parallelism to pay for it (the recorded
+    ``cpu_count`` says which regime produced the numbers).
+    """
+    import os
+
+    from ..traffic.bench import build_bench_requests
+    from ..traffic.simulator import TrafficSimulator
+
+    serial_config = _parallel_bench_config(config)
+    requests = build_bench_requests(serial_config)
+    with TrafficSimulator(serial_config.traffic_config()) as sim:
+        start = time.perf_counter()
+        serial_report = sim.run(requests)
+        serial_s = time.perf_counter() - start
+
+    workers = max(1, min(config.parallel_replicas, os.cpu_count() or 1))
+    parallel_config = _parallel_bench_config(config, workers=workers)
+    with TrafficSimulator(parallel_config.traffic_config()) as sim:
+        start = time.perf_counter()
+        parallel_report = sim.run(requests)
+        parallel_s = time.perf_counter() - start
+
+    return {
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s > 0 else 0.0,
+        "workers": workers,
+        "cpu_count": os.cpu_count() or 1,
+        "replicas": config.parallel_replicas,
+        "reports_identical": serial_report.to_json() == parallel_report.to_json(),
+    }
+
+
 def deterministic_counters(config: PerfBenchConfig | None = None) -> dict[str, object]:
     """Machine-independent hot-path counters on small pinned scenarios.
 
@@ -329,6 +395,17 @@ def deterministic_counters(config: PerfBenchConfig | None = None) -> dict[str, o
             target.restore_request(source.checkpoint_request(request_id, keep=False))
         migrated_report = target.run()
 
+    # Parallel-serve scenario: the pinned 4-replica traffic workload of the
+    # wall-clock section, run on the serial backend.  The multiprocess
+    # backend is byte-identical by construction (tests/test_execbackend.py),
+    # so guarding the serial counters pins both: a drift in step scheduling
+    # or GEMM launches on either backend shows up here.
+    from ..traffic.bench import run_traffic_bench
+
+    parallel_config = _parallel_bench_config(config)
+    with count_ops() as parallel_ops:
+        parallel_report = run_traffic_bench(parallel_config)
+
     return {
         "serve": {
             "engine_steps": report.engine_steps,
@@ -354,6 +431,12 @@ def deterministic_counters(config: PerfBenchConfig | None = None) -> dict[str, o
             "migrated_tokens": migrated_report.total_generated_tokens,
             "counters": migration_ops.as_dict(),
         },
+        "parallel_serve": {
+            "engine_steps": parallel_report.engine_steps,
+            "total_tokens": parallel_report.total_output_tokens,
+            "num_replicas": config.parallel_replicas,
+            "counters": parallel_ops.as_dict(),
+        },
     }
 
 
@@ -378,6 +461,7 @@ def run_perf_bench(
             "decode": _decode_section(config),
             "clustering": _clustering_section(config),
             "serve": _serve_section(config),
+            "parallel_serve": _parallel_serve_section(config),
         }
     return payload
 
@@ -413,6 +497,16 @@ def format_perf_bench(payload: dict[str, object]) -> str:
                 f"{method:14s} {row['batched_tokens_per_second']:12.1f} "
                 f"{row['pre_pr_baseline_tokens_per_second']:13.1f} "
                 f"{(f'{speedup:.2f}x' if speedup else 'n/a'):>8s}"
+            )
+        parallel = wall.get("parallel_serve")
+        if parallel:
+            lines.append(
+                f"parallel-serve {parallel['replicas']} replicas x "
+                f"{parallel['workers']} workers ({parallel['cpu_count']} cores): "
+                f"serial {parallel['serial_s'] * 1e3:.1f} ms, "
+                f"multiprocess {parallel['parallel_s'] * 1e3:.1f} ms, "
+                f"speedup {parallel['speedup']:.2f}x, "
+                f"identical={parallel['reports_identical']}"
             )
     deterministic = payload["deterministic"]
     serve = deterministic["serve"]

@@ -63,6 +63,10 @@ class TrafficBenchConfig:
     everything interactive); pair it with ``preemption`` — which lets
     replicas checkpoint-preempt batch work for an interactive queue head
     (:mod:`repro.seqstate`) — and ``router="slo_aware"``.
+    ``backend``/``workers`` select the execution backend replicas run on
+    (:mod:`repro.execbackend`): ``workers`` set runs engines in that many
+    worker processes, byte-identical numbers, lower wall-clock on
+    multi-core hosts.
     """
 
     model: str = "serve-sim"
@@ -91,6 +95,8 @@ class TrafficBenchConfig:
     slo: SLOSpec = field(default_factory=SLOSpec)
     seed: int = 0
     trace: str | None = None
+    backend: str = "serial"
+    workers: int | None = None
 
     def __post_init__(self) -> None:
         if not self.policies:
@@ -127,6 +133,7 @@ class TrafficBenchConfig:
             prefix_cache_tokens=self.prefix_cache,
             prefix_block_tokens=self.prefix_block,
             preemption=self.preemption,
+            backend=self.backend,
         )
 
     def traffic_config(self) -> TrafficConfig:
@@ -139,6 +146,7 @@ class TrafficBenchConfig:
             arch=self.arch,
             context_scale=self.context_scale,
             slo=self.slo,
+            workers=self.workers,
         )
 
 

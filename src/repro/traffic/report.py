@@ -277,6 +277,12 @@ class TrafficReport:
         misses, hit rate, hit/evicted tokens) plus the TTFT split between
         requests that attached a cached prefix and those that did not;
         empty for runs with the cache disabled.
+    wall:
+        Host wall-time breakdown of the run (``run_wall_s``, per-replica
+        ``step_wall_s``/``idle_wall_s``, and the execution backend's
+        ``describe()``).  Machine-dependent observability only —
+        deliberately **excluded** from :meth:`to_dict`/:meth:`to_json`,
+        which stay byte-reproducible across backends and hosts.
     """
 
     requests: list[RequestMetrics] = field(default_factory=list)
@@ -298,6 +304,7 @@ class TrafficReport:
     failures: list[dict[str, object]] = field(default_factory=list)
     scaling: list[dict[str, object]] = field(default_factory=list)
     prefix_cache: dict[str, object] = field(default_factory=dict)
+    wall: dict[str, object] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # aggregates

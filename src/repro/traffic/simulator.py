@@ -26,11 +26,20 @@ machine-independent and two runs with equal seeds emit byte-identical
 
 from __future__ import annotations
 
+import os
+import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from ..api import EngineSpec
+from ..execbackend import (
+    ExecutionBackend,
+    LocalReplicaHandle,
+    ReplicaHandle,
+    SerialBackend,
+    StepOutcome,
+)
 from ..serving import BatchedEngine, CompletedRequest
 from .clock import StepClock, build_clock
 from .report import RequestMetrics, SLOSpec, TrafficReport
@@ -63,6 +72,12 @@ class TrafficConfig:
         :class:`repro.experiments.ContextScale` down-scaling).
     slo:
         TTFT/TPOT deadlines goodput is evaluated under.
+    workers:
+        Worker-process count for the ``multiprocess`` execution backend.
+        Setting it implies ``backend="multiprocess"`` even when the
+        engine spec says ``"serial"``; leaving it ``None`` with a
+        multiprocess spec defaults to ``min(num_replicas, cpu_count)``.
+        Virtual-clock results are byte-identical either way.
     """
 
     engine: EngineSpec = field(default_factory=EngineSpec)
@@ -72,31 +87,51 @@ class TrafficConfig:
     arch: str = "llama-3.1-8b"
     context_scale: int = 64
     slo: SLOSpec = field(default_factory=SLOSpec)
+    workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_replicas <= 0:
             raise ValueError("num_replicas must be positive")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be at least 1 when set")
 
 
 class Replica:
-    """One serving engine plus its position on the simulation clock."""
+    """One serving engine plus its position on the simulation clock.
 
-    def __init__(self, index: int, engine: BatchedEngine) -> None:
+    The engine is driven through an execution-backend
+    :class:`~repro.execbackend.ReplicaHandle` — in-process for the
+    serial backend, worker-resident for the multiprocess one.  A bare
+    :class:`~repro.serving.BatchedEngine` is wrapped on the spot for
+    callers constructing replicas directly.
+    """
+
+    def __init__(self, index: int, engine: BatchedEngine | ReplicaHandle) -> None:
         self.index = index
-        self.engine = engine
+        self.handle: ReplicaHandle = (
+            engine if isinstance(engine, ReplicaHandle) else LocalReplicaHandle(engine)
+        )
         self.clock_s = 0.0
         self.steps = 0
         self.occupancy: list[int] = []
+        # Host wall time spent computing this replica's steps (virtual
+        # clock time lives in clock_s) — observability only.
+        self.step_wall_s = 0.0
+
+    @property
+    def engine(self) -> BatchedEngine:
+        """The in-process engine (raises on worker-resident replicas)."""
+        return self.handle.engine
 
     @property
     def queued(self) -> int:
         """Requests waiting in this replica's admission queue."""
-        return len(self.engine.queue)
+        return self.handle.queued
 
     @property
     def active(self) -> int:
         """Requests currently decoding on this replica."""
-        return self.engine.num_active
+        return self.handle.active
 
     @property
     def reserved_kv_bytes(self) -> int:
@@ -107,15 +142,11 @@ class Replica:
         demand already committed to each queue, not just what has been
         admitted.
         """
-        return self.engine.reserved_kv_bytes() + self.engine.queued_kv_bytes()
+        return self.handle.reserved_kv_bytes + self.handle.queued_kv_bytes
 
     def has_work(self) -> bool:
         """Whether the replica has queued, in-flight or preempted requests."""
-        return (
-            bool(self.engine.queue)
-            or self.engine.num_active > 0
-            or self.engine.num_preempted > 0
-        )
+        return self.handle.has_work()
 
 
 class TrafficSimulator:
@@ -159,21 +190,46 @@ class TrafficSimulator:
         self._first_token_at_s: dict[str, float] = {}
         self._metrics: list[RequestMetrics] = []
         self._duration_s = 0.0
+        self._run_wall_s = 0.0
+        self._backend = self._build_backend()
+
+    def _build_backend(self) -> ExecutionBackend:
+        """The execution backend replicas run on, from the config.
+
+        ``config.workers`` set implies the multiprocess backend even when
+        the engine spec says serial; a multiprocess spec with no worker
+        count defaults to ``min(num_replicas, cpu_count)``.
+        """
+        spec = self.config.engine
+        workers = self.config.workers
+        if spec.backend == "multiprocess" or workers is not None:
+            from ..execbackend import MultiprocessBackend
+
+            if workers is None:
+                workers = max(1, min(self.config.num_replicas, os.cpu_count() or 1))
+            return MultiprocessBackend(self.model, spec, workers)
+        return SerialBackend(self.model, spec)
+
+    def close(self) -> None:
+        """Release backend resources (worker processes, shared memory)."""
+        self._backend.close()
+
+    def __enter__(self) -> "TrafficSimulator":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover — GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def _build_replicas(self) -> list[Replica]:
         """Fresh replicas from the engine spec (the model is shared)."""
-        spec = self.config.engine
         return [
-            Replica(
-                index,
-                BatchedEngine(
-                    self.model,
-                    selector=spec.build_policy(),
-                    generation_config=spec.generation_config(),
-                    scheduler_config=spec.scheduler_config(),
-                    tiers=spec.tiers,
-                ),
-            )
+            Replica(index, self._backend.create_handle())
             for index in range(self.config.num_replicas)
         ]
 
@@ -195,7 +251,7 @@ class TrafficSimulator:
         # one already sits at or past it (the arrival gate guarantees
         # arrival <= every working clock).
         replica.clock_s = max(replica.clock_s, request.arrival_time_s)
-        replica.engine.submit(
+        replica.handle.submit(
             request.prompt_ids,
             request_id=request.request_id,
             max_new_tokens=request.max_new_tokens,
@@ -209,16 +265,26 @@ class TrafficSimulator:
         """Run one engine step on ``replica`` and charge it clock time.
 
         Returns the metrics of the requests that retired during the step
-        and the step's end instant on the replica clock.
+        and the step's end instant on the replica clock.  The step may
+        already be computing in a backend worker (speculation); this
+        collects its outcome at exactly the serial processing point.
         """
+        replica.handle.start_step()
+        outcome = replica.handle.finish_step()
+        return self._apply_step_outcome(replica, outcome)
+
+    def _apply_step_outcome(
+        self, replica: Replica, outcome: StepOutcome
+    ) -> tuple[list[RequestMetrics], float]:
+        """Charge one step outcome to the virtual clock and bookkeeping."""
+        finished = outcome.finished
+        trace = outcome.trace
         step_start_s = replica.clock_s
-        finished = replica.engine.step()
-        trace = replica.engine.last_step_trace
-        assert trace is not None
         step_end_s = step_start_s + self.clock.step_seconds(trace)
         replica.clock_s = step_end_s
         replica.steps += 1
         replica.occupancy.append(len(trace.decodes))
+        replica.step_wall_s += outcome.wall_s
         for entry in trace.attaches:
             # A prefix-cache attach admits the request before any prefill
             # chunk of it runs; it never produces the first token itself.
@@ -250,33 +316,52 @@ class TrafficSimulator:
         pending = deque(
             sorted(enumerate(requests), key=lambda item: (item[1].arrival_time_s, item[0]))
         )
+        self._backend.reset()
         self.replicas = self._build_replicas()
         self.router.reset()
         self._reset_run_state()
+        run_start = time.perf_counter()
 
-        while pending or any(replica.has_work() for replica in self.replicas):
-            working = [replica for replica in self.replicas if replica.has_work()]
-            next_step_s = min((replica.clock_s for replica in working), default=None)
-            if pending and (next_step_s is None or pending[0][1].arrival_time_s <= next_step_s):
-                _, request = pending.popleft()
-                target = int(self.router.choose(self.replicas, request))
-                if not 0 <= target < len(self.replicas):
-                    raise ValueError(
-                        f"router {self.router.name!r} chose replica {target}, "
-                        f"but only {len(self.replicas)} exist"
-                    )
-                self._submit_to(self.replicas[target], request)
-                continue
+        try:
+            while pending or any(replica.has_work() for replica in self.replicas):
+                working = [replica for replica in self.replicas if replica.has_work()]
+                next_step_s = min((replica.clock_s for replica in working), default=None)
+                gate_s = pending[0][1].arrival_time_s if pending else None
+                if pending and (next_step_s is None or gate_s <= next_step_s):
+                    _, request = pending.popleft()
+                    target = int(self.router.choose(self.replicas, request))
+                    if not 0 <= target < len(self.replicas):
+                        raise ValueError(
+                            f"router {self.router.name!r} chose replica {target}, "
+                            f"but only {len(self.replicas)} exist"
+                        )
+                    self._submit_to(self.replicas[target], request)
+                    continue
 
-            replica = min(working, key=lambda r: (r.clock_s, r.index))
-            self._step_replica(replica)
+                # Speculation: every working replica strictly before the
+                # next arrival must step before that arrival can touch it,
+                # so its step compute may start now (the multiprocess
+                # backend overlaps them across workers; serial defers).
+                # Outcomes are still *processed* one at a time below, in
+                # exactly the serial order.
+                for candidate in working:
+                    if gate_s is None or candidate.clock_s < gate_s:
+                        candidate.handle.start_step()
+
+                replica = min(working, key=lambda r: (r.clock_s, r.index))
+                self._step_replica(replica)
+        finally:
+            # Fold worker-side GEMM/k-means tallies into this process's
+            # active perf counter (no-op for the serial backend).
+            self._backend.drain_counters()
+            self._run_wall_s = time.perf_counter() - run_start
 
         return self._build_report()
 
     def _build_report(self) -> TrafficReport:
         """Assemble the report of the run that just drained."""
         occupancy = [o for replica in self.replicas for o in replica.occupancy]
-        return TrafficReport(
+        report = TrafficReport(
             requests=self._metrics,
             slo=self.config.slo,
             num_replicas=len(self.replicas),
@@ -286,10 +371,33 @@ class TrafficSimulator:
             engine_steps=sum(replica.steps for replica in self.replicas),
             mean_occupancy=(sum(occupancy) / len(occupancy)) if occupancy else 0.0,
             num_preemptions=sum(
-                replica.engine.num_preemptions_total for replica in self.replicas
+                replica.handle.num_preemptions_total for replica in self.replicas
             ),
             prefix_cache=self._prefix_cache_summary(),
         )
+        report.wall = self._wall_summary()
+        return report
+
+    def _wall_summary(self) -> dict[str, object]:
+        """Host wall-time breakdown of the run (never part of to_dict).
+
+        ``idle_wall_s`` is the run wall time a replica spent *not*
+        computing steps — waiting its turn under the serial backend,
+        genuinely idle or overlapped under the multiprocess one.
+        """
+        return {
+            "run_wall_s": self._run_wall_s,
+            "step_wall_s": sum(replica.step_wall_s for replica in self.replicas),
+            "replicas": [
+                {
+                    "replica": replica.index,
+                    "step_wall_s": replica.step_wall_s,
+                    "idle_wall_s": max(0.0, self._run_wall_s - replica.step_wall_s),
+                }
+                for replica in self.replicas
+            ],
+            "backend": self._backend.describe(),
+        }
 
     def _prefix_cache_summary(self) -> dict[str, object]:
         """Fleet-wide prefix-cache accounting plus the hit/miss TTFT split.
@@ -299,7 +407,7 @@ class TrafficSimulator:
         (``cached_prefix_tokens > 0``).  Empty when no replica ran with a
         prefix cache.
         """
-        per_replica = [replica.engine.prefix_cache_stats() for replica in self.replicas]
+        per_replica = [replica.handle.prefix_cache_stats() for replica in self.replicas]
         per_replica = [stats for stats in per_replica if stats]
         if not per_replica:
             return {}
@@ -377,12 +485,20 @@ def simulate(
     config: TrafficConfig | None = None,
     router: Router | None = None,
     clock: StepClock | None = None,
+    *,
+    workers: int | None = None,
 ) -> TrafficReport:
     """Run one traffic simulation and return its :class:`TrafficReport`.
 
     The one-call entry point the :mod:`repro.api` layer re-exports:
     build a workload (:func:`repro.traffic.generate_traffic` or
     :func:`repro.traffic.load_trace`), describe the fleet in a
-    :class:`TrafficConfig`, and simulate.
+    :class:`TrafficConfig`, and simulate.  ``workers`` selects the
+    multiprocess execution backend with that many worker processes; the
+    report is byte-identical to the serial default.
     """
-    return TrafficSimulator(config, router=router, clock=clock).run(requests)
+    config = config or TrafficConfig()
+    if workers is not None:
+        config = replace(config, workers=workers)
+    with TrafficSimulator(config, router=router, clock=clock) as simulator:
+        return simulator.run(requests)
