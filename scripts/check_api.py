@@ -40,6 +40,7 @@ PUBLIC_MODULES = (
     "repro.perf",
     "repro.serving",
     "repro.execbackend",
+    "repro.specdec",
     "repro.seqstate",
     "repro.prefixcache",
     "repro.traffic",

@@ -96,6 +96,7 @@ class Session:
             generation_config=base.generation_config(),
             scheduler_config=base.scheduler_config(),
             tiers=base.tiers,
+            speculation=base.speculation_config(),
         )
         self._completed: list[CompletedRequest] = []
         self._completed_by_id: dict[str, CompletedRequest] = {}

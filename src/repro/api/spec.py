@@ -19,6 +19,7 @@ from ..memory import TierBudgets
 from ..model import GenerationConfig, TransformerModel, get_model_config
 from ..policies import PolicySpec, build_policy, resolve_policy_spec
 from ..serving import SchedulerConfig
+from ..specdec import SpeculationConfig, drafter_names
 
 __all__ = ["EngineSpec"]
 
@@ -82,6 +83,16 @@ class EngineSpec:
         (persistent worker pool sharing one read-only weight arena, see
         :mod:`repro.execbackend`).  Virtual-clock results are
         byte-identical across backends; only wall-clock changes.
+    speculate_k:
+        Speculative-decoding draft length ``k``: each engine step the
+        drafter proposes up to ``k`` candidate tokens per decoding
+        request and one batched verify round scores them
+        (:mod:`repro.specdec`).  ``0`` (the default) decodes plainly;
+        greedy outputs are bit-identical either way.
+    drafter:
+        Registered name of the drafter used when ``speculate_k > 0``
+        (:func:`repro.specdec.build_drafter`); the default ``"ngram"``
+        self-drafter needs no second model.
     """
 
     model: str = "serve-sim"
@@ -104,12 +115,21 @@ class EngineSpec:
     preemption: bool = False
     tiers: TierBudgets | None = None
     backend: str = "serial"
+    speculate_k: int = 0
+    drafter: str = "ngram"
 
     def __post_init__(self) -> None:
         if self.backend not in ("serial", "multiprocess"):
             raise ValueError(
                 f"unknown execution backend {self.backend!r}; "
                 "expected 'serial' or 'multiprocess'"
+            )
+        if self.speculate_k < 0:
+            raise ValueError("speculate_k must be >= 0 (0 disables speculation)")
+        if self.speculate_k > 0 and self.drafter not in drafter_names():
+            raise ValueError(
+                f"unknown drafter {self.drafter!r}; "
+                f"registered drafters: {', '.join(drafter_names())}"
             )
         object.__setattr__(self, "policy", resolve_policy_spec(self.policy))
         if isinstance(self.tiers, str):
@@ -152,6 +172,17 @@ class EngineSpec:
             prefix_semantic_reuse=self.prefix_semantic_reuse,
             preemption=self.preemption,
         )
+
+    def speculation_config(self) -> SpeculationConfig | None:
+        """The :class:`~repro.specdec.SpeculationConfig` slice of this spec.
+
+        ``None`` when ``speculate_k == 0``, which is what keeps engines
+        built from a default spec on the plain (non-speculative) decode
+        path, bit for bit.
+        """
+        if self.speculate_k <= 0:
+            return None
+        return SpeculationConfig(drafter=self.drafter, k=self.speculate_k)
 
     # ------------------------------------------------------------------
     # dict / JSON round-trip

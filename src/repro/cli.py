@@ -74,6 +74,8 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
         max_new_tokens=args.new_tokens,
         budget=args.budget,
         repeats=args.repeats,
+        speculate_k=args.speculate,
+        drafter=args.drafter,
     )
     if args.mixed:
         return format_mixed_serve_bench(run_mixed_serve_bench(config))
@@ -116,6 +118,8 @@ def _workload_kwargs(args: argparse.Namespace) -> dict:
         trace=args.trace,
         backend=args.backend,
         workers=None if args.workers <= 0 else args.workers,
+        speculate_k=args.speculate,
+        drafter=args.drafter,
     )
 
 
@@ -411,6 +415,16 @@ def _format_listing() -> str:
         "worker processes sharing read-only weights; reports byte-identical "
         "to serial, wall-clock scales with cores"
     )
+    from .specdec import drafter_names
+
+    lines.append(
+        "speculative decoding (serve-/traffic-/cluster-bench --speculate K "
+        "[--drafter NAME]; EngineSpec speculate_k/drafter):"
+    )
+    lines.append(
+        "  repro.specdec draft-then-verify decoding; drafters: "
+        + ", ".join(drafter_names())
+    )
     return "\n".join(lines)
 
 
@@ -479,6 +493,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--new-tokens", type=int, default=96, help="decode tokens")
     serve.add_argument("--budget", type=int, default=48, help="KV budget per head")
     serve.add_argument("--repeats", type=int, default=2, help="timing repeats")
+    serve.add_argument(
+        "--speculate",
+        type=int,
+        default=0,
+        metavar="K",
+        help="speculative decoding: draft up to K tokens per request per "
+        "step and verify them in one batched pass (0 disables; greedy "
+        "outputs are identical either way)",
+    )
+    serve.add_argument(
+        "--drafter",
+        type=str,
+        default="ngram",
+        help="registered drafter used with --speculate (default ngram, "
+        "a self-drafting prompt-lookup drafter)",
+    )
     serve.add_argument("--out", type=str, default=None, help="write output to a file")
 
     traffic = subparsers.add_parser(
@@ -706,6 +736,15 @@ def _add_workload_flags(traffic: argparse.ArgumentParser) -> None:
         "--preempt", action="store_true",
         help="let replicas checkpoint-preempt batch-class work for an "
         "interactive queue head (repro.seqstate)",
+    )
+    traffic.add_argument(
+        "--speculate", type=int, default=0, metavar="K",
+        help="speculative decoding: draft up to K tokens per request per "
+        "engine step and verify them in one batched pass (0 disables)",
+    )
+    traffic.add_argument(
+        "--drafter", type=str, default="ngram",
+        help="registered drafter used with --speculate (default ngram)",
     )
     traffic.add_argument(
         "--slo-ttft", type=float, default=2.5,

@@ -59,16 +59,23 @@ class WorkerCrashed(RuntimeError):
     """A backend worker process died (or its pipe broke) mid-conversation.
 
     Raised instead of hanging on a dead pipe; carries which worker and
-    which command was in flight so the failure is attributable.
+    which command was in flight so the failure is attributable, plus an
+    optional ``detail`` string — the parent-side cause (the pipe error
+    and the worker's exit code) or the worker's own traceback when one
+    made it across the pipe before death.
     """
 
-    def __init__(self, worker: int, command: str) -> None:
-        super().__init__(
+    def __init__(self, worker: int, command: str, detail: str | None = None) -> None:
+        message = (
             f"execution-backend worker {worker} crashed "
             f"while serving command {command!r}"
         )
+        if detail:
+            message = f"{message}\n{detail}"
+        super().__init__(message)
         self.worker = worker
         self.command = command
+        self.detail = detail
 
 
 @dataclass(frozen=True)

@@ -213,7 +213,10 @@ def _encode_error(exc: BaseException) -> tuple[str, str, tuple, dict, str]:
     try:
         pickle.dumps(payload)
         return payload
-    except Exception:
+    except (pickle.PicklingError, TypeError, AttributeError, ValueError):
+        # Exactly the failures CPython's pickle raises for unpicklable
+        # objects (reduce errors, unpicklable closures/locks, recursive
+        # state); anything else is a real bug that should surface.
         return (
             "builtins",
             "RuntimeError",
@@ -224,7 +227,14 @@ def _encode_error(exc: BaseException) -> tuple[str, str, tuple, dict, str]:
 
 
 def _decode_error(payload: tuple[str, str, tuple, dict, str]) -> BaseException:
-    """Rebuild the worker's exception (falling back to RuntimeError)."""
+    """Rebuild the worker's exception (falling back to RuntimeError).
+
+    The fallback covers exactly the ways reconstruction can fail — the
+    type's module is missing here, the attribute path is gone, the name
+    no longer refers to an exception type, or its ``__new__`` refuses the
+    bare call — and carries the worker's full traceback text so the
+    original failure is never lost.
+    """
     module_name, qualname, args, state, tb = payload
     try:
         obj: object = importlib.import_module(module_name)
@@ -235,7 +245,7 @@ def _decode_error(payload: tuple[str, str, tuple, dict, str]) -> BaseException:
         exc.args = args
         exc.__dict__.update(state)
         return exc
-    except Exception:
+    except (ImportError, AttributeError, AssertionError, TypeError):
         return RuntimeError(
             f"worker raised {module_name}.{qualname}{args}\n--- worker traceback ---\n{tb}"
         )
@@ -276,7 +286,8 @@ def _worker_main(
                 if command == "close":
                     try:
                         conn.send((rid, command, "ok", None))
-                    except Exception:
+                    except OSError:
+                        # Parent already gone; the ack is best-effort.
                         pass
                     break
                 try:
@@ -286,7 +297,9 @@ def _worker_main(
                     reply = (rid, command, "exc", _encode_error(exc))
                 try:
                     conn.send(reply)
-                except Exception:
+                except OSError:
+                    # Pipe to the parent broke mid-reply; nothing left to
+                    # serve, so exit and let the parent raise WorkerCrashed.
                     break
     finally:
         shm.close()
@@ -361,7 +374,7 @@ class _WorkerClient:
         try:
             self.conn.send((command, rid, args))
         except (BrokenPipeError, OSError) as exc:
-            raise WorkerCrashed(self.index, command) from exc
+            raise WorkerCrashed(self.index, command, detail=self._crash_detail(exc)) from exc
 
     def wait(self, rid: object, command: str):
         """Receive the reply of a posted command, parking strangers."""
@@ -371,7 +384,9 @@ class _WorkerClient:
             try:
                 frame = self.conn.recv()
             except (EOFError, OSError) as exc:
-                raise WorkerCrashed(self.index, command) from exc
+                raise WorkerCrashed(
+                    self.index, command, detail=self._crash_detail(exc)
+                ) from exc
             frame_key = (frame[0], frame[1])
             if frame_key == key:
                 reply = frame
@@ -387,11 +402,22 @@ class _WorkerClient:
         self.post(rid, command, *args)
         return self.wait(rid, command)
 
+    def _crash_detail(self, exc: BaseException) -> str:
+        """Attributable cause for a :class:`WorkerCrashed`: pipe error + exit code.
+
+        The exit code distinguishes a worker the kernel killed (negative:
+        signal number, e.g. the OOM killer's -9) from one that exited
+        cleanly after its pipe broke, and ``None`` means the process is
+        somehow still alive — three very different debugging stories.
+        """
+        return f"pipe error: {exc!r}; worker exitcode={self.process.exitcode}"
+
     def shutdown(self) -> None:
         """Best-effort orderly close, then force."""
         try:
             self.conn.send(("close", None, ()))
-        except Exception:
+        except OSError:
+            # Worker already dead; terminate/join below still reaps it.
             pass
         self.process.join(timeout=5)
         if self.process.is_alive():
@@ -399,7 +425,7 @@ class _WorkerClient:
             self.process.join(timeout=5)
         try:
             self.conn.close()
-        except Exception:
+        except OSError:
             pass
 
 

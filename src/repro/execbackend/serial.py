@@ -180,6 +180,7 @@ def build_engine(model: "TransformerModel", spec: "EngineSpec") -> BatchedEngine
         generation_config=spec.generation_config(),
         scheduler_config=spec.scheduler_config(),
         tiers=spec.tiers,
+        speculation=spec.speculation_config(),
     )
 
 

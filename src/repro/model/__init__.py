@@ -31,7 +31,13 @@ from .model_zoo import (
     list_reference_architectures,
 )
 from .pointer import CopyHead
-from .sampling import greedy_sample, mix_distributions, temperature_sample
+from .sampling import (
+    DegenerateDistributionError,
+    apply_temperature,
+    greedy_sample,
+    mix_distributions,
+    temperature_sample,
+)
 from .tokenizer import SyntheticTokenizer
 from .transformer import TransformerModel
 from .weights import LayerWeights, ModelWeights, init_weights
@@ -59,7 +65,9 @@ __all__ = [
     "selected_attention_batch",
     "greedy_sample",
     "temperature_sample",
+    "apply_temperature",
     "mix_distributions",
+    "DegenerateDistributionError",
     "ReferenceArchitecture",
     "get_model_config",
     "get_reference_architecture",

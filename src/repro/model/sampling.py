@@ -6,7 +6,23 @@ import numpy as np
 
 from .tensor_ops import softmax
 
-__all__ = ["greedy_sample", "temperature_sample", "mix_distributions"]
+__all__ = [
+    "DegenerateDistributionError",
+    "greedy_sample",
+    "temperature_sample",
+    "apply_temperature",
+    "mix_distributions",
+]
+
+
+class DegenerateDistributionError(ValueError):
+    """A probability vector with no mass where mass is required.
+
+    Raised instead of returning an unnormalised vector: letting a
+    zero-mass distribution escape produces a cryptic downstream
+    ``rng.choice`` failure ("probabilities do not sum to 1") or — worse —
+    a silently skewed greedy argmax over raw, meaningless values.
+    """
 
 
 def greedy_sample(probabilities: np.ndarray) -> int:
@@ -15,17 +31,33 @@ def greedy_sample(probabilities: np.ndarray) -> int:
     return int(np.argmax(probabilities))
 
 
-def temperature_sample(
-    probabilities: np.ndarray, rng: np.random.Generator, temperature: float = 1.0
-) -> int:
-    """Sample from a (re-tempered) probability distribution."""
+def apply_temperature(probabilities: np.ndarray, temperature: float = 1.0) -> np.ndarray:
+    """Re-temper and normalise a probability distribution.
+
+    The deterministic half of :func:`temperature_sample`: the returned
+    vector is exactly the distribution that function draws from, which
+    is what speculative decoding's rejection sampler needs to accept
+    drafts with the target model's own probabilities.
+    """
     probabilities = np.asarray(probabilities, dtype=np.float64)
     if temperature <= 0:
         raise ValueError("temperature must be positive")
     if temperature != 1.0:
         logits = np.log(np.clip(probabilities, 1e-30, None)) / temperature
         probabilities = softmax(logits)
-    probabilities = probabilities / probabilities.sum()
+    total = probabilities.sum()
+    if not total > 0:
+        raise DegenerateDistributionError(
+            f"distribution has non-positive total mass {total!r}"
+        )
+    return probabilities / total
+
+
+def temperature_sample(
+    probabilities: np.ndarray, rng: np.random.Generator, temperature: float = 1.0
+) -> int:
+    """Sample from a (re-tempered) probability distribution."""
+    probabilities = apply_temperature(probabilities, temperature)
     return int(rng.choice(probabilities.shape[0], p=probabilities))
 
 
@@ -35,12 +67,19 @@ def mix_distributions(
     """Mix two probability distributions: ``gate * primary + (1-gate) * secondary``.
 
     When ``secondary`` is ``None`` the primary distribution is returned
-    unchanged (re-normalised defensively).
+    unchanged (re-normalised defensively).  A mix with no probability
+    mass raises :class:`DegenerateDistributionError` — the callers all
+    feed the result to a sampler, so an unnormalisable vector is a
+    programming error worth a typed, immediate failure.
     """
     primary = np.asarray(primary, dtype=np.float64)
     if secondary is None:
         total = primary.sum()
-        return primary / total if total > 0 else primary
+        if not total > 0:
+            raise DegenerateDistributionError(
+                f"primary distribution has non-positive total mass {total!r}"
+            )
+        return primary / total
     secondary = np.asarray(secondary, dtype=np.float64)
     if primary.shape != secondary.shape:
         raise ValueError("distributions must have the same shape")
@@ -48,4 +87,9 @@ def mix_distributions(
         raise ValueError("gate must lie in [0, 1]")
     mixed = gate * primary + (1.0 - gate) * secondary
     total = mixed.sum()
-    return mixed / total if total > 0 else mixed
+    if not total > 0:
+        raise DegenerateDistributionError(
+            f"mixed distribution has non-positive total mass {total!r} "
+            f"(gate {gate})"
+        )
+    return mixed / total

@@ -406,6 +406,45 @@ def deterministic_counters(config: PerfBenchConfig | None = None) -> dict[str, o
     with count_ops() as parallel_ops:
         parallel_report = run_traffic_bench(parallel_config)
 
+    # Speculative-decoding scenario: a repetitive 4-request workload whose
+    # greedy output the ngram drafter predicts near-perfectly, served
+    # plainly and then with k=4 speculation.  The pinned invariants: the
+    # spec-on run emits the same token total in strictly fewer engine
+    # steps, and the drafted/accepted/rejected counters conserve exactly —
+    # a drift in draft clipping, acceptance or rollback moves them.
+    from ..specdec import SpeculationConfig
+
+    spec_prompts = [
+        np.tile(np.array([5, 6, 7, 8], dtype=np.int64), 16) for _ in range(4)
+    ]
+    spec_gen = GenerationConfig(
+        budget=48,
+        max_new_tokens=32,
+        num_full_layers=config.num_full_layers,
+        num_sink_tokens=4,
+    )
+
+    def _spec_engine(speculation):
+        return BatchedEngine(
+            model,
+            build_policy("full"),
+            spec_gen,
+            SchedulerConfig(max_batch_size=4, max_prefills_per_step=4),
+            speculation=speculation,
+        )
+
+    spec_baseline_engine = _spec_engine(None)
+    for prompt in spec_prompts:
+        spec_baseline_engine.submit(prompt)
+    spec_baseline_report = spec_baseline_engine.run()
+
+    spec_engine = _spec_engine(SpeculationConfig(drafter="ngram", k=4))
+    for prompt in spec_prompts:
+        spec_engine.submit(prompt)
+    with count_ops() as spec_ops:
+        spec_report = spec_engine.run()
+    spec_accounting = spec_report.speculation()
+
     return {
         "serve": {
             "engine_steps": report.engine_steps,
@@ -436,6 +475,16 @@ def deterministic_counters(config: PerfBenchConfig | None = None) -> dict[str, o
             "total_tokens": parallel_report.total_output_tokens,
             "num_replicas": config.parallel_replicas,
             "counters": parallel_ops.as_dict(),
+        },
+        "spec_serve": {
+            "baseline_engine_steps": spec_baseline_report.engine_steps,
+            "spec_engine_steps": spec_report.engine_steps,
+            "baseline_tokens": spec_baseline_report.total_generated_tokens,
+            "spec_tokens": spec_report.total_generated_tokens,
+            "drafted_tokens": int(spec_accounting["drafted_tokens"]),
+            "accepted_tokens": int(spec_accounting["accepted_tokens"]),
+            "rejected_tokens": int(spec_accounting["rejected_tokens"]),
+            "counters": spec_ops.as_dict(),
         },
     }
 

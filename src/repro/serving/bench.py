@@ -34,6 +34,7 @@ from ..model import (
     get_model_config,
 )
 from ..policies import PolicySpec, build_policy
+from ..specdec import SpeculationConfig
 from .engine import BatchedEngine
 from .scheduler import SchedulerConfig
 
@@ -68,6 +69,12 @@ class ServeBenchConfig:
     configured :class:`~repro.policies.PolicySpec` entries (the CLI's
     ``--policy``/``--policy-json`` path); when unset, each name in
     ``methods`` resolves through :func:`serving_policy_spec`.
+
+    ``speculate_k > 0`` switches the *batched* mode to speculative
+    decoding with the named ``drafter`` (the sequential baseline always
+    decodes plainly — greedy outputs are bit-identical either way, so the
+    token-count guard still holds and the step ratio additionally shows
+    what speculation saves).
     """
 
     model: str = "serve-sim"
@@ -82,8 +89,12 @@ class ServeBenchConfig:
     num_full_layers: int = 1
     repeats: int = 2
     seed: int = 0
+    speculate_k: int = 0
+    drafter: str = "ngram"
 
     def __post_init__(self) -> None:
+        if self.speculate_k < 0:
+            raise ValueError("speculate_k must be >= 0 (0 disables speculation)")
         if self.num_requests <= 0 or self.max_batch_size <= 0:
             raise ValueError("num_requests and max_batch_size must be positive")
         if self.prompt_len <= 0 or self.max_new_tokens <= 0:
@@ -113,6 +124,12 @@ class ServeBenchConfig:
         return tuple(
             serving_policy_spec(name, self.num_sink_tokens) for name in self.methods
         )
+
+    def speculation_config(self) -> SpeculationConfig | None:
+        """Speculation of the batched mode; ``None`` when disabled."""
+        if self.speculate_k <= 0:
+            return None
+        return SpeculationConfig(drafter=self.drafter, k=self.speculate_k)
 
 
 @dataclass
@@ -324,6 +341,7 @@ def run_serve_bench(config: ServeBenchConfig | None = None) -> list[MethodThroug
                     max_batch_size=config.max_batch_size,
                     max_prefills_per_step=config.max_batch_size,
                 ),
+                speculation=config.speculation_config(),
             )
             for prompt in prompts:
                 batched.submit(prompt)
@@ -332,10 +350,14 @@ def run_serve_bench(config: ServeBenchConfig | None = None) -> list[MethodThroug
             occupancy = report.mean_batch_occupancy
             total_tokens = report.total_generated_tokens
             batched_steps = report.engine_steps
+            speculation = report.speculation()
             if total_tokens != sequential_tokens:
                 raise RuntimeError(
                     "sequential and batched runs generated different token counts"
                 )
+        extra: dict[str, float] = {}
+        if config.speculate_k > 0:
+            extra = dict(speculation)
         results.append(
             MethodThroughput(
                 method=label,
@@ -348,6 +370,7 @@ def run_serve_bench(config: ServeBenchConfig | None = None) -> list[MethodThroug
                 sequential_engine_steps=sequential_steps,
                 batched_engine_steps=batched_steps,
                 policy=dict(selector.describe()),
+                extra=extra,
             )
         )
     return results
@@ -435,6 +458,14 @@ def format_serve_bench(results: list[MethodThroughput]) -> str:
             f"{item.speedup:7.2f}x {item.step_speedup:7.2f}x "
             f"{item.mean_occupancy:10.1f}"
         )
+        if "acceptance_rate" in item.extra:
+            lines.append(
+                f"{'':14s} speculation: "
+                f"acceptance {item.extra['acceptance_rate']:.2f}  "
+                f"mean run {item.extra['mean_accepted_run_length']:.2f}  "
+                f"drafted {int(item.extra['drafted_tokens'])}  "
+                f"accepted {int(item.extra['accepted_tokens'])}"
+            )
     return "\n".join(lines)
 
 

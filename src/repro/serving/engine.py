@@ -43,6 +43,7 @@ from ..perf import counters
 from ..policies import PolicySpec, build_policy, resolve_policy_spec
 from ..prefixcache import PrefixCacheConfig, PrefixMatch, RadixPrefixCache
 from ..seqstate import SequenceCheckpoint
+from ..specdec import Drafter, SpeculationConfig
 from .queue import RequestQueue
 from .request import ActiveRequest, CompletedRequest, RequestStatus, ServeRequest
 from .scheduler import ContinuousBatchingScheduler, SchedulerConfig
@@ -257,6 +258,30 @@ class ServeReport:
         """
         return {c.request.request_id: c.result.method_config for c in self.completed}
 
+    def speculation(self) -> dict[str, float]:
+        """Aggregate speculative-decoding accounting over the run.
+
+        Sums the per-request draft/accept/reject counters carried on every
+        :class:`~repro.model.generation.GenerationResult` and derives the
+        two headline metrics: ``acceptance_rate`` (accepted / drafted) and
+        ``mean_accepted_run_length`` (accepted tokens per speculation
+        round).  ``accepted_tokens + rejected_tokens == drafted_tokens``
+        holds by construction.  All zeros when the run decoded without
+        speculation.
+        """
+        rounds = sum(c.result.spec_rounds for c in self.completed)
+        drafted = sum(c.result.spec_drafted_tokens for c in self.completed)
+        accepted = sum(c.result.spec_accepted_tokens for c in self.completed)
+        rejected = sum(c.result.spec_rejected_tokens for c in self.completed)
+        return {
+            "rounds": float(rounds),
+            "drafted_tokens": float(drafted),
+            "accepted_tokens": float(accepted),
+            "rejected_tokens": float(rejected),
+            "acceptance_rate": accepted / drafted if drafted else 0.0,
+            "mean_accepted_run_length": accepted / rounds if rounds else 0.0,
+        }
+
 
 class BatchedEngine:
     """Serves many generation requests concurrently over one model.
@@ -291,6 +316,20 @@ class BatchedEngine:
         :class:`~repro.memory.CapacityExceeded` instead of silently
         growing.  ``None`` (the default) keeps the historical unbounded
         behaviour bit for bit.
+    speculation:
+        Optional :class:`~repro.specdec.SpeculationConfig` switching the
+        decode batch into *speculative decoding*: each engine step the
+        configured drafter proposes up to ``k`` candidate tokens per
+        decoding request and one verify round
+        (:meth:`~repro.model.generation.EngineCore.speculative_round`)
+        scores them all, accepting a prefix and rolling the rest back.
+        Accepted runs retire several tokens per engine step, so a
+        predictable workload finishes in fewer steps.  Greedy outputs
+        (tokens and log-probabilities) are bit-identical to running with
+        ``speculation=None``.  Speculation rounds complete within a
+        single :meth:`step` call and the drafter is stateless, so
+        checkpoint/restore (:meth:`checkpoint_request`) never observes
+        in-flight draft state.
     """
 
     def __init__(
@@ -301,6 +340,7 @@ class BatchedEngine:
         scheduler_config: SchedulerConfig | None = None,
         offload: OffloadManager | None = None,
         tiers: TierBudgets | None = None,
+        speculation: SpeculationConfig | None = None,
     ) -> None:
         self.model = model
         if selector is None:
@@ -328,6 +368,10 @@ class BatchedEngine:
         self.scheduler = ContinuousBatchingScheduler(scheduler_config)
         self.queue = RequestQueue()
         self.core = EngineCore(model, self.generation_config)
+        self.speculation = speculation
+        self._drafter: Drafter | None = (
+            speculation.build_drafter() if speculation is not None else None
+        )
         self._active: list[ActiveRequest] = []
         self._reserved_bytes: dict[str, int] = {}
         self._submitted_at_step: dict[str, int] = {}
@@ -778,23 +822,26 @@ class BatchedEngine:
             if a.status is RequestStatus.DECODING and not a.is_finished
         ]
         if batch:
-            distributions = self.core.decode_step_batch(
-                [a.sequence for a in batch],
-                [a.current_token for a in batch],
-                [a.decode_step for a in batch],
-            )
-            for active, distribution in zip(batch, distributions):
-                token = self.core.pick_token(active.sequence, distribution)
-                self.core.record_output(active.sequence, token, distribution)
-                active.sequence.result.decode_steps += 1
-                active.current_token = token
-                active.decode_step += 1
-            for active in batch:
-                # sequence.position was advanced by the decode step and now
-                # equals the KV context length attended at this step.
-                trace.decodes.append(
-                    self._trace_entry(active, active.sequence.position)
+            if self._drafter is not None:
+                self._speculative_decode(batch, trace)
+            else:
+                distributions = self.core.decode_step_batch(
+                    [a.sequence for a in batch],
+                    [a.current_token for a in batch],
+                    [a.decode_step for a in batch],
                 )
+                for active, distribution in zip(batch, distributions):
+                    token = self.core.pick_token(active.sequence, distribution)
+                    self.core.record_output(active.sequence, token, distribution)
+                    active.sequence.result.decode_steps += 1
+                    active.current_token = token
+                    active.decode_step += 1
+                for active in batch:
+                    # sequence.position was advanced by the decode step and
+                    # now equals the KV context length attended at this step.
+                    trace.decodes.append(
+                        self._trace_entry(active, active.sequence.position)
+                    )
         self._last_occupancy = len(batch)
 
         completed = self._retire_finished()
@@ -833,6 +880,59 @@ class BatchedEngine:
             chunk_start=chunk_start,
             chunk_tokens=chunk_tokens,
         )
+
+    def _speculative_decode(
+        self, batch: list[ActiveRequest], trace: StepTrace
+    ) -> None:
+        """One speculative decode round over the whole decode batch.
+
+        For every decoding request the drafter proposes up to
+        ``min(k, remaining - 1)`` candidate tokens from the request's own
+        token history (prompt plus emitted output — self-drafting needs no
+        second model); the clip guarantees a fully accepted draft plus its
+        bonus token never overshoots ``max_new_tokens``.  A request whose
+        draft comes back empty (cold history, or one token remaining)
+        rides the same round as a plain single-position decode.  One
+        :meth:`~repro.model.generation.EngineCore.speculative_round` call
+        verifies every candidate and rolls rejected positions back, so
+        after this method each request's KV length, selector state and
+        ledger reflect exactly its accepted tokens.
+
+        The step trace records one decode entry per *fed* position
+        (accepted or not) at the KV context length that position attended
+        — rejected verify work is real work, and the virtual clock prices
+        the whole round as a single fused batched pass over those entries.
+        """
+        assert self.speculation is not None and self._drafter is not None
+        drafts: list[list[int]] = []
+        positions0: list[int] = []
+        for active in batch:
+            remaining = active.max_new_tokens - active.tokens_generated
+            k_eff = min(self.speculation.k, remaining - 1)
+            draft: list[int] = []
+            if k_eff >= 1:
+                history = active.request.prompt_ids.tolist() + list(
+                    active.sequence.result.output_ids
+                )
+                draft = self._drafter.propose(history, k_eff)
+            drafts.append(draft)
+            positions0.append(active.sequence.position)
+        emitted_all = self.core.speculative_round(
+            [a.sequence for a in batch],
+            [a.current_token for a in batch],
+            [a.decode_step for a in batch],
+            drafts,
+        )
+        for active, draft, emitted, position0 in zip(
+            batch, drafts, emitted_all, positions0
+        ):
+            active.current_token = emitted[-1]
+            active.decode_step += len(emitted)
+            active.sequence.result.decode_steps += len(emitted)
+            for offset in range(len(draft) + 1):
+                trace.decodes.append(
+                    self._trace_entry(active, position0 + offset + 1)
+                )
 
     def run(self) -> ServeReport:
         """Drain the queue: step until no request is queued or in flight."""

@@ -1,0 +1,37 @@
+"""Self-speculative decoding: drafter registry + speculation config.
+
+Speculative decoding attacks the one cost PR 4's vectorization could
+not: at decode time every request contributes a single token per
+forward pass, so the batched GEMMs run at the float64 BLAS floor.  A
+speculation round drafts ``k`` candidate tokens per request with a
+cheap :class:`Drafter` (the default needs no second model — it
+prompt-looks-up the request's own history), then verifies all ``k + 1``
+positions in ONE batched pass through the engine's existing fused
+QKV/attention machinery, multiplying the effective GEMM batch size.
+
+The draft/verify/accept loop itself lives in the serving engine
+(:meth:`repro.serving.BatchedEngine.step`); this package owns the
+drafter abstraction, its registry, and the
+:class:`SpeculationConfig` record threaded through
+:class:`repro.api.EngineSpec`.
+"""
+
+from __future__ import annotations
+
+from .config import SpeculationConfig
+from .drafter import (
+    Drafter,
+    NGramDrafter,
+    build_drafter,
+    drafter_names,
+    register_drafter,
+)
+
+__all__ = [
+    "Drafter",
+    "NGramDrafter",
+    "SpeculationConfig",
+    "build_drafter",
+    "drafter_names",
+    "register_drafter",
+]

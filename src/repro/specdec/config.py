@@ -1,0 +1,39 @@
+"""Configuration record for speculative decoding."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .drafter import Drafter, build_drafter
+
+__all__ = ["SpeculationConfig"]
+
+
+@dataclass(frozen=True)
+class SpeculationConfig:
+    """How a serving engine speculates: which drafter, how many tokens.
+
+    ``k`` is the *maximum* draft length per round; the engine clips it
+    against each request's remaining token budget so speculation never
+    overshoots ``max_new_tokens``, and the drafter may propose fewer
+    (or no) tokens on unmatchable histories.
+    """
+
+    #: Registry name of the drafter (see :func:`repro.specdec.build_drafter`).
+    drafter: str = "ngram"
+    #: Maximum candidate tokens drafted per request per round.
+    k: int = 4
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"speculation k must be >= 1, got {self.k}")
+        if not self.drafter:
+            raise ValueError("speculation drafter name must be non-empty")
+
+    def build_drafter(self) -> Drafter:
+        """Instantiate the configured drafter from the registry."""
+        return build_drafter(self.drafter)
+
+    def describe(self) -> dict[str, object]:
+        """Identity of this configuration (for reports)."""
+        return {"drafter": self.drafter, "k": self.k}

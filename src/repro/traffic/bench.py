@@ -67,6 +67,10 @@ class TrafficBenchConfig:
     (:mod:`repro.execbackend`): ``workers`` set runs engines in that many
     worker processes, byte-identical numbers, lower wall-clock on
     multi-core hosts.
+    ``speculate_k``/``drafter`` switch every replica to speculative
+    decoding (:mod:`repro.specdec`): up to ``speculate_k`` drafted tokens
+    verified per request per engine step; the report then carries
+    per-request and aggregate acceptance accounting.
     """
 
     model: str = "serve-sim"
@@ -97,6 +101,8 @@ class TrafficBenchConfig:
     trace: str | None = None
     backend: str = "serial"
     workers: int | None = None
+    speculate_k: int = 0
+    drafter: str = "ngram"
 
     def __post_init__(self) -> None:
         if not self.policies:
@@ -134,6 +140,8 @@ class TrafficBenchConfig:
             prefix_block_tokens=self.prefix_block,
             preemption=self.preemption,
             backend=self.backend,
+            speculate_k=self.speculate_k,
+            drafter=self.drafter,
         )
 
     def traffic_config(self) -> TrafficConfig:
@@ -237,6 +245,15 @@ def format_traffic_report(report: TrafficReport) -> str:
             f"{cache.get('hit_tokens', 0)} tokens attached)  "
             f"TTFT hit/miss: {float(cache.get('ttft_hit_mean_s', 0.0)):.3f}s"
             f"/{float(cache.get('ttft_miss_mean_s', 0.0)):.3f}s"
+        )
+    speculation = report.speculation()
+    if speculation["drafted_tokens"] > 0:
+        lines.append(
+            f"speculation: acceptance {speculation['acceptance_rate'] * 100.0:.1f}% "
+            f"({int(speculation['accepted_tokens'])}/"
+            f"{int(speculation['drafted_tokens'])} drafted)  "
+            f"mean accepted run: {speculation['mean_accepted_run_length']:.2f} "
+            f"over {int(speculation['rounds'])} rounds"
         )
     if report.num_rejected:
         reasons: dict[str, int] = {}

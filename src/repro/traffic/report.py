@@ -37,10 +37,35 @@ PERCENTILES = (50.0, 95.0, 99.0)
 
 
 def percentile(values: list[float], q: float) -> float:
-    """Deterministic linear-interpolation percentile (0 for no samples)."""
+    """Deterministic linear-interpolation percentile (NaN for no samples).
+
+    An empty sample has no percentile: returning 0.0 here (the historical
+    behaviour) made an all-rejected class look like it had *perfect*
+    latency.  NaN propagates honestly through in-memory aggregates and
+    serialises as ``null`` in report JSON (:meth:`TrafficReport.to_dict`
+    sanitises non-finite floats), so dashboards render a gap instead of a
+    zero.
+    """
     if not values:
-        return 0.0
+        return float("nan")
     return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+def _jsonable(value: object) -> object:
+    """Deep-copy a report payload with non-finite floats replaced by None.
+
+    ``json.dumps`` would emit the non-standard literals ``NaN`` /
+    ``Infinity`` for them, breaking the byte-stable-JSON contract (and
+    strict parsers); ``null`` is the faithful JSON spelling of "no
+    sample".
+    """
+    if isinstance(value, float) and not np.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
 
 
 @dataclass(frozen=True)
@@ -133,6 +158,11 @@ class RequestMetrics:
         How many times the request resumed from a periodic checkpoint
         after its replica failed (0 without ``checkpoint_interval_s``).
         Only the tokens decoded after the last checkpoint are lost.
+    spec_rounds / spec_drafted_tokens / spec_accepted_tokens /
+    spec_rejected_tokens:
+        Speculative-decoding counters of the request (all 0 when the run
+        decoded without speculation).  ``drafted == accepted + rejected``
+        holds for every request.
     """
 
     request_id: str
@@ -151,6 +181,10 @@ class RequestMetrics:
     slo_class: str = "interactive"
     migrations: int = 0
     recoveries: int = 0
+    spec_rounds: int = 0
+    spec_drafted_tokens: int = 0
+    spec_accepted_tokens: int = 0
+    spec_rejected_tokens: int = 0
 
     def to_dict(self) -> dict[str, object]:
         """Plain-dict form (JSON-ready), keys in declaration order."""
@@ -171,6 +205,10 @@ class RequestMetrics:
             "slo_class": self.slo_class,
             "migrations": self.migrations,
             "recoveries": self.recoveries,
+            "spec_rounds": self.spec_rounds,
+            "spec_drafted_tokens": self.spec_drafted_tokens,
+            "spec_accepted_tokens": self.spec_accepted_tokens,
+            "spec_rejected_tokens": self.spec_rejected_tokens,
         }
 
 
@@ -358,17 +396,24 @@ class TrafficReport:
         return good / self.duration_s
 
     def latency_summary(self) -> dict[str, dict[str, float]]:
-        """p50/p95/p99 of TTFT, TPOT, queue wait and end-to-end latency."""
+        """p50/p95/p99 of TTFT, TPOT, queue wait and end-to-end latency.
+
+        Each series also carries its ``samples`` count so a consumer can
+        tell "no data" (percentiles are NaN, zero samples) from a
+        genuinely zero latency.
+        """
         series = {
             "ttft_s": [m.ttft_s for m in self.requests],
             "tpot_s": [m.tpot_s for m in self.requests],
             "queue_wait_s": [m.queue_wait_s for m in self.requests],
             "e2e_s": [m.e2e_s for m in self.requests],
         }
-        return {
-            name: {f"p{q:g}": percentile(values, q) for q in PERCENTILES}
-            for name, values in series.items()
-        }
+        summary: dict[str, dict[str, float]] = {}
+        for name, values in series.items():
+            entry = {f"p{q:g}": percentile(values, q) for q in PERCENTILES}
+            entry["samples"] = float(len(values))
+            summary[name] = entry
+        return summary
 
     def class_summary(self) -> dict[str, dict[str, object]]:
         """Per-SLO-class latency and goodput split.
@@ -386,6 +431,9 @@ class TrafficReport:
             e2es = [m.e2e_s for m in members]
             good = sum(m.output_tokens for m in members if m.slo_met)
             summary[cls] = {
+                # The class's sample count: percentile consumers read it to
+                # distinguish an all-rejected class (NaN percentiles) from
+                # a served-but-fast one.
                 "num_requests": len(members),
                 "output_tokens": sum(m.output_tokens for m in members),
                 "ttft_s": {f"p{q:g}": percentile(ttfts, q) for q in PERCENTILES},
@@ -397,6 +445,30 @@ class TrafficReport:
             }
         return summary
 
+    def speculation(self) -> dict[str, float]:
+        """Aggregate speculative-decoding accounting over the run.
+
+        Sums the per-request round/draft/accept/reject counters and
+        derives the two headline metrics: ``acceptance_rate``
+        (accepted / drafted) and ``mean_accepted_run_length`` (accepted
+        tokens per speculation round).
+        ``accepted_tokens + rejected_tokens == drafted_tokens`` holds by
+        construction.  All zeros when the run decoded without
+        speculation.
+        """
+        rounds = sum(m.spec_rounds for m in self.requests)
+        drafted = sum(m.spec_drafted_tokens for m in self.requests)
+        accepted = sum(m.spec_accepted_tokens for m in self.requests)
+        rejected = sum(m.spec_rejected_tokens for m in self.requests)
+        return {
+            "rounds": float(rounds),
+            "drafted_tokens": float(drafted),
+            "accepted_tokens": float(accepted),
+            "rejected_tokens": float(rejected),
+            "acceptance_rate": accepted / drafted if drafted else 0.0,
+            "mean_accepted_run_length": accepted / rounds if rounds else 0.0,
+        }
+
     # ------------------------------------------------------------------
     # serialisation
     # ------------------------------------------------------------------
@@ -405,9 +477,11 @@ class TrafficReport:
 
         Contains only simulation-clock quantities — never wall time — so
         two runs with equal configuration and seeds serialise to identical
-        documents (the bit-reproducibility contract).
+        documents (the bit-reproducibility contract).  Non-finite floats
+        (the NaN percentiles of empty sample sets) are emitted as
+        ``None`` so the JSON form stays standard.
         """
-        return {
+        return _jsonable({
             "num_replicas": self.num_replicas,
             "router": self.router,
             "clock": self.clock,
@@ -422,6 +496,7 @@ class TrafficReport:
             "slo_attainment": self.slo_attainment,
             "latency": self.latency_summary(),
             "classes": self.class_summary(),
+            "speculation": self.speculation(),
             "requests": [m.to_dict() for m in self.requests],
             "num_rejected": self.num_rejected,
             "rejected": [r.to_dict() for r in self.rejected],
@@ -435,7 +510,7 @@ class TrafficReport:
             "failures": self.failures,
             "scaling": self.scaling,
             "prefix_cache": self.prefix_cache,
-        }
+        })
 
     def to_json(self) -> str:
         """Canonical JSON form of :meth:`to_dict` (sorted keys)."""

@@ -477,6 +477,16 @@ class TrafficSimulator:
             slo_class=item.request.slo_class,
             migrations=self._migrations_of(request_id),
             recoveries=self._recoveries_of(request_id),
+            spec_rounds=int(getattr(item.result, "spec_rounds", 0)),
+            spec_drafted_tokens=int(
+                getattr(item.result, "spec_drafted_tokens", 0)
+            ),
+            spec_accepted_tokens=int(
+                getattr(item.result, "spec_accepted_tokens", 0)
+            ),
+            spec_rejected_tokens=int(
+                getattr(item.result, "spec_rejected_tokens", 0)
+            ),
         )
 
 

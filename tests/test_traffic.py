@@ -236,7 +236,10 @@ class TestSLOAndReport:
         assert SLOSpec.from_dict(slo.to_dict()) == slo
 
     def test_percentile_helper(self):
-        assert percentile([], 99) == 0.0
+        import math
+
+        # No samples -> NaN (serialised as null), never a perfect-looking 0.
+        assert math.isnan(percentile([], 99))
         values = [float(v) for v in range(1, 101)]
         assert percentile(values, 50) == pytest.approx(50.5)
         assert percentile(values, 99) == pytest.approx(99.01)
@@ -336,7 +339,8 @@ class TestSimulatorDeterminismAndMetrics:
         assert payload["num_requests"] == 8
         assert set(payload["latency"]) == {"ttft_s", "tpot_s", "queue_wait_s", "e2e_s"}
         for row in payload["latency"].values():
-            assert set(row) == {"p50", "p95", "p99"}
+            assert set(row) == {"p50", "p95", "p99", "samples"}
+            assert row["samples"] == 8.0
 
     def test_timing_points_are_ordered(self):
         report = simulate(
